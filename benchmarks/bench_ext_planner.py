@@ -1,0 +1,99 @@
+"""Extension: the probe-vs-scan planner (Section 3.2's rule, automated).
+
+Runs DFP, DFS, and the planner-selected ``mine_auto`` on two regimes:
+
+* the default (sparse) workload, where candidate estimates are small
+  fractions of |D| and probing wins;
+* a dense low-cardinality workload with a deliberately collision-prone
+  index, where per-candidate estimates approach |D| and one shared scan
+  wins.
+
+The planner should land on (or near) the better of the two fixed
+choices in both regimes, for the cost of one 2-itemset pilot pass.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.core.planner import mine_auto
+from repro.data.database import TransactionDatabase
+
+import numpy as np
+
+_rows: dict[tuple[str, str], object] = {}
+
+_dense_cache: dict[str, object] = {}
+
+
+def _dense_workload():
+    """High-support transactions over few items + a tight index."""
+    if not _dense_cache:
+        rng = np.random.default_rng(4242)
+        transactions = [
+            sorted(rng.choice(16, size=int(rng.integers(5, 10)),
+                              replace=False).tolist())
+            for _ in range(1_500)
+        ]
+        database = TransactionDatabase(transactions)
+        _dense_cache["db"] = database
+        _dense_cache["bbs"] = BBS.from_database(database, m=64)
+    return _dense_cache["db"], _dense_cache["bbs"]
+
+
+def _workload(regime: str):
+    if regime == "sparse":
+        workload = get_workload(default_spec(), default_m())
+        return workload.database, workload.bbs, default_min_support()
+    database, bbs = _dense_workload()
+    return database, bbs, 0.05
+
+
+@pytest.mark.parametrize("regime", ("sparse", "dense"))
+@pytest.mark.parametrize("mode", ("dfp", "dfs", "auto"))
+def test_ext_planner(benchmark, regime, mode):
+    database, bbs, min_support = _workload(regime)
+
+    def run():
+        if mode == "auto":
+            return mine_auto(database, bbs, min_support)
+        return mine(database, bbs, min_support, mode)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["regime"] = regime
+    benchmark.extra_info["algorithm"] = result.algorithm
+    benchmark.extra_info["patterns"] = len(result)
+    _rows[(regime, mode)] = result
+
+
+def test_ext_planner_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for regime in ("sparse", "dense"):
+        if not all((regime, mode) in _rows for mode in ("dfp", "dfs", "auto")):
+            continue
+        auto = _rows[(regime, "auto")]
+        rows.append([
+            regime,
+            round(_rows[(regime, "dfp")].elapsed_seconds, 3),
+            round(_rows[(regime, "dfs")].elapsed_seconds, 3),
+            round(auto.elapsed_seconds, 3),
+            auto.algorithm,
+        ])
+    register_table(
+        "ext_planner",
+        format_table(
+            "Extension: planner-selected refinement vs fixed choices",
+            ["regime", "DFP (s)", "DFS (s)", "auto (s)", "auto chose"],
+            rows,
+            note="auto should track the better fixed scheme in each regime",
+        ),
+    )

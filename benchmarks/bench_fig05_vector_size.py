@@ -1,0 +1,88 @@
+"""Figure 5: effect of the signature width m (Section 4.1).
+
+Figure 5(a) plots the false-drop ratio and Figure 5(b) the response
+time, for SFS/SFP/DFS/DFP as m sweeps 400-6400 (paper scale).  Expected
+shapes: FDR falls steeply and then flattens (the knee is the tuning
+point, m=1600 at paper scale); probe-based schemes keep <= 10 % of the
+scan-based schemes' false drops; response time is U-shaped with the
+minimum at the knee.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, run_scheme
+from repro.bench.workloads import (
+    bench_scale,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+
+SCHEMES = ("sfs", "sfp", "dfs", "dfp")
+M_SWEEP = {
+    "quick": (100, 200, 400, 800, 1600),
+    "paper": (400, 800, 1600, 3200, 6400),
+}
+
+_rows: dict[tuple[int, str], object] = {}
+
+
+@pytest.mark.parametrize("m", M_SWEEP[bench_scale()])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig5_sweep_m(benchmark, m, scheme):
+    workload = get_workload(default_spec(), m)
+    run = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload.database, workload.bbs, default_min_support()),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(run.extra_info())
+    benchmark.extra_info["m"] = m
+    _rows[(m, scheme)] = run
+
+
+def test_fig5_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sweep = M_SWEEP[bench_scale()]
+    fdr_rows = [
+        [m] + [round(_rows[(m, s)].false_drop_ratio, 4) for s in SCHEMES]
+        for m in sweep
+        if all((m, s) in _rows for s in SCHEMES)
+    ]
+    time_rows = [
+        [m] + [round(_rows[(m, s)].wall_seconds, 3) for s in SCHEMES]
+        for m in sweep
+        if all((m, s) in _rows for s in SCHEMES)
+    ]
+    header = ["m"] + [LABELS[s] for s in SCHEMES]
+    register_table(
+        "fig5a_fdr_vs_m",
+        format_table(
+            "Figure 5(a): false drop ratio vs m",
+            header, fdr_rows,
+            note="expect: steep fall then flat; SFP/DFP <= 10% of SFS/DFS",
+        ),
+    )
+    from repro.bench.plotting import chart
+
+    register_table(
+        "fig5b_time_vs_m",
+        format_table(
+            "Figure 5(b): response time (s) vs m",
+            header, time_rows,
+            note="expect: U-shape with the knee at the FDR flattening point",
+        )
+        + "\n"
+        + chart(
+            "response time vs m",
+            [row[0] for row in time_rows],
+            {
+                LABELS[s]: [row[1 + i] for row in time_rows]
+                for i, s in enumerate(SCHEMES)
+            },
+            log_scale=True,
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Figure 6: comparative study on the default settings (Section 4.2).
+
+All four BBS schemes against Apriori (APS) and FP-growth (FPS) at the
+default workload and threshold.  Expected shape: every BBS scheme beats
+APS (SFS ~90 % of APS's time down to DFP's < 20 %); DFP is the best
+overall; FPS sits between the probe-based and scan-based schemes.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, run_scheme
+from repro.bench.workloads import (
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+
+SCHEMES = ("sfs", "sfp", "dfs", "dfp", "apriori", "fpgrowth")
+
+_rows: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig6_default_settings(benchmark, scheme):
+    workload = get_workload(default_spec(), default_m())
+    run = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload.database, workload.bbs, default_min_support()),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(run.extra_info())
+    _rows[scheme] = run
+
+
+def test_fig6_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "apriori" not in _rows:
+        return
+    aps_time = _rows["apriori"].wall_seconds
+    rows = [
+        [
+            LABELS[s],
+            _rows[s].n_patterns,
+            round(_rows[s].wall_seconds, 3),
+            round(_rows[s].wall_seconds / aps_time, 3),
+            round(_rows[s].false_drop_ratio, 4),
+            round(_rows[s].certified_fraction, 2),
+        ]
+        for s in SCHEMES
+        if s in _rows
+    ]
+    register_table(
+        "fig6_default_comparison",
+        format_table(
+            "Figure 6: default settings",
+            ["scheme", "patterns", "time (s)", "vs APS", "FDR", "certified"],
+            rows,
+            note="expect: all BBS schemes < APS; DFP best; DFP certifies 80-90%",
+        ),
+    )

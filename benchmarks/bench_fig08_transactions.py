@@ -1,0 +1,74 @@
+"""Figure 8: scalability in the number of transactions (Section 4.4).
+
+Response time of all six schemes as |D| quadruples.  Expected shapes:
+every scheme scales linearly in |D|; SFP and DFP have the smallest
+slopes (low FDR + CheckCount certification); the ordering is
+DFP < SFP < FPS < DFS < SFS < APS throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, run_scheme
+from repro.bench.workloads import (
+    bench_scale,
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+
+SCHEMES = ("sfs", "sfp", "dfs", "dfp", "apriori", "fpgrowth")
+D_SWEEP = {
+    "quick": (1_000, 2_000, 4_000, 8_000),
+    "paper": (10_000, 20_000, 50_000, 100_000),
+}
+
+_rows: dict[tuple[int, str], object] = {}
+
+
+@pytest.mark.parametrize("n_transactions", D_SWEEP[bench_scale()])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig8_sweep_transactions(benchmark, n_transactions, scheme):
+    spec = default_spec().with_(n_transactions=n_transactions)
+    workload = get_workload(spec, default_m())
+    run = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload.database, workload.bbs, default_min_support()),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(run.extra_info())
+    benchmark.extra_info["n_transactions"] = n_transactions
+    _rows[(n_transactions, scheme)] = run
+
+
+def test_fig8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sweep = D_SWEEP[bench_scale()]
+    rows = [
+        [n] + [round(_rows[(n, s)].wall_seconds, 3) for s in SCHEMES]
+        for n in sweep
+        if all((n, s) in _rows for s in SCHEMES)
+    ]
+    from repro.bench.plotting import chart
+
+    register_table(
+        "fig8_time_vs_transactions",
+        format_table(
+            "Figure 8: response time (s) vs |D|",
+            ["|D|"] + [LABELS[s] for s in SCHEMES],
+            rows,
+            note="expect: linear growth; DFP/SFP least affected; APS worst",
+        )
+        + "\n"
+        + chart(
+            "response time vs |D|",
+            [row[0] for row in rows],
+            {
+                LABELS[s]: [row[1 + i] for row in rows]
+                for i, s in enumerate(SCHEMES)
+            },
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Figure 10: effect of the average transaction size T (Section 4.6).
+
+Response time as transactions get longer with τ fixed.  Expected
+shapes: longer transactions mean more (and longer) frequent patterns,
+so every curve rises; false drops also rise for the BBS schemes (denser
+signatures), but DFP remains the best overall.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, run_scheme
+from repro.bench.workloads import (
+    bench_scale,
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+
+SCHEMES = ("sfs", "sfp", "dfs", "dfp", "apriori", "fpgrowth")
+T_SWEEP = {
+    "quick": (10, 15, 20),
+    "paper": (10, 20, 30),
+}
+
+_rows: dict[tuple[int, str], object] = {}
+
+
+@pytest.mark.parametrize("avg_size", T_SWEEP[bench_scale()])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig10_sweep_transaction_size(benchmark, avg_size, scheme):
+    spec = default_spec().with_(avg_transaction_size=float(avg_size))
+    workload = get_workload(spec, default_m())
+    run = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload.database, workload.bbs, default_min_support()),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(run.extra_info())
+    benchmark.extra_info["avg_transaction_size"] = avg_size
+    _rows[(avg_size, scheme)] = run
+
+
+def test_fig10_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sweep = T_SWEEP[bench_scale()]
+    rows = [
+        [t, _rows[(t, "dfp")].n_patterns]
+        + [round(_rows[(t, s)].wall_seconds, 3) for s in SCHEMES]
+        for t in sweep
+        if all((t, s) in _rows for s in SCHEMES)
+    ]
+    register_table(
+        "fig10_time_vs_txlen",
+        format_table(
+            "Figure 10: response time (s) vs avg transaction size T",
+            ["T", "patterns"] + [LABELS[s] for s in SCHEMES],
+            rows,
+            note="expect: all rise with T; DFP stays best",
+        ),
+    )

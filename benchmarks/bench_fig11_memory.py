@@ -1,0 +1,78 @@
+"""Figure 11: effect of memory size (Section 4.7).
+
+DFP, APS, and FPS under a shrinking memory budget.  The budget forces
+DFP into the adaptive three-phase pipeline (two bounded BBS passes),
+APS into batched candidate counting (extra database scans), and FPS
+into the overflow cost of a tree that no longer fits.
+
+Because the whole point of this experiment is I/O, the headline metric
+is the *simulated* response time (CPU + counted page I/O at 10 ms/page,
+the DESIGN.md cost model); wall-clock on a modern machine with
+everything cached would erase the effect the paper measures.  Expected
+shapes: every scheme slows as memory shrinks; DFP stays the best.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, run_scheme
+from repro.bench.workloads import (
+    bench_scale,
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+
+SCHEMES = ("dfp", "apriori", "fpgrowth")
+#: Budgets in bytes, largest (everything fits) to smallest.
+MEMORY_SWEEP = {
+    "quick": (262_144, 131_072, 65_536, 49_152),
+    "paper": (2_097_152, 1_048_576, 524_288, 262_144),
+}
+
+_rows: dict[tuple[int, str], object] = {}
+
+
+@pytest.mark.parametrize("memory_bytes", MEMORY_SWEEP[bench_scale()])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig11_sweep_memory(benchmark, memory_bytes, scheme):
+    workload = get_workload(default_spec(), default_m())
+    run = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload.database, workload.bbs, default_min_support()),
+        kwargs={"memory_bytes": memory_bytes},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(run.extra_info())
+    benchmark.extra_info["memory_bytes"] = memory_bytes
+    _rows[(memory_bytes, scheme)] = run
+
+
+def test_fig11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sweep = MEMORY_SWEEP[bench_scale()]
+    rows = []
+    for memory_bytes in sweep:
+        if not all((memory_bytes, s) in _rows for s in SCHEMES):
+            continue
+        row = [f"{memory_bytes // 1024}K"]
+        for scheme in SCHEMES:
+            run = _rows[(memory_bytes, scheme)]
+            row.append(round(run.simulated_seconds, 3))
+        for scheme in SCHEMES:
+            row.append(_rows[(memory_bytes, scheme)].result.io.db_scans)
+        rows.append(row)
+    register_table(
+        "fig11_time_vs_memory",
+        format_table(
+            "Figure 11: simulated response time (s) vs memory budget",
+            ["memory"]
+            + [f"{LABELS[s]} (s)" for s in SCHEMES]
+            + [f"{LABELS[s]} scans" for s in SCHEMES],
+            rows,
+            note="expect: all rise as memory shrinks; DFP remains the best",
+        ),
+    )

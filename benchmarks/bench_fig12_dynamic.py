@@ -1,0 +1,110 @@
+"""Figure 12: dynamic databases (Section 4.8).
+
+The web-log scenario: a base database D0 plus daily increments
+D1..Dn.  Each scheme must deliver fresh frequent patterns at the end of
+every day:
+
+* **DFP** appends the increment to the persistent BBS (no rebuild) and
+  mines on the grown index;
+* **FPS** must reconstruct the FP-tree from the *entire* grown database
+  (the item order changes with the data) and then mine;
+* **APS** re-runs its multi-pass scans over the entire grown database.
+
+The structural difference is an I/O story — appends touch nothing while
+rebuilds and rescans read the whole (growing) database — so the table
+reports both wall-clock and the simulated response time of the
+DESIGN.md cost model.  Expected shape: DFP's per-day cost is flat and
+the smallest; APS is the worst; the gap widens as days accumulate.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.baselines.apriori import apriori
+from repro.baselines.fpgrowth import fp_growth
+from repro.bench.reporting import format_table
+from repro.bench.workloads import bench_scale
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.data.database import TransactionDatabase
+from repro.data.weblog import WeblogSimulator, WeblogSpec
+from repro.storage.metrics import CostModel
+
+SCALE = {
+    "quick": {"n_files": 800, "base": 3_000, "daily": 600, "days": 3,
+              "min_support": 0.02, "m": 512},
+    "paper": {"n_files": 5_000, "base": 50_000, "daily": 10_000, "days": 5,
+              "min_support": 0.02, "m": 1600},
+}
+
+_per_day: dict[str, list[tuple[float, float]]] = {}
+
+
+def _timeline(scheme: str) -> list[tuple[float, float]]:
+    """Replay the daily-growth timeline; returns per-day (wall, simulated)."""
+    params = SCALE[bench_scale()]
+    model = CostModel()
+    sim = WeblogSimulator(WeblogSpec(n_files=params["n_files"], seed=1234))
+    db = TransactionDatabase(sim.day_transactions(params["base"]))
+    bbs = BBS.from_database(db, m=params["m"]) if scheme == "dfp" else None
+    results = []
+    for _ in range(params["days"]):
+        sim.advance_day()
+        increment = sim.day_transactions(params["daily"])
+        io_before = db.stats.snapshot()
+        started = time.perf_counter()
+        if scheme == "dfp":
+            for session in increment:
+                db.append(session)
+                bbs.insert(session)
+            mine(db, bbs, params["min_support"], "dfp")
+        elif scheme == "fpgrowth":
+            db.extend(increment)
+            fp_growth(db, params["min_support"])  # full rebuild + mine
+        else:
+            db.extend(increment)
+            apriori(db, params["min_support"])    # full multi-pass re-scan
+        wall = time.perf_counter() - started
+        simulated = model.response_time(wall, db.stats - io_before)
+        results.append((wall, simulated))
+    return results
+
+
+@pytest.mark.parametrize("scheme", ["dfp", "fpgrowth", "apriori"])
+def test_fig12_daily_updates(benchmark, scheme):
+    per_day = benchmark.pedantic(_timeline, args=(scheme,), rounds=1, iterations=1)
+    _per_day[scheme] = per_day
+    benchmark.extra_info["per_day_wall_s"] = [round(w, 3) for w, _ in per_day]
+    benchmark.extra_info["per_day_simulated_s"] = [round(s, 3) for _, s in per_day]
+
+
+def test_fig12_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_per_day) < 3:
+        return
+    order = ("dfp", "fpgrowth", "apriori")
+    days = len(_per_day["dfp"])
+    rows = []
+    for day in range(days):
+        rows.append(
+            [day + 1]
+            + [round(_per_day[s][day][0], 3) for s in order]
+            + [round(_per_day[s][day][1], 3) for s in order]
+        )
+    rows.append(
+        ["total"]
+        + [round(sum(w for w, _ in _per_day[s]), 3) for s in order]
+        + [round(sum(sim for _, sim in _per_day[s]), 3) for s in order]
+    )
+    register_table(
+        "fig12_dynamic_updates",
+        format_table(
+            "Figure 12: per-day cost on a growing database",
+            ["day", "DFP wall", "FPS wall", "APS wall",
+             "DFP sim", "FPS sim", "APS sim"],
+            rows,
+            note="expect (simulated): DFP flat and smallest; APS worst, growing",
+        ),
+    )

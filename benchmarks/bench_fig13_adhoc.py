@@ -1,0 +1,130 @@
+"""Figure 13: ad-hoc queries with constraints (Section 4.9).
+
+Two query classes the mined pattern set cannot answer by itself:
+
+* **Query 1** — exact count of a (possibly non-frequent) pattern;
+* **Query 2** — count restricted to transactions whose TID % 7 == 0.
+
+DFP answers both from the BBS (bitwise filtering + a handful of
+positional probes).  APS must re-scan the database per query.  FPS
+cannot answer at all — the FP-tree stores nothing about non-frequent
+patterns — which the paper reports by omitting it; the table carries an
+explicit ``n/a``.  Expected shape: BBS latency ≪ rescan latency, and
+Query 1 ≈ Query 2 for the BBS (the constraint AND is one extra slice).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
+from repro.core.refine import resolve_threshold
+
+N_QUERIES = 20
+
+_rows: dict[str, float] = {}
+
+
+def _query_patterns(database, threshold):
+    """~N_QUERIES non-frequent 2-itemsets with non-zero support."""
+    items = database.items()
+    patterns = []
+    for start in range(0, len(items) - 1, 7):
+        candidate = (items[start], items[start + 1])
+        support = database.support(candidate)
+        if 0 < support < threshold:
+            patterns.append(candidate)
+        if len(patterns) >= N_QUERIES:
+            break
+    return patterns or [(items[0], items[1])]
+
+
+def _bbs_q1(database, bbs, patterns):
+    engine = AdHocQueryEngine(database, bbs)
+    started = time.perf_counter()
+    for pattern in patterns:
+        engine.exact_count(pattern)
+    return (time.perf_counter() - started) / len(patterns)
+
+
+def _bbs_q2(database, bbs, patterns):
+    engine = AdHocQueryEngine(database, bbs)
+    constraint = ConstraintSlice.from_tid_predicate(
+        database, lambda tid: tid % 7 == 0
+    )
+    started = time.perf_counter()
+    for pattern in patterns:
+        engine.exact_count_where(pattern, constraint)
+    return (time.perf_counter() - started) / len(patterns)
+
+
+def _rescan_q1(database, patterns):
+    started = time.perf_counter()
+    for pattern in patterns:
+        wanted = set(pattern)
+        sum(1 for _, tx in database.scan() if wanted.issubset(tx))
+    return (time.perf_counter() - started) / len(patterns)
+
+
+def _rescan_q2(database, patterns):
+    started = time.perf_counter()
+    for pattern in patterns:
+        wanted = set(pattern)
+        count = 0
+        for position, tx in database.scan():
+            if database.tid(position) % 7 == 0 and wanted.issubset(tx):
+                count += 1
+    return (time.perf_counter() - started) / len(patterns)
+
+
+@pytest.mark.parametrize("engine,query", [
+    ("dfp", "q1"), ("dfp", "q2"), ("apriori", "q1"), ("apriori", "q2"),
+])
+def test_fig13_adhoc_queries(benchmark, engine, query):
+    workload = get_workload(default_spec(), default_m())
+    threshold = resolve_threshold(
+        default_min_support(), len(workload.database)
+    )
+    patterns = _query_patterns(workload.database, threshold)
+    if engine == "dfp":
+        fn = _bbs_q1 if query == "q1" else _bbs_q2
+        args = (workload.database, workload.bbs, patterns)
+    else:
+        fn = _rescan_q1 if query == "q1" else _rescan_q2
+        args = (workload.database, patterns)
+    per_query = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    benchmark.extra_info["per_query_ms"] = round(per_query * 1e3, 3)
+    _rows[f"{engine}:{query}"] = per_query
+
+
+def test_fig13_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < 4:
+        return
+    rows = [
+        ["Query 1 (count non-frequent)",
+         round(_rows["dfp:q1"] * 1e3, 3),
+         round(_rows["apriori:q1"] * 1e3, 3),
+         "n/a"],
+        ["Query 2 (TID % 7 == 0)",
+         round(_rows["dfp:q2"] * 1e3, 3),
+         round(_rows["apriori:q2"] * 1e3, 3),
+         "n/a"],
+    ]
+    register_table(
+        "fig13_adhoc_queries",
+        format_table(
+            "Figure 13: ad-hoc query latency (ms per query)",
+            ["query", "DFP (BBS)", "APS (rescan)", "FPS"],
+            rows,
+            note="expect: DFP << APS; Q1 ~= Q2 for DFP; FPS cannot answer",
+        ),
+    )

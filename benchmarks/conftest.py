@@ -1,0 +1,42 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Each figure module accumulates per-(sweep-point, scheme) rows while its
+parametrised benchmarks run, then registers a formatted series table.
+The tables are printed in the terminal summary (so they land in
+``bench_output.txt``) and written to ``benchmarks/results/`` for
+side-by-side comparison with the paper's figures in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_TABLES: list[tuple[str, str]] = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def register_table(name: str, text: str) -> None:
+    """Queue a rendered series table for the terminal summary + disk."""
+    _TABLES.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ paper-figure series (see EXPERIMENTS.md) ================"
+    )
+    for _name, text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return f"repro bench scale: {scale} (set REPRO_BENCH_SCALE=paper for full size)"

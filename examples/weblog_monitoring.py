@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Dynamic databases: daily web-log increments (the Section 4.8 scenario).
+
+A web server accumulates session logs every day; the analyst wants the
+frequently co-accessed file sets kept fresh.  This example contrasts the
+three strategies the paper measures:
+
+* **BBS / DFP** — each day's sessions are *appended* to the persistent
+  index (no rebuild) and mining runs on the grown index;
+* **FP-growth** — the FP-tree must be rebuilt from the entire grown
+  database every day (the global item order changes with the data);
+* **Apriori** — re-scans the entire grown database every day, several
+  times.
+
+Run with::
+
+    python examples/weblog_monitoring.py
+"""
+
+import time
+
+from repro import BBS, TransactionDatabase, apriori, fp_growth, mine
+from repro.data.weblog import WeblogSimulator, WeblogSpec
+
+BASE_SESSIONS = 3_000
+DAILY_SESSIONS = 600
+N_DAYS = 4
+MIN_SUPPORT = 0.01
+
+
+def main() -> None:
+    sim = WeblogSimulator(WeblogSpec(n_files=800, seed=11))
+    db = TransactionDatabase(sim.day_transactions(BASE_SESSIONS))
+    bbs = BBS.from_database(db, m=512)
+    print(f"day 0: {len(db)} sessions indexed "
+          f"({bbs.size_bytes / 1024:.1f} KiB of slices)\n")
+    header = f"{'day':>4} {'sessions':>9} {'DFP (s)':>9} {'FPS (s)':>9} {'APS (s)':>9}"
+    print(header)
+    print("-" * len(header))
+
+    for day in range(1, N_DAYS + 1):
+        sim.advance_day()
+        increment = sim.day_transactions(DAILY_SESSIONS)
+
+        # BBS: appends only — the index is persistent and dynamic.
+        started = time.perf_counter()
+        for session in increment:
+            db.append(session)
+            bbs.insert(session)
+        result = mine(db, bbs, MIN_SUPPORT, algorithm="dfp")
+        dfp_seconds = time.perf_counter() - started
+
+        # FP-growth: full rebuild over the grown database.
+        started = time.perf_counter()
+        fp_growth(db, MIN_SUPPORT)
+        fps_seconds = time.perf_counter() - started
+
+        # Apriori: full multi-pass re-scan of the grown database.
+        started = time.perf_counter()
+        apriori(db, MIN_SUPPORT)
+        aps_seconds = time.perf_counter() - started
+
+        print(f"{day:>4} {len(db):>9} {dfp_seconds:>9.3f} "
+              f"{fps_seconds:>9.3f} {aps_seconds:>9.3f}"
+              f"   ({len(result)} patterns)")
+
+    print("\nDFP's per-day cost is an append plus an index-resident mine;")
+    print("both baselines pay costs that grow with the *total* database.")
+
+
+if __name__ == "__main__":
+    main()

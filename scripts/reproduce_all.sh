@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: tests, examples, and every figure bench.
+#
+# Usage:
+#   scripts/reproduce_all.sh            # quick scale (~15 min total)
+#   REPRO_BENCH_SCALE=paper scripts/reproduce_all.sh   # original sizes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 test suite =="
+python -m pytest tests/ -q
+
+echo "== 2/3 examples =="
+for example in examples/*.py; do
+    echo "-- ${example}"
+    python "${example}" > /dev/null
+done
+echo "all examples ran clean"
+
+echo "== 3/3 figure benchmarks (scale: ${REPRO_BENCH_SCALE:-quick}) =="
+python -m pytest benchmarks/ --benchmark-only -q
+
+echo
+echo "Series tables: benchmarks/results/*.txt — compare with EXPERIMENTS.md"

@@ -1,0 +1,66 @@
+"""BBS — Bit-Sliced Bloom-Filtered Signature Files for frequent-pattern mining.
+
+A production-quality reproduction of *Lan, Ooi & Tan, "Efficient
+Indexing Structures for Mining Frequent Patterns", ICDE 2002*.
+
+Quickstart::
+
+    from repro import BBS, TransactionDatabase, mine
+
+    db = TransactionDatabase([("a", "b", "c"), ("a", "b"), ("b", "c")])
+    index = BBS.from_database(db, m=64)
+    result = mine(db, index, min_support=2, algorithm="dfp")
+    for itemset, pattern in sorted(result.patterns.items(), key=str):
+        print(sorted(itemset), pattern.count)
+
+See :mod:`repro.core` for the index and the four filter-and-refine
+miners (SFS, SFP, DFS, DFP), :mod:`repro.baselines` for Apriori and
+FP-growth, :mod:`repro.data` for the synthetic workload generators, and
+:mod:`repro.rules` for association-rule generation on top of the mined
+patterns.
+"""
+
+from repro.baselines import apriori, eclat, fp_growth
+from repro.core import (
+    BBS,
+    MiningResult,
+    PatternCount,
+    mine,
+    mine_dfp,
+    mine_dfs,
+    mine_sfp,
+    mine_sfs,
+)
+from repro.data import TransactionDatabase
+from repro.errors import (
+    ConfigurationError,
+    CorruptFileError,
+    DatabaseMismatchError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBS",
+    "TransactionDatabase",
+    "MiningResult",
+    "PatternCount",
+    "mine",
+    "mine_sfs",
+    "mine_sfp",
+    "mine_dfs",
+    "mine_dfp",
+    "apriori",
+    "fp_growth",
+    "eclat",
+    "ReproError",
+    "ConfigurationError",
+    "StorageError",
+    "CorruptFileError",
+    "DatabaseMismatchError",
+    "QueryError",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baseline miners the paper compares against, plus test oracles."""
+
+from repro.baselines.apriori import apriori, generate_candidates
+from repro.baselines.eclat import eclat
+from repro.baselines.fpgrowth import fp_growth
+from repro.baselines.fptree import FPNode, FPTree
+from repro.baselines.hashtree import HashTree
+from repro.baselines.naive import naive_frequent_patterns, naive_support
+from repro.baselines.partition import partition_mine
+
+__all__ = [
+    "apriori",
+    "generate_candidates",
+    "eclat",
+    "fp_growth",
+    "FPNode",
+    "FPTree",
+    "HashTree",
+    "naive_frequent_patterns",
+    "naive_support",
+    "partition_mine",
+]

@@ -1,0 +1,121 @@
+"""FP-growth: mining the complete frequent-pattern set from an FP-tree.
+
+The standard recursion: for each header item ``a`` (least frequent
+first), emit the pattern ``base ∪ {a}``, gather ``a``'s conditional
+pattern base via the node-links, build the conditional FP-tree, and
+recurse.  Trees that degenerate to a single path short-circuit into
+direct combination enumeration.
+
+``memory_bytes`` models the paper's Section 4.7 observation — *"When
+the FP-tree does not fit into the memory, the database will have to be
+scanned multiple times"* — by charging extra sequential passes over the
+database whenever the (simulated) tree footprint exceeds the budget.
+The mining itself still runs in real memory; only the I/O accounting
+changes (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.baselines.fptree import FPTree
+from repro.core.refine import resolve_threshold
+from repro.core.results import MiningResult
+from repro.data.database import TransactionDatabase
+
+
+def fp_growth(
+    database: TransactionDatabase,
+    min_support,
+    *,
+    memory_bytes: int | None = None,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine all frequent itemsets with FP-growth; returns exact counts."""
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("fp-growth", threshold, len(database))
+    io_before = database.stats.snapshot()
+    started = time.perf_counter()
+
+    tree = FPTree.from_database(database, threshold)
+    _charge_memory_overflow(database, tree, memory_bytes)
+    for itemset, count in mine_tree(tree, threshold, max_size=max_size):
+        result.add_pattern(frozenset(itemset), count, exact=True)
+
+    result.elapsed_seconds = time.perf_counter() - started
+    result.io = database.stats - io_before
+    return result
+
+
+def mine_tree(tree: FPTree, threshold: int, *, max_size: int | None = None):
+    """Yield ``(itemset_tuple, count)`` for every frequent pattern."""
+    yield from _growth(tree, (), threshold, max_size)
+
+
+def _growth(tree: FPTree, base: tuple, threshold: int, max_size: int | None):
+    if max_size is not None and len(base) >= max_size:
+        return
+    single = tree.single_path()
+    if single is not None:
+        yield from _enumerate_single_path(single, base, threshold, max_size)
+        return
+    for item in tree.header_items_ascending():
+        support = tree.item_support(item)
+        if support < threshold:
+            continue
+        pattern = base + (item,)
+        yield pattern, support
+        if max_size is not None and len(pattern) >= max_size:
+            continue
+        conditional = _conditional_tree(tree, item, threshold)
+        if not conditional.is_empty():
+            yield from _growth(conditional, pattern, threshold, max_size)
+
+
+def _enumerate_single_path(path, base, threshold, max_size):
+    """Single prefix-path shortcut: all combinations of the chain nodes.
+
+    The support of a combination is the count of its deepest node.
+    """
+    nodes = [n for n in path if n.count >= threshold]
+    limit = len(nodes)
+    if max_size is not None:
+        limit = min(limit, max_size - len(base))
+    for size in range(1, limit + 1):
+        for combo in combinations(nodes, size):
+            yield base + tuple(n.item for n in combo), combo[-1].count
+
+
+def _conditional_tree(tree: FPTree, item, threshold: int) -> FPTree:
+    """Build ``item``'s conditional FP-tree from its pattern base."""
+    # Conditional pattern base: (prefix path, count) per node-link entry.
+    pattern_base = [
+        (path, node.count)
+        for node in tree.node_chain(item)
+        if (path := tree.prefix_path(node))
+    ]
+    counts: dict = {}
+    for path, count in pattern_base:
+        for path_item in path:
+            counts[path_item] = counts.get(path_item, 0) + count
+    frequent = [i for i, c in counts.items() if c >= threshold]
+    frequent.sort(key=lambda i: (-counts[i], repr(i)))
+    conditional = FPTree({it: rank for rank, it in enumerate(frequent)})
+    for path, count in pattern_base:
+        kept = sorted(
+            (p for p in path if p in conditional.item_order),
+            key=conditional.item_order.__getitem__,
+        )
+        if kept:
+            conditional._insert_path(kept, count)
+    return conditional
+
+
+def _charge_memory_overflow(database, tree, memory_bytes) -> None:
+    """Charge extra DB passes when the tree exceeds the memory budget."""
+    if memory_bytes is None or tree.size_bytes <= memory_bytes:
+        return
+    extra_passes = -(-tree.size_bytes // memory_bytes) - 1  # ceil - 1
+    database.stats.page_reads += extra_passes * database.n_pages
+    database.stats.db_scans += extra_passes

@@ -1,0 +1,169 @@
+"""The FP-tree structure (Han, Pei & Yin, SIGMOD 2000) — baseline "FPS".
+
+An FP-tree compresses the database into a prefix tree over the frequent
+items, ordered by descending support, with a header table of node-links
+threading all occurrences of each item.  The paper we reproduce uses it
+as its strongest competitor and stresses its key operational weakness:
+the tree is *not* dynamic — items must be globally ordered by support,
+so any batch of inserts forces a full rebuild (two fresh database
+scans).  :meth:`FPTree.rebuild_for_update` models exactly that cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.data.database import TransactionDatabase
+
+#: Simulated in-memory footprint of one tree node (pointers + counters),
+#: used by the small-memory cost model of Section 4.7.
+NODE_BYTES = 48
+
+
+class FPNode:
+    """One prefix-tree node."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_link")
+
+    def __init__(self, item, parent: "FPNode | None"):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict = {}
+        self.next_link: FPNode | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPNode({self.item!r}, count={self.count})"
+
+
+class FPTree:
+    """An FP-tree plus its header table.
+
+    ``item_order`` maps item -> rank (0 = most frequent); transactions
+    are inserted with their frequent items sorted by rank.
+    """
+
+    def __init__(self, item_order: dict):
+        self.item_order = item_order
+        self.root = FPNode(None, None)
+        self.header: dict = {}       # item -> first node in the link chain
+        self._link_tails: dict = {}  # item -> last node (O(1) appends)
+        self.n_nodes = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_database(
+        cls, database: TransactionDatabase, threshold: int
+    ) -> "FPTree":
+        """The standard two-scan construction.
+
+        Scan 1 counts items; scan 2 inserts each transaction's frequent
+        items in descending-support order.
+        """
+        counts: dict = {}
+        for _, itemset in database.scan():
+            for item in itemset:
+                counts[item] = counts.get(item, 0) + 1
+        frequent = [i for i, c in counts.items() if c >= threshold]
+        # Descending count; ties broken by repr for determinism.
+        frequent.sort(key=lambda i: (-counts[i], repr(i)))
+        order = {item: rank for rank, item in enumerate(frequent)}
+        tree = cls(order)
+        for _, itemset in database.scan():
+            tree.insert_transaction(itemset)
+        return tree
+
+    def insert_transaction(self, items: Iterable, count: int = 1) -> None:
+        """Insert the frequent items of a transaction, rank-ordered."""
+        ranked = sorted(
+            (item for item in items if item in self.item_order),
+            key=self.item_order.__getitem__,
+        )
+        if ranked:
+            self._insert_path(ranked, count)
+
+    def _insert_path(self, ranked: list, count: int) -> None:
+        node = self.root
+        for item in ranked:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self.n_nodes += 1
+                self._append_link(item, child)
+            child.count += count
+            node = child
+
+    def _append_link(self, item, node: FPNode) -> None:
+        tail = self._link_tails.get(item)
+        if tail is None:
+            self.header[item] = node
+        else:
+            tail.next_link = node
+        self._link_tails[item] = node
+
+    # -- traversal helpers used by FP-growth -----------------------------------
+
+    def node_chain(self, item) -> Iterable[FPNode]:
+        """All nodes carrying ``item``, via the header node-links."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.next_link
+
+    def item_support(self, item) -> int:
+        """Total count of ``item`` in this (conditional) tree."""
+        return sum(node.count for node in self.node_chain(item))
+
+    def prefix_path(self, node: FPNode) -> list:
+        """Items on the path from ``node``'s parent up to the root."""
+        path = []
+        current = node.parent
+        while current is not None and current.item is not None:
+            path.append(current.item)
+            current = current.parent
+        path.reverse()
+        return path
+
+    def header_items_ascending(self) -> list:
+        """Header items from least to most frequent (FP-growth order)."""
+        return sorted(self.header, key=self.item_order.__getitem__, reverse=True)
+
+    def single_path(self) -> list[FPNode] | None:
+        """The node list if the tree is one chain, else ``None``.
+
+        Single-path trees let FP-growth enumerate all combinations
+        directly (the single prefix-path shortcut).
+        """
+        path = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append(node)
+        return path
+
+    @property
+    def size_bytes(self) -> int:
+        """Simulated memory footprint (Section 4.7 cost model)."""
+        return self.n_nodes * NODE_BYTES
+
+    def is_empty(self) -> bool:
+        """Whether the tree holds no paths at all."""
+        return not self.root.children
+
+    # -- the dynamic-database weakness (Section 3.4) ------------------------------
+
+    @classmethod
+    def rebuild_for_update(
+        cls, database: TransactionDatabase, threshold: int
+    ) -> "FPTree":
+        """Rebuild after inserts — the FP-tree has no incremental path.
+
+        Supports change the global item order, invalidating every stored
+        path, so the only correct response to updates is the full
+        two-scan construction over the *entire* grown database.
+        """
+        return cls.from_database(database, threshold)

@@ -1,0 +1,151 @@
+"""Hash tree for Apriori candidate counting (Agrawal & Srikant, VLDB'94).
+
+Candidates of a fixed length ``k`` are stored in a tree whose interior
+nodes hash the next item of the candidate and whose leaves hold small
+buckets.  Counting a transaction walks the tree with every combination
+of the transaction's items — but shares prefixes, so the work stays far
+below enumerating all ``C(|T|, k)`` subsets against a flat dictionary
+when transactions are long.
+
+Two classical pitfalls are handled explicitly:
+
+* *hash collisions*: the path to a leaf only constrains hash values, so
+  each bucket entry is verified as a full subset of the transaction;
+* *duplicate visits*: different transaction items can hash into the same
+  child, reaching a leaf more than once per transaction, so every entry
+  carries a last-counted transaction stamp.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+DEFAULT_LEAF_CAPACITY = 8
+DEFAULT_FANOUT = 16
+
+_CAND, _COUNT, _STAMP = 0, 1, 2
+
+
+class _Node:
+    __slots__ = ("children", "bucket")
+
+    def __init__(self):
+        self.children: dict[int, _Node] | None = None
+        self.bucket: list[list] | None = []  # [candidate, count, stamp]
+
+
+class HashTree:
+    """A hash tree over candidates of uniform length ``k``."""
+
+    def __init__(
+        self,
+        candidates: Sequence[tuple],
+        *,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+    ):
+        if not candidates:
+            raise ValueError("hash tree needs at least one candidate")
+        lengths = {len(c) for c in candidates}
+        if len(lengths) != 1:
+            raise ValueError(f"candidates must share one length, got {sorted(lengths)}")
+        self.k = lengths.pop()
+        if self.k < 1:
+            raise ValueError("candidates must be non-empty itemsets")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self._root = _Node()
+        self._n = 0
+        self._tx_seq = 0
+        for candidate in candidates:
+            self._insert(tuple(candidate))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _hash(self, item) -> int:
+        return hash(item) % self.fanout
+
+    def _insert(self, candidate: tuple) -> None:
+        node, depth = self._root, 0
+        while node.children is not None:
+            slot = self._hash(candidate[depth])
+            node = node.children.setdefault(slot, _Node())
+            depth += 1
+        node.bucket.append([candidate, 0, 0])
+        self._n += 1
+        if len(node.bucket) > self.leaf_capacity and depth < self.k:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        entries = node.bucket
+        node.bucket = None
+        node.children = {}
+        for entry in entries:
+            slot = self._hash(entry[_CAND][depth])
+            child = node.children.setdefault(slot, _Node())
+            child.bucket.append(entry)
+        for child in node.children.values():
+            if len(child.bucket) > self.leaf_capacity and depth + 1 < self.k:
+                self._split(child, depth + 1)
+
+    # -- counting ------------------------------------------------------------
+
+    def count_transaction(self, transaction: Sequence) -> None:
+        """Increment every candidate contained in ``transaction`` (sorted)."""
+        if len(transaction) < self.k:
+            return
+        self._tx_seq += 1
+        self._walk(self._root, transaction, set(transaction), 0, 0)
+
+    def _walk(self, node: _Node, tx: Sequence, tx_set: set, start: int, depth: int):
+        if node.bucket is not None:
+            stamp = self._tx_seq
+            for entry in node.bucket:
+                if entry[_STAMP] == stamp:
+                    continue  # already counted via another hash path
+                entry[_STAMP] = stamp
+                if tx_set.issuperset(entry[_CAND]):
+                    entry[_COUNT] += 1
+            return
+        # Interior node: each remaining transaction item may be the next
+        # item of a contained candidate.  Leave at least k - depth - 1
+        # items after the chosen one.
+        limit = len(tx) - (self.k - depth - 1)
+        seen_slots: set[int] = set()
+        for i in range(start, limit):
+            slot = self._hash(tx[i])
+            if slot in seen_slots:
+                # An earlier (smaller-start) visit of this child already
+                # explored a superset of the continuations possible here.
+                continue
+            child = node.children.get(slot)
+            if child is not None:
+                seen_slots.add(slot)
+                self._walk(child, tx, tx_set, i + 1, depth + 1)
+
+    def counts(self) -> dict[tuple, int]:
+        """Candidate -> count after all transactions were counted."""
+        out: dict[tuple, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                for candidate, count, _ in node.bucket:
+                    out[candidate] = count
+            else:
+                stack.extend(node.children.values())
+        return out
+
+    def reset_counts(self) -> None:
+        """Zero all counts (re-counting the same candidates)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                for entry in node.bucket:
+                    entry[_COUNT] = 0
+                    entry[_STAMP] = 0
+            else:
+                stack.extend(node.children.values())
+        self._tx_seq = 0

@@ -1,0 +1,46 @@
+"""Brute-force frequent-pattern mining — the slowest possible oracle.
+
+For tiny databases the most trustworthy answer is the most literal one:
+enumerate the pattern lattice depth-first and count each pattern by a
+full pass over the transactions.  Quadratic and proud of it; tests use
+it to anchor the faster implementations.
+"""
+
+from __future__ import annotations
+
+from repro.core.refine import resolve_threshold
+from repro.data.database import TransactionDatabase
+
+
+def naive_frequent_patterns(
+    database: TransactionDatabase,
+    min_support,
+    *,
+    max_size: int | None = None,
+) -> dict[frozenset, int]:
+    """``itemset -> exact support`` for every frequent pattern."""
+    threshold = resolve_threshold(min_support, len(database))
+    transactions = [set(tx) for tx in database]
+    items = sorted({item for tx in transactions for item in tx}, key=repr)
+    found: dict[frozenset, int] = {}
+    _grow((), items, transactions, threshold, max_size, found)
+    return found
+
+
+def naive_support(database: TransactionDatabase, itemset) -> int:
+    """Exact support of one itemset by literal scanning."""
+    wanted = set(itemset)
+    return sum(1 for tx in database if wanted.issubset(tx))
+
+
+def _grow(prefix, remaining, transactions, threshold, max_size, found) -> None:
+    for index, item in enumerate(remaining):
+        pattern = prefix + (item,)
+        wanted = set(pattern)
+        support = sum(1 for tx in transactions if wanted <= tx)
+        if support < threshold:
+            continue
+        found[frozenset(pattern)] = support
+        if max_size is None or len(pattern) < max_size:
+            _grow(pattern, remaining[index + 1:], transactions,
+                  threshold, max_size, found)

@@ -1,0 +1,21 @@
+"""Shared benchmark harness: workloads, scheme runners, reporting."""
+
+from repro.bench.plotting import chart, sparkline
+from repro.bench.runner import SchemeRun, run_scheme
+from repro.bench.workloads import (
+    Workload,
+    bench_scale,
+    default_spec,
+    get_workload,
+)
+
+__all__ = [
+    "chart",
+    "sparkline",
+    "SchemeRun",
+    "run_scheme",
+    "Workload",
+    "bench_scale",
+    "default_spec",
+    "get_workload",
+]

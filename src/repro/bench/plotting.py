@@ -1,0 +1,81 @@
+"""Terminal-friendly ASCII charts for benchmark series.
+
+``bench_output.txt`` is a text file; a coarse chart next to each series
+table makes the paper's figure *shapes* (knees, crossovers, linear
+growth) visible at a glance without leaving the terminal.  The renderer
+is deliberately simple: one row of glyphs per series, column per sweep
+point, height quantised to a small glyph ramp, with a log-scale option
+for the latency figures whose interesting structure spans decades.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+#: Height ramp, lowest to highest (the minimum stays visible).
+GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, log_scale: bool = False) -> str:
+    """One-line glyph chart of a numeric series (empty input -> '')."""
+    if not values:
+        return ""
+    transformed = [_transform(v, log_scale) for v in values]
+    low = min(transformed)
+    high = max(transformed)
+    span = high - low
+    if span <= 0:
+        return GLYPHS[4] * len(values)
+    out = []
+    for value in transformed:
+        rank = int((value - low) / span * (len(GLYPHS) - 1))
+        out.append(GLYPHS[rank])
+    return "".join(out)
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if not log_scale:
+        return float(value)
+    return math.log10(max(float(value), 1e-9))
+
+
+def chart(
+    title: str,
+    x_labels: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    log_scale: bool = False,
+) -> str:
+    """A labelled multi-series sparkline block.
+
+    Example output::
+
+        -- response time vs m (log scale) --
+          SFS  █▂▁▁▁   5.43 .. 0.13
+          DFP  █▅▂▁▁   0.49 .. 0.12
+          x: 100 200 400 800 1600
+    """
+    width = max((len(name) for name in series), default=0)
+    scale_note = " (log scale)" if log_scale else ""
+    lines = [f"-- {title}{scale_note} --"]
+    for name, values in series.items():
+        if not values:
+            continue
+        line = sparkline(values, log_scale=log_scale)
+        lines.append(
+            f"  {name.rjust(width)}  {line}   "
+            f"{_fmt(values[0])} .. {_fmt(values[-1])}"
+        )
+    lines.append("  x: " + " ".join(str(x) for x in x_labels))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"

@@ -1,0 +1,41 @@
+"""Plain-text series/table rendering for the figure benchmarks.
+
+Each benchmark regenerates one of the paper's figures as a printed
+series — the x-axis sweep down the rows, one column per scheme — so
+``bench_output.txt`` can be compared side by side with the paper.  The
+same renderer feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned monospace table with a title banner."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"   {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,91 @@
+"""Uniform scheme runners used by every figure benchmark.
+
+``run_scheme`` dispatches on the paper's scheme names — the four BBS
+algorithms plus the two baselines — and returns a :class:`SchemeRun`
+with the numbers the paper's figures plot: wall-clock time, *simulated*
+response time (CPU + counted page I/O under the
+:class:`~repro.storage.metrics.CostModel`), the false-drop ratio, and
+the certified fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.apriori import apriori
+from repro.baselines.fpgrowth import fp_growth
+from repro.core.mining import ALGORITHMS, mine
+from repro.core.results import MiningResult
+from repro.storage.metrics import CostModel
+
+SCHEMES = ALGORITHMS + ("apriori", "fpgrowth")
+
+#: The paper's scheme labels for table headers.
+LABELS = {
+    "sfs": "SFS", "sfp": "SFP", "dfs": "DFS", "dfp": "DFP",
+    "apriori": "APS", "fpgrowth": "FPS",
+}
+
+
+@dataclass
+class SchemeRun:
+    """One (scheme, workload, τ) execution with its reported metrics."""
+
+    scheme: str
+    result: MiningResult
+    wall_seconds: float
+    simulated_seconds: float
+
+    @property
+    def n_patterns(self) -> int:
+        """Number of frequent patterns the run found."""
+        return len(self.result)
+
+    @property
+    def false_drop_ratio(self) -> float:
+        """The paper's FDR for this run."""
+        return self.result.false_drop_ratio
+
+    @property
+    def certified_fraction(self) -> float:
+        """Share of patterns certified without database access."""
+        return self.result.certified_fraction
+
+    def extra_info(self) -> dict:
+        """The metrics attached to pytest-benchmark's JSON output."""
+        return {
+            "scheme": LABELS.get(self.scheme, self.scheme),
+            "patterns": self.n_patterns,
+            "false_drops": self.result.refine_stats.false_drops,
+            "false_drop_ratio": round(self.false_drop_ratio, 4),
+            "certified_fraction": round(self.certified_fraction, 4),
+            "probes": self.result.refine_stats.probes,
+            "db_scans": self.result.io.db_scans,
+            "page_ios": self.result.io.total_page_ios,
+            "simulated_seconds": round(self.simulated_seconds, 4),
+        }
+
+
+def run_scheme(
+    scheme: str,
+    database,
+    bbs,
+    min_support,
+    *,
+    memory_bytes: int | None = None,
+    cost_model: CostModel | None = None,
+) -> SchemeRun:
+    """Execute ``scheme`` once and package its metrics."""
+    model = cost_model if cost_model is not None else CostModel()
+    if scheme in ALGORITHMS:
+        result = mine(
+            database, bbs, min_support, scheme, memory_bytes=memory_bytes
+        )
+    elif scheme == "apriori":
+        result = apriori(database, min_support, memory_bytes=memory_bytes)
+    elif scheme == "fpgrowth":
+        result = fp_growth(database, min_support, memory_bytes=memory_bytes)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    simulated = model.response_time(result.elapsed_seconds, result.io)
+    return SchemeRun(scheme, result, result.elapsed_seconds, simulated)

@@ -1,0 +1,267 @@
+"""Command-line interface: generate, index, mine, and query from the shell.
+
+The CLI operates on the persistent formats — transaction file pairs
+(:mod:`repro.storage.txfile`) and BBS slice files
+(:mod:`repro.storage.slicefile`) — so a full workflow needs no Python::
+
+    repro-mine generate --out /tmp/demo.tx --transactions 2000 --items 500
+    repro-mine index    --db /tmp/demo.tx --out /tmp/demo.bbs --m 512
+    repro-mine mine     --db /tmp/demo.tx --index /tmp/demo.bbs \
+                        --min-support 0.01 --algorithm dfp
+    repro-mine count    --db /tmp/demo.tx --index /tmp/demo.bbs \
+                        --items 3,17 --tid-mod 7
+
+``repro-mine example`` replays the paper's running example (Tables 1-2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.bbs import BBS
+from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
+from repro.core.mining import ALGORITHMS, mine
+from repro.data.diskdb import DiskDatabase
+from repro.data.ibm import QuestSpec, generate_transactions
+from repro.errors import ReproError
+from repro.storage.txfile import TransactionFileWriter
+
+
+def _parse_min_support(text: str):
+    value = float(text)
+    return int(value) if value >= 1 else value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="BBS frequent-pattern mining (ICDE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an IBM Quest synthetic database")
+    gen.add_argument("--out", required=True, help="transaction file to write")
+    gen.add_argument("--transactions", type=int, default=10_000, help="|D|")
+    gen.add_argument("--items", type=int, default=10_000, help="|V|")
+    gen.add_argument("--avg-size", type=float, default=10.0, help="T")
+    gen.add_argument("--pattern-size", type=float, default=10.0, help="I")
+    gen.add_argument("--patterns", type=int, default=2000, help="|L|")
+    gen.add_argument("--seed", type=int, default=0)
+
+    idx = sub.add_parser("index", help="build a BBS slice file over a database")
+    idx.add_argument("--db", required=True, help="transaction file")
+    idx.add_argument("--out", required=True, help="slice file to write")
+    idx.add_argument("--m", type=int, default=1600, help="signature width (bits)")
+    idx.add_argument("--k", type=int, default=4, help="hash functions per item")
+
+    mn = sub.add_parser("mine", help="mine frequent patterns")
+    mn.add_argument("--db", required=True)
+    mn.add_argument("--index", required=True, help="slice file from `index`")
+    mn.add_argument("--min-support", type=_parse_min_support, default=0.003,
+                    help="fraction (<1) or absolute count (>=1)")
+    mn.add_argument("--algorithm", choices=ALGORITHMS + ("auto",),
+                    default="dfp")
+    mn.add_argument("--memory", type=int, default=None,
+                    help="memory budget in bytes (enables adaptive filtering)")
+    mn.add_argument("--top", type=int, default=20,
+                    help="print only the N highest-support patterns (0 = all)")
+    mn.add_argument("--out", default=None,
+                    help="write the full result as JSON for `rules`/`verify`")
+
+    cnt = sub.add_parser("count", help="ad-hoc count of one pattern")
+    cnt.add_argument("--db", required=True)
+    cnt.add_argument("--index", required=True)
+    cnt.add_argument("--items", required=True,
+                     help="comma-separated integer items, e.g. 3,17")
+    cnt.add_argument("--tid-mod", type=int, default=None,
+                     help="only count transactions whose TID %% MOD == 0")
+
+    rl = sub.add_parser("rules", help="derive association rules from a result")
+    rl.add_argument("--result", required=True, help="JSON from `mine --out`")
+    rl.add_argument("--min-confidence", type=float, default=0.6)
+    rl.add_argument("--top", type=int, default=20,
+                    help="print only the N strongest rules (0 = all)")
+
+    vf = sub.add_parser("verify", help="audit a result against its database")
+    vf.add_argument("--db", required=True)
+    vf.add_argument("--result", required=True, help="JSON from `mine --out`")
+    vf.add_argument("--skip-completeness", action="store_true",
+                    help="skip the (expensive) missing-pattern check")
+
+    cv = sub.add_parser("import", help="convert a FIMI text file to the binary format")
+    cv.add_argument("--fimi", required=True, help="FIMI text file to read")
+    cv.add_argument("--out", required=True, help="transaction file to write")
+
+    sub.add_parser("example", help="replay the paper's running example")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    spec = QuestSpec(
+        n_transactions=args.transactions,
+        n_items=args.items,
+        avg_transaction_size=args.avg_size,
+        avg_pattern_size=args.pattern_size,
+        n_patterns=args.patterns,
+        seed=args.seed,
+    )
+    with TransactionFileWriter(args.out) as writer:
+        for tx in generate_transactions(spec):
+            writer.append(tx)
+    print(f"wrote {spec.name}: {args.transactions} transactions to {args.out}")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    with DiskDatabase(args.db) as db:
+        bbs = BBS.from_database(db, m=args.m, k=args.k)
+    bbs.save(args.out)
+    print(
+        f"indexed {bbs.n_transactions} transactions into {args.out} "
+        f"(m={bbs.m}, k={bbs.k}, {bbs.size_bytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    with DiskDatabase(args.db) as db:
+        bbs = BBS.load(args.index)
+        if args.algorithm == "auto":
+            from repro.core.planner import mine_auto
+
+            result = mine_auto(db, bbs, args.min_support,
+                               memory_bytes=args.memory)
+        else:
+            result = mine(
+                db, bbs, args.min_support, args.algorithm,
+                memory_bytes=args.memory,
+            )
+    if args.out:
+        result.save_json(args.out)
+        print(f"result written to {args.out}")
+    print(result.summary())
+    ranked = sorted(
+        result.patterns.items(), key=lambda kv: (-kv[1].count, sorted(kv[0]))
+    )
+    shown = ranked if args.top == 0 else ranked[: args.top]
+    for itemset, pattern in shown:
+        marker = "" if pattern.exact else " (estimated)"
+        print(f"  {sorted(itemset)}: {pattern.count}{marker}")
+    if args.top and len(ranked) > args.top:
+        print(f"  ... and {len(ranked) - args.top} more")
+    return 0
+
+
+def _cmd_count(args) -> int:
+    itemset = [int(piece) for piece in args.items.split(",") if piece.strip()]
+    with DiskDatabase(args.db) as db:
+        bbs = BBS.load(args.index)
+        engine = AdHocQueryEngine(db, bbs)
+        if args.tid_mod is None:
+            estimate = engine.estimated_count(itemset)
+            exact = engine.exact_count(itemset)
+        else:
+            constraint = ConstraintSlice.from_tid_predicate(
+                db, lambda tid: tid % args.tid_mod == 0
+            )
+            estimate = engine.estimated_count_where(itemset, constraint)
+            exact = engine.exact_count_where(itemset, constraint)
+    print(f"itemset {sorted(set(itemset))}: estimate={estimate} exact={exact}")
+    return 0
+
+
+def _cmd_example(args) -> int:
+    from repro.core import bitvec
+    from repro.data.datasets import (
+        RUNNING_EXAMPLE_TRANSACTIONS,
+        running_example,
+    )
+
+    db, bbs = running_example()
+    print("Table 1 (transactions and signatures, h(x) = x mod 8):")
+    for position, (tid, items) in enumerate(
+        sorted(RUNNING_EXAMPLE_TRANSACTIONS.items())
+    ):
+        vector = bbs.hash_family.itemset_positions(items)
+        bits = "".join(
+            "1" if b in set(int(v) for v in vector) else "0" for b in range(8)
+        )
+        print(f"  TID {tid}: items={list(items)} vector={bits}")
+    print("Table 2 (the 8 bit-slices):")
+    for s in range(bbs.m):
+        print(f"  slice {s}: {bitvec.to_bitstring(bbs.slice_words(s), len(db))}")
+    print("Example 2 (CountItemSet):")
+    print(f"  est count({{0, 1}}) = {bbs.count_itemset([0, 1])} (actual 2)")
+    print(f"  est count({{1, 3}}) = {bbs.count_itemset([1, 3])} (actual 2 — "
+          "an over-estimate, as the paper notes)")
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    from repro.core.results import MiningResult
+    from repro.rules import generate_rules
+
+    result = MiningResult.load_json(args.result)
+    rules = generate_rules(result, args.min_confidence)
+    print(f"{len(rules)} rules at confidence >= {args.min_confidence:.0%} "
+          f"from {len(result)} patterns")
+    shown = rules if args.top == 0 else rules[: args.top]
+    for rule in shown:
+        print(f"  {rule}")
+    if args.top and len(rules) > args.top:
+        print(f"  ... and {len(rules) - args.top} more")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.results import MiningResult
+    from repro.data.database import TransactionDatabase
+    from repro.tools.verify import verify_result
+
+    result = MiningResult.load_json(args.result)
+    with DiskDatabase(args.db) as disk:
+        database = TransactionDatabase(list(disk))
+    report = verify_result(
+        result, database, check_completeness=not args.skip_completeness
+    )
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_import(args) -> int:
+    from repro.data.fimi import read_fimi
+
+    database = read_fimi(args.fimi)
+    with TransactionFileWriter(args.out) as writer:
+        for transaction in database:
+            writer.append(transaction)
+    print(f"imported {len(database)} transactions "
+          f"({len(database.items())} distinct items) into {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "index": _cmd_index,
+    "mine": _cmd_mine,
+    "count": _cmd_count,
+    "rules": _cmd_rules,
+    "verify": _cmd_verify,
+    "import": _cmd_import,
+    "example": _cmd_example,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: the BBS index and its miners."""
+
+from repro.core.bbs import BBS
+from repro.core.checkcount import Certainty, check_count
+from repro.core.filters import DualFilter, FilterOutput, SingleFilter
+from repro.core.incremental import IncrementalMiner
+from repro.core.mining import (
+    mine,
+    mine_containing,
+    mine_dfp,
+    mine_dfs,
+    mine_sfp,
+    mine_sfs,
+)
+from repro.core.planner import mine_auto, plan_refinement
+from repro.core.refine import probe, resolve_threshold, sequential_scan
+from repro.core.results import (
+    FilterStats,
+    MiningResult,
+    PatternCount,
+    RefineStats,
+)
+
+__all__ = [
+    "BBS",
+    "Certainty",
+    "check_count",
+    "DualFilter",
+    "FilterOutput",
+    "SingleFilter",
+    "IncrementalMiner",
+    "mine",
+    "mine_dfp",
+    "mine_dfs",
+    "mine_sfp",
+    "mine_sfs",
+    "mine_auto",
+    "mine_containing",
+    "plan_refinement",
+    "probe",
+    "resolve_threshold",
+    "sequential_scan",
+    "FilterStats",
+    "MiningResult",
+    "PatternCount",
+    "RefineStats",
+]

@@ -1,0 +1,148 @@
+"""Adaptive three-phase filtering for memory-constrained systems (§3.1).
+
+When the BBS does not fit in memory, repeated slice reads would thrash.
+The paper bounds the I/O to **two passes over the BBS**:
+
+1. **Preprocessing** — read the BBS once and fold its ``m`` slices down
+   to the ``K`` slices that fit (``MemBBS``): slice ``j`` absorbs, by
+   OR, every slice congruent to ``j`` mod ``K`` (*"rehashing the
+   remaining m − k slices to any of these k slices"*).
+2. **Filtering** — run SingleFilter or DualFilter entirely on the
+   memory-resident MemBBS.  Folding only *adds* bits, so MemBBS is
+   still a valid over-estimator and every lemma continues to hold; the
+   candidate set is merely larger.
+3. **Postprocessing** — one sequential pass over the full BBS
+   re-estimates each surviving candidate with the sharper full-width
+   estimate and prunes those that fall below τ.
+
+The remaining candidates then go through the usual refinement
+(SequentialScan or Probe, per the selected algorithm).  DualFilter's
+certified set needs no postprocessing: its guarantees were derived from
+valid (if looser) estimates plus exact 1-item counts.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.bbs import BBS
+from repro.core.filters import DualFilter, SingleFilter
+from repro.core.mining import _check_alignment, _finish, _start
+from repro.core.refine import (
+    probe_all,
+    resolve_threshold,
+    sequential_scan,
+)
+from repro.core.results import MiningResult
+from repro.errors import ConfigurationError
+
+#: Fraction of the memory budget granted to the folded slice matrix;
+#: the rest is working space for candidates and buffers.
+SLICE_BUDGET_FRACTION = 0.8
+
+#: Refuse to filter on a fold whose slices are mostly ones.  Past this
+#: density nearly every itemset passes the folded filter and the
+#: enumeration explodes combinatorially — a failure mode the paper's
+#: description of MemBBS leaves implicit.  The caller should raise the
+#: memory budget (or shrink m) instead.
+MAX_SAFE_FOLD_DENSITY = 0.55
+
+
+def measured_density(bbs: BBS) -> float:
+    """Fraction of set bits across all live slice words of ``bbs``."""
+    if bbs.n_transactions == 0:
+        return 0.0
+    from repro.core import bitvec
+
+    total = sum(
+        bitvec.popcount(bbs.slice_words(row)) for row in range(bbs.m)
+    )
+    return total / (bbs.m * bbs.n_transactions)
+
+
+def fold_width_for_budget(bbs: BBS, memory_bytes: int) -> int:
+    """How many slices of this BBS fit in ``memory_bytes``."""
+    if memory_bytes < 1:
+        raise ConfigurationError(f"memory budget must be positive, got {memory_bytes}")
+    bytes_per_slice = max(1, bbs.n_words * 8)
+    k_slices = int(memory_bytes * SLICE_BUDGET_FRACTION) // bytes_per_slice
+    return max(1, min(bbs.m, k_slices))
+
+
+def mine_adaptive(
+    database,
+    bbs: BBS,
+    min_support,
+    algorithm: str,
+    *,
+    memory_bytes: int,
+    max_size: int | None = None,
+) -> MiningResult:
+    """The three-phase pipeline for any of the four algorithms.
+
+    The integrated probing of SFP/DFP does not apply here — the paper's
+    adaptive variant filters first (phases 1-3) and refines afterwards,
+    with the algorithm choice deciding dual vs single filtering and
+    probe vs scan refinement.
+    """
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult(f"{algorithm}+adaptive", threshold, len(database))
+    io_before, started = _start(database, bbs)
+
+    # Phase 1: one full read of the BBS builds the in-memory fold.
+    bbs_pages = _pages(bbs.size_bytes, database.page_bytes)
+    bbs.stats.page_reads += bbs_pages
+    mem_bbs = bbs.fold(fold_width_for_budget(bbs, memory_bytes))
+    density = measured_density(mem_bbs)
+    if density > MAX_SAFE_FOLD_DENSITY:
+        raise ConfigurationError(
+            f"memory budget {memory_bytes} folds the index to "
+            f"{mem_bbs.m} slices with bit density {density:.2f}; filtering "
+            f"on such a fold degenerates (nearly every candidate passes). "
+            f"Raise the budget or rebuild the index with a smaller m."
+        )
+
+    # Phase 2: filter on the fold (no I/O; MemBBS is resident).
+    dual = algorithm.startswith("df")
+    filter_cls = DualFilter if dual else SingleFilter
+    output = filter_cls(mem_bbs, threshold, max_size=max_size).run()
+    result.filter_stats = output.stats
+
+    # Phase 3: one more BBS pass re-estimates the uncertain candidates
+    # at full width and prunes those that fall below the threshold.
+    bbs.stats.page_reads += bbs_pages
+    survivors = []
+    for itemset, _folded_est in output.candidates:
+        est = bbs.count_itemset(itemset)
+        result.filter_stats.count_itemset_calls += 1
+        if est >= threshold:
+            survivors.append((itemset, est))
+        else:
+            result.filter_stats.post_pruned += 1
+
+    # Certified patterns from the dual filter stand as-is.
+    for itemset, pattern in output.certain.items():
+        result.patterns[itemset] = pattern
+
+    # Refinement, per the algorithm's second letter.
+    if algorithm.endswith("p"):
+        confirmed = probe_all(
+            database, bbs, survivors, threshold, stats=result.refine_stats
+        )
+    else:
+        confirmed = sequential_scan(
+            database,
+            [itemset for itemset, _ in survivors],
+            threshold,
+            memory_bytes=memory_bytes,
+            stats=result.refine_stats,
+        )
+    for itemset, count in confirmed.items():
+        result.add_pattern(itemset, count, exact=True)
+    return _finish(result, database, bbs, io_before, started)
+
+
+def _pages(n_bytes: int, page_bytes: int) -> int:
+    if n_bytes <= 0:
+        return 0
+    return (n_bytes + page_bytes - 1) // page_bytes

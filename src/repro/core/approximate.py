@@ -1,0 +1,111 @@
+"""Phase-2-free approximate mining — the paper's stated future work.
+
+The conclusion of the paper: *"We are extending this work by exploring
+the possibility of doing away with phase 2 ... we are looking into
+mechanisms to provide some kind of probability on the likelihood of a
+pattern to be a frequent pattern."*  This module implements that
+extension.
+
+Model
+-----
+For a pattern ``I`` whose query signature sets ``w`` bit positions, a
+transaction that does *not* contain ``I`` still passes the AND filter
+when all ``w`` positions happen to be set in its signature.  Treating
+set bits as independent with density ``d`` (the measured mean fraction
+of signature bits set per transaction, :attr:`BBS.mean_signature_density`),
+that collision probability is ``d**w`` — the classic Bloom-filter
+false-positive rate.  The number of colliding transactions is then
+approximately Poisson with mean ``mu = (n - est) * p_hit + est * d**w``
+bounded by ``mu ≈ n * d**w``, and the true support is
+``act = est - X`` with ``X ~ Poisson(mu)``.  The probability that the
+pattern is truly frequent is therefore::
+
+    P(act >= τ) = P(X <= est - τ) = PoissonCDF(est - τ; mu)
+
+This is an approximation (signature bits are not independent), but it
+is *conservative in the right direction* for ranking: patterns with
+small margins ``est - τ`` and wide signatures get low confidence.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.bbs import BBS
+from repro.core.filters import SingleFilter
+from repro.core.refine import resolve_threshold
+from repro.core.results import MiningResult
+
+
+@dataclass(frozen=True)
+class ApproximatePattern:
+    """One pattern with its estimated support and frequency confidence."""
+
+    estimate: int
+    probability: float
+
+
+def frequent_probability(
+    *, estimate: int, threshold: int, n_transactions: int,
+    signature_width: int, density: float,
+) -> float:
+    """``P(true support >= threshold)`` under the Poisson collision model."""
+    if estimate < threshold:
+        return 0.0
+    slack = estimate - threshold
+    mu = max(0.0, (n_transactions - estimate)) * (density ** signature_width)
+    return _poisson_cdf(slack, mu)
+
+
+def _poisson_cdf(k: int, mu: float) -> float:
+    """P(X <= k) for X ~ Poisson(mu), computed stably in pure Python."""
+    if mu <= 0.0:
+        return 1.0
+    total = 0.0
+    log_mu = math.log(mu)
+    for i in range(k + 1):
+        total += math.exp(i * log_mu - mu - math.lgamma(i + 1))
+        if total >= 1.0:
+            return 1.0
+    return min(1.0, total)
+
+
+def mine_approximate(
+    bbs: BBS,
+    min_support,
+    *,
+    min_probability: float = 0.0,
+    max_size: int | None = None,
+) -> tuple[MiningResult, dict[frozenset, ApproximatePattern]]:
+    """Mine with **no refinement phase at all** — index-only answers.
+
+    Returns the usual :class:`MiningResult` (every count is an estimate)
+    plus a map of per-pattern confidences.  ``min_probability`` drops
+    patterns whose confidence falls below it, trading recall (which the
+    exact schemes guarantee) for an even shorter running time.
+    """
+    threshold = resolve_threshold(min_support, max(bbs.n_transactions, 1))
+    result = MiningResult("approximate", threshold, bbs.n_transactions)
+    started = time.perf_counter()
+    output = SingleFilter(bbs, threshold, max_size=max_size).run()
+    result.filter_stats = output.stats
+    density = bbs.mean_signature_density
+    confidences: dict[frozenset, ApproximatePattern] = {}
+    for itemset, estimate in output.candidates:
+        width = int(bbs.signature_positions(itemset).size)
+        probability = frequent_probability(
+            estimate=estimate,
+            threshold=threshold,
+            n_transactions=bbs.n_transactions,
+            signature_width=width,
+            density=density,
+        )
+        if probability < min_probability:
+            continue
+        result.add_pattern(itemset, estimate, exact=False)
+        confidences[itemset] = ApproximatePattern(estimate, probability)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.io = bbs.stats.snapshot()
+    return result, confidences

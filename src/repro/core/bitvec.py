@@ -1,0 +1,157 @@
+"""Packed bit-vector primitives backing the BBS index.
+
+A BBS stores *m* bit-slices, each one bit per transaction.  Rather than a
+Python-level bit-at-a-time representation (hopelessly slow), every slice
+is packed 64 bits per :class:`numpy.uint64` word.  This module collects
+the low-level kernels used throughout the library:
+
+* :func:`popcount` -- number of set bits in a word array,
+* :func:`and_reduce` -- AND a set of slices together,
+* :func:`set_bit` / :func:`get_bit` -- single-bit access,
+* :func:`indices_of_set_bits` -- expand a packed vector into transaction
+  indices (used by the Probe refinement),
+* :func:`pack_indices` / :func:`unpack_bits` -- conversions used by
+  constraint slices and the persistent slice-file format.
+
+All functions operate on little-endian *bit* order within a word: bit
+``i`` of the logical vector lives in word ``i // 64`` at bit position
+``i % 64``.  The tail bits of the last word beyond the logical length
+are kept at zero by every mutator in this library, so reductions never
+need an explicit tail mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+_WORD_DTYPE = np.uint64
+
+# numpy >= 2.0 ships a native popcount ufunc.  Older versions fall back
+# to an 8-bit lookup table over the byte view, which is still vectorised.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def words_for_bits(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` logical bits."""
+    if n_bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def zeros(n_bits: int) -> np.ndarray:
+    """A packed all-zero vector with capacity for ``n_bits`` bits."""
+    return np.zeros(words_for_bits(n_bits), dtype=_WORD_DTYPE)
+
+
+def ones(n_bits: int) -> np.ndarray:
+    """A packed vector with the first ``n_bits`` bits set and the tail clear."""
+    out = np.full(words_for_bits(n_bits), ~np.uint64(0), dtype=_WORD_DTYPE)
+    tail = n_bits % WORD_BITS
+    if tail and out.size:
+        out[-1] = np.uint64((1 << tail) - 1)
+    return out
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across a packed word array."""
+    if words.size == 0:
+        return 0
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum())
+    return int(_BYTE_POPCOUNT[words.view(np.uint8)].sum())
+
+
+def and_reduce(rows: np.ndarray) -> np.ndarray:
+    """AND a stack of packed vectors (2-D, one row per slice) into one row.
+
+    An empty stack would have no defined width, so callers must pass at
+    least one row; the filters guarantee this because every itemset sets
+    at least one signature bit.
+    """
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-D row stack, got ndim={rows.ndim}")
+    if rows.shape[0] == 0:
+        raise ValueError("cannot AND-reduce an empty stack of slices")
+    if rows.shape[0] == 1:
+        return rows[0].copy()
+    return np.bitwise_and.reduce(rows, axis=0)
+
+
+def set_bit(words: np.ndarray, index: int) -> None:
+    """Set logical bit ``index`` in a packed vector, in place."""
+    words[index // WORD_BITS] |= np.uint64(1 << (index % WORD_BITS))
+
+
+def clear_bit(words: np.ndarray, index: int) -> None:
+    """Clear logical bit ``index`` in a packed vector, in place."""
+    words[index // WORD_BITS] &= np.uint64(
+        ~(1 << (index % WORD_BITS)) & 0xFFFFFFFFFFFFFFFF
+    )
+
+
+def get_bit(words: np.ndarray, index: int) -> bool:
+    """Whether logical bit ``index`` of a packed vector is set."""
+    word = int(words[index // WORD_BITS])
+    return bool((word >> (index % WORD_BITS)) & 1)
+
+
+def indices_of_set_bits(words: np.ndarray, limit: int | None = None) -> np.ndarray:
+    """Transaction indices whose bits are set, in increasing order.
+
+    ``limit`` truncates the logical length: indices ``>= limit`` are
+    dropped (used when a packed vector has spare capacity beyond the
+    current number of transactions).
+    """
+    if words.size == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    idx = np.nonzero(bits)[0].astype(np.int64)
+    if limit is not None:
+        idx = idx[idx < limit]
+    return idx
+
+
+def pack_indices(indices, n_bits: int) -> np.ndarray:
+    """Build a packed vector of logical length ``n_bits`` from set positions."""
+    arr = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices,
+                     dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= n_bits):
+        raise IndexError(
+            f"bit index out of range: indices span "
+            f"[{arr.min()}, {arr.max()}] but length is {n_bits}"
+        )
+    n_words = words_for_bits(n_bits)
+    bits = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    bits[arr] = 1
+    return np.packbits(bits, bitorder="little").view(_WORD_DTYPE).copy()
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Expand a packed vector into a ``uint8`` 0/1 array of length ``n_bits``."""
+    if words.size == 0:
+        return np.zeros(n_bits, dtype=np.uint8)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:n_bits]
+
+
+def to_bitstring(words: np.ndarray, n_bits: int) -> str:
+    """Render the first ``n_bits`` bits as a ``'0'``/``'1'`` string.
+
+    Bit 0 is the leftmost character, matching the paper's tables where
+    the first transaction / first hash value occupies the first column.
+    """
+    return "".join("1" if b else "0" for b in unpack_bits(words, n_bits))
+
+
+def from_bitstring(text: str) -> np.ndarray:
+    """Parse a ``'0'``/``'1'`` string (bit 0 first) into a packed vector."""
+    cleaned = text.strip()
+    if cleaned and set(cleaned) - {"0", "1"}:
+        raise ValueError(f"bitstring may only contain 0/1, got {text!r}")
+    return pack_indices(
+        [i for i, ch in enumerate(cleaned) if ch == "1"], max(len(cleaned), 1)
+    )

@@ -1,0 +1,99 @@
+"""Algorithm ``CheckCount`` (paper Figure 3) and its flag lattice.
+
+``CheckCount`` decides, when extending a pattern ``I2`` by one item
+``I1 = {i}``, whether the extended pattern can be *certified* frequent
+without consulting the database — and whether its count is exact.
+
+The flags, verbatim from the paper:
+
+* ``-1`` — the pattern is non-frequent (only possible at the top level,
+  where the 1-itemset table holds *exact* counts);
+* ``0``  — frequent according to the BBS estimate, but uncertain: the
+  refinement phase must verify it;
+* ``1``  — frequent with 100 % guarantee and an **actual** count
+  (Corollary 1: both constituents' estimates were exact, so the union's
+  estimate is exact too);
+* ``2``  — frequent with 100 % guarantee but only an **estimated**
+  count (the Lemma 5 lower bound already clears the threshold).
+
+The recursion threads ``(flag, count)`` downward: ``count`` is the
+actual support of the current pattern when ``flag == 1`` and the BBS
+estimate otherwise.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Certainty(IntEnum):
+    """The paper's flag values with readable names."""
+
+    INFREQUENT = -1
+    UNCERTAIN = 0
+    EXACT = 1
+    BOUNDED = 2
+
+    @property
+    def guaranteed(self) -> bool:
+        """Whether the pattern is certainly in the final answer set."""
+        return self in (Certainty.EXACT, Certainty.BOUNDED)
+
+
+def check_count(
+    *,
+    threshold: int,
+    est_item: int,
+    act_item: int,
+    est_itemset: int | None,
+    itemset_count: int,
+    itemset_flag: Certainty,
+    est_union: int,
+) -> tuple[Certainty, int]:
+    """Figure 3, line for line.
+
+    Parameters
+    ----------
+    threshold:
+        τ, the absolute minimum support.
+    est_item / act_item:
+        ``estCount(I1)`` and ``actCount(I1)`` for the single item being
+        appended (the actual count comes from the exact 1-itemset table).
+    est_itemset:
+        ``estCount(I2)`` for the pattern being extended, or ``None`` when
+        ``I2`` is empty (the paper's ``I2 = NULL`` branch).
+    itemset_count / itemset_flag:
+        The ``(count, flag)`` pair carried by the recursion for ``I2``.
+    est_union:
+        ``estCount(I1 ∪ I2)``, already computed by ``CountItemSet``.
+
+    Returns
+    -------
+    (flag, count):
+        The certainty flag and the count to carry for ``I1 ∪ I2``.
+    """
+    # Lines 1-3: extending the empty pattern — the 1-item table is exact.
+    if est_itemset is None:
+        if act_item < threshold:
+            return Certainty.INFREQUENT, act_item
+        return Certainty.EXACT, act_item
+
+    # Lines 4-11 only apply when the current pattern's count is actual.
+    if itemset_flag is Certainty.EXACT:
+        item_is_exact = est_item == act_item
+        # Line 6-7 (Corollary 1): both constituents exact => union exact.
+        if item_is_exact and itemset_count == est_itemset:
+            return Certainty.EXACT, est_union
+        # Lines 8-9 (Lemma 5 lower bound, I1 exact):
+        #   act(I1 ∪ I2) >= est(I1 ∪ I2) - (est(I2) - act(I2))
+        if item_is_exact and est_union - (est_itemset - itemset_count) >= threshold:
+            return Certainty.BOUNDED, est_union
+        # Lines 10-11 (Lemma 5 lower bound with roles swapped, I2 exact):
+        #   act(I1 ∪ I2) >= est(I1 ∪ I2) - (est(I1) - act(I1))
+        if est_itemset == itemset_count and (
+            est_union - (est_item - act_item) >= threshold
+        ):
+            return Certainty.BOUNDED, est_union
+
+    # Line 13: no certification possible — carry the estimate.
+    return Certainty.UNCERTAIN, est_union

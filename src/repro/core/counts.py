@@ -1,0 +1,64 @@
+"""Exact 1-itemset counters maintained alongside the BBS.
+
+The DualFilter's certification machinery (Lemma 5 / Corollary 1) needs
+the *actual* count of some itemsets.  The paper keeps this cheap: *"For
+space efficiency, we only maintain the counts of all 1-itemsets."*
+
+:class:`ItemCountTable` is that table.  It is updated on every insert,
+doubles as the item registry that seeds the filter enumeration, and is
+persisted inside the slice file so a reloaded BBS remains fully
+functional for dual filtering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+class ItemCountTable:
+    """Exact support count of every individual item seen so far."""
+
+    def __init__(self, counts: dict | None = None):
+        self._counts: Counter = Counter(counts or {})
+
+    # -- updates -----------------------------------------------------------
+
+    def record(self, items: Iterable) -> None:
+        """Account one transaction's (distinct) items."""
+        self._counts.update(set(items))
+
+    def merge(self, other: "ItemCountTable") -> None:
+        """Fold another table's counts into this one (partition merging)."""
+        self._counts.update(other._counts)
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, item) -> int:
+        """Exact support of ``item`` (0 if never seen)."""
+        return self._counts.get(item, 0)
+
+    def __contains__(self, item) -> bool:
+        return item in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> list:
+        """All registered items, sorted (stable enumeration order)."""
+        return sorted(self._counts, key=_sort_key)
+
+    def frequent_items(self, threshold: int) -> list:
+        """Items with exact support >= ``threshold``, sorted."""
+        return sorted(
+            (i for i, c in self._counts.items() if c >= threshold), key=_sort_key
+        )
+
+    def as_dict(self) -> dict:
+        """A plain-dict copy (used by the persistence layer)."""
+        return dict(self._counts)
+
+
+def _sort_key(item):
+    """Stable ordering across mixed item types (ints before strings)."""
+    return (type(item).__name__, item)

@@ -1,0 +1,346 @@
+"""The four filter-and-refine mining algorithms (Section 3.3).
+
+===  =============  ==============  =====================================
+Name Filter         Refinement      Notes
+===  =============  ==============  =====================================
+SFS  SingleFilter   SequentialScan  two separate phases
+SFP  SingleFilter   Probe           integrated: probe on discovery
+DFS  DualFilter     SequentialScan  only the uncertain set F' is scanned
+DFP  DualFilter     Probe           integrated; probes upgrade flags to
+                                    exact counts, feeding Corollary 1
+===  =============  ==============  =====================================
+
+The integrated schemes probe the database the moment a candidate passes
+the BBS filter.  The paper highlights two consequences, both visible in
+this implementation: results stream out immediately, and a refuted false
+drop never spawns recursive false-drop chains (its subtree is skipped).
+
+Use :func:`mine` for the uniform entry point, or the per-algorithm
+functions when the algorithm choice is fixed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import bitvec
+from repro.core.bbs import BBS
+from repro.core.checkcount import Certainty
+from repro.core.filters import DualFilter, DualState, SingleFilter
+from repro.core.refine import probe, resolve_threshold, sequential_scan
+from repro.core.results import MiningResult, PatternCount
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, DatabaseMismatchError
+
+ALGORITHMS = ("sfs", "sfp", "dfs", "dfp")
+
+
+def mine(
+    database: TransactionDatabase,
+    bbs: BBS,
+    min_support,
+    algorithm: str = "dfp",
+    *,
+    memory_bytes: int | None = None,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine frequent patterns with one of the four BBS schemes.
+
+    Parameters
+    ----------
+    database / bbs:
+        The transaction database and its BBS index.  They must cover the
+        same transactions in the same order.
+    min_support:
+        Absolute count (``int``) or fraction of ``|D|`` (``float``).
+    algorithm:
+        One of ``"sfs"``, ``"sfp"``, ``"dfs"``, ``"dfp"`` (the paper's
+        best performer, DFP, is the default), or ``"auto"`` to let the
+        pilot-based planner pick probe vs scan (see
+        :mod:`repro.core.planner`).
+    memory_bytes:
+        Optional memory budget.  When the BBS does not fit, the adaptive
+        three-phase pipeline of Section 3.1 is used; the budget also
+        bounds the candidate batches of SequentialScan.
+    max_size:
+        Optional cap on pattern length.
+    """
+    name = algorithm.lower()
+    if name == "auto":
+        from repro.core.planner import mine_auto
+
+        return mine_auto(
+            database, bbs, min_support,
+            memory_bytes=memory_bytes, max_size=max_size,
+        )
+    if name not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{ALGORITHMS + ('auto',)}"
+        )
+    _warn_if_saturated(bbs)
+    if memory_bytes is not None and bbs.size_bytes > memory_bytes:
+        from repro.core.adaptive import mine_adaptive
+
+        return mine_adaptive(
+            database, bbs, min_support, name,
+            memory_bytes=memory_bytes, max_size=max_size,
+        )
+    runner = {
+        "sfs": mine_sfs, "sfp": mine_sfp, "dfs": mine_dfs, "dfp": mine_dfp,
+    }[name]
+    return runner(
+        database, bbs, min_support, memory_bytes=memory_bytes, max_size=max_size
+    )
+
+
+#: Above this signature density with a large item universe, the filter
+#: enumeration degenerates (nearly every itemset passes the AND test).
+SATURATION_DENSITY = 0.6
+SATURATION_MIN_ITEMS = 128
+
+
+def _warn_if_saturated(bbs: BBS) -> None:
+    if (
+        bbs.mean_signature_density > SATURATION_DENSITY
+        and len(bbs.item_counts) > SATURATION_MIN_ITEMS
+    ):
+        import warnings
+
+        warnings.warn(
+            f"BBS signatures are {bbs.mean_signature_density:.0%} dense with "
+            f"{len(bbs.item_counts)} items; the filter enumeration may "
+            f"degenerate — rebuild the index with a larger m",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+# --------------------------------------------------------------------------
+# Integrated probe-based engines
+# --------------------------------------------------------------------------
+
+
+class _ProbingSingleFilter(SingleFilter):
+    """SingleFilter with the Probe refinement fused in (algorithm SFP)."""
+
+    def __init__(self, bbs, threshold, database, result, **kwargs):
+        super().__init__(bbs, threshold, **kwargs)
+        self._db = database
+        self._result = result
+
+    def visit(self, itemset, est, vector, parent_state, ext):
+        """Probe the candidate immediately; recurse only if confirmed."""
+        stats = self.output.stats
+        stats.candidates += 1
+        key = frozenset(itemset)
+        positions = bitvec.indices_of_set_bits(vector, self.bbs.n_transactions)
+        actual = probe(self._db, key, positions, stats=self._result.refine_stats)
+        if actual < self.threshold:
+            # A refuted candidate's subtree is skipped entirely: this is
+            # the "false drops do not trigger further false drops" effect.
+            self._result.refine_stats.false_drops += 1
+            return False, None
+        self._result.refine_stats.verified += 1
+        self._result.add_pattern(key, actual, exact=True)
+        return True, None
+
+
+class _ProbingDualFilter(DualFilter):
+    """DualFilter with the Probe refinement fused in (algorithm DFP)."""
+
+    def __init__(self, bbs, threshold, database, result, **kwargs):
+        super().__init__(bbs, threshold, **kwargs)
+        self._db = database
+        self._result = result
+
+    def visit(self, itemset, est, vector, parent_state, ext):
+        """CheckCount first; probe only the uncertain (flag-0) patterns."""
+        stats = self.output.stats
+        flag, count = self._classify(itemset, est, parent_state, ext)
+        if flag is Certainty.INFREQUENT:
+            stats.pruned_infrequent_item += 1
+            return False, parent_state
+        stats.candidates += 1
+        key = frozenset(itemset)
+        if flag is Certainty.EXACT:
+            stats.certified_exact += 1
+            self._result.add_pattern(key, count, exact=True)
+        elif flag is Certainty.BOUNDED:
+            stats.certified_bounded += 1
+            self._result.add_pattern(key, count, exact=False)
+        else:
+            # Uncertain: probe now.  A confirmed probe yields the actual
+            # count, upgrading the flag so descendants can be certified
+            # through Corollary 1 without further database access.
+            stats.uncertain += 1
+            positions = bitvec.indices_of_set_bits(vector, self.bbs.n_transactions)
+            actual = probe(self._db, key, positions, stats=self._result.refine_stats)
+            if actual < self.threshold:
+                self._result.refine_stats.false_drops += 1
+                return False, parent_state
+            self._result.refine_stats.verified += 1
+            self._result.add_pattern(key, actual, exact=True)
+            flag, count = Certainty.EXACT, actual
+        return True, DualState(count=count, flag=flag, est=est)
+
+
+# --------------------------------------------------------------------------
+# The four algorithms
+# --------------------------------------------------------------------------
+
+
+def _check_alignment(database, bbs) -> None:
+    if bbs.n_transactions != len(database):
+        raise DatabaseMismatchError(
+            f"index covers {bbs.n_transactions} transactions, "
+            f"database has {len(database)}"
+        )
+
+
+def _finish(result, database, bbs, io_before, started) -> MiningResult:
+    result.elapsed_seconds = time.perf_counter() - started
+    deltas = [database.stats - io_before[0]]
+    if bbs.stats is not database.stats:
+        deltas.append(bbs.stats - io_before[1])
+    merged = deltas[0]
+    for extra in deltas[1:]:
+        merged = merged.merged(extra)
+    result.io = merged
+    return result
+
+
+def _start(database, bbs):
+    return (database.stats.snapshot(), bbs.stats.snapshot()), time.perf_counter()
+
+
+def mine_containing(
+    database,
+    bbs,
+    seed,
+    min_support,
+    *,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine only the frequent patterns that **contain** ``seed``.
+
+    An item-constrained variant in the spirit of Section 3.4: the
+    enumeration is rooted at the seed pattern instead of the empty one,
+    so the work is proportional to the seed's lattice neighbourhood
+    rather than the whole pattern space.  Uses the integrated DFP
+    machinery: the seed is probed once (yielding its exact count) and
+    the DualFilter certification chain continues from there.
+
+    Returns an empty result when the seed itself is not frequent.
+    """
+    _check_alignment(database, bbs)
+    seed_set = frozenset(seed)
+    if not seed_set:
+        raise ConfigurationError("mine_containing needs a non-empty seed")
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("dfp+seeded", threshold, len(database))
+    io_before, started = _start(database, bbs)
+
+    est, vector = bbs.count_and_vector(seed_set)
+    result.filter_stats.count_itemset_calls += 1
+    if est < threshold:
+        return _finish(result, database, bbs, io_before, started)
+    positions = bitvec.indices_of_set_bits(vector, bbs.n_transactions)
+    actual = probe(database, seed_set, positions, stats=result.refine_stats)
+    if actual < threshold:
+        result.refine_stats.false_drops += 1
+        return _finish(result, database, bbs, io_before, started)
+    result.refine_stats.verified += 1
+    result.add_pattern(seed_set, actual, exact=True)
+    result.filter_stats.candidates += 1
+
+    flt = _ProbingDualFilter(
+        bbs, threshold, database, result,
+        max_size=max_size,
+        seed=seed_set,
+        seed_state=DualState(count=actual, flag=Certainty.EXACT, est=est),
+    )
+    output = flt.run()
+    # Merge the subtree's filter counters into the result's.
+    for name in vars(output.stats):
+        setattr(
+            result.filter_stats, name,
+            getattr(result.filter_stats, name) + getattr(output.stats, name),
+        )
+    return _finish(result, database, bbs, io_before, started)
+
+
+def mine_sfs(
+    database, bbs, min_support, *, memory_bytes=None, max_size=None
+) -> MiningResult:
+    """Algorithm SFS: SingleFilter then SequentialScan (two phases)."""
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("sfs", threshold, len(database))
+    io_before, started = _start(database, bbs)
+    flt = SingleFilter(bbs, threshold, max_size=max_size)
+    output = flt.run()
+    result.filter_stats = output.stats
+    confirmed = sequential_scan(
+        database,
+        [itemset for itemset, _ in output.candidates],
+        threshold,
+        memory_bytes=memory_bytes,
+        stats=result.refine_stats,
+    )
+    for itemset, count in confirmed.items():
+        result.add_pattern(itemset, count, exact=True)
+    return _finish(result, database, bbs, io_before, started)
+
+
+def mine_dfs(
+    database, bbs, min_support, *, memory_bytes=None, max_size=None
+) -> MiningResult:
+    """Algorithm DFS: DualFilter then SequentialScan over the uncertain set."""
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("dfs", threshold, len(database))
+    io_before, started = _start(database, bbs)
+    flt = DualFilter(bbs, threshold, max_size=max_size)
+    output = flt.run()
+    result.filter_stats = output.stats
+    for itemset, pattern in output.certain.items():
+        result.patterns[itemset] = pattern
+    confirmed = sequential_scan(
+        database,
+        [itemset for itemset, _ in output.candidates],
+        threshold,
+        memory_bytes=memory_bytes,
+        stats=result.refine_stats,
+    )
+    for itemset, count in confirmed.items():
+        result.add_pattern(itemset, count, exact=True)
+    return _finish(result, database, bbs, io_before, started)
+
+
+def mine_sfp(
+    database, bbs, min_support, *, memory_bytes=None, max_size=None
+) -> MiningResult:
+    """Algorithm SFP: SingleFilter with integrated probing."""
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("sfp", threshold, len(database))
+    io_before, started = _start(database, bbs)
+    flt = _ProbingSingleFilter(bbs, threshold, database, result, max_size=max_size)
+    output = flt.run()
+    result.filter_stats = output.stats
+    return _finish(result, database, bbs, io_before, started)
+
+
+def mine_dfp(
+    database, bbs, min_support, *, memory_bytes=None, max_size=None
+) -> MiningResult:
+    """Algorithm DFP: DualFilter with integrated probing (the paper's best)."""
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult("dfp", threshold, len(database))
+    io_before, started = _start(database, bbs)
+    flt = _ProbingDualFilter(bbs, threshold, database, result, max_size=max_size)
+    output = flt.run()
+    result.filter_stats = output.stats
+    return _finish(result, database, bbs, io_before, started)

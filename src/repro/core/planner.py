@@ -1,0 +1,110 @@
+"""Cost-based refinement planning: choosing Probe vs SequentialScan.
+
+Section 3.2 of the paper states the trade-off but leaves the choice to
+the reader: *"we expect SequentialScan to perform well if the average
+estimated number of transactions containing an itemset is large.  On
+the other hand, we expect Probe to be more efficient when the average
+estimated number ... is small."*  This module turns that sentence into
+a planner.
+
+The planner runs a cheap *pilot*: a DualFilter capped at 2-itemsets
+(one vectorised pass over the extension lattice, no database access).
+From the pilot it measures the mean estimated count of the uncertain
+candidates — exactly the quantity the paper's rule keys on — and picks:
+
+* **Probe** (DFP) when probing a typical candidate would fetch a small
+  fraction of the database, and
+* **SequentialScan** (DFS) when candidate estimates are so large that
+  per-candidate probing would touch most tuples anyway.
+
+The dual filter is always used: its certification is free accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bbs import BBS
+from repro.core.filters import DualFilter
+from repro.core.mining import mine_dfp, mine_dfs
+from repro.core.refine import resolve_threshold
+from repro.core.results import MiningResult
+
+#: Probe wins while a typical candidate's estimate stays below this
+#: fraction of the database; above it, one shared sequential scan is
+#: cheaper than per-candidate fetches.
+PROBE_FRACTION_CUTOFF = 0.125
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's decision and the evidence behind it."""
+
+    algorithm: str               # "dfp" or "dfs"
+    mean_candidate_estimate: float
+    n_pilot_candidates: int
+    cutoff_tuples: float
+
+    @property
+    def reason(self) -> str:
+        """Human-readable justification of the decision."""
+        side = "<" if self.algorithm == "dfp" else ">="
+        return (
+            f"pilot mean estimate {self.mean_candidate_estimate:.1f} "
+            f"{side} cutoff {self.cutoff_tuples:.1f} tuples "
+            f"over {self.n_pilot_candidates} uncertain candidates"
+        )
+
+
+def plan_refinement(
+    bbs: BBS,
+    threshold: int,
+    *,
+    probe_fraction_cutoff: float = PROBE_FRACTION_CUTOFF,
+) -> Plan:
+    """Choose probe vs scan from a 2-itemset pilot filter (no DB access)."""
+    pilot = DualFilter(bbs, threshold, max_size=2).run()
+    uncertain = pilot.candidates
+    cutoff = probe_fraction_cutoff * max(bbs.n_transactions, 1)
+    if not uncertain:
+        # Everything certified: DFP finishes without probing at all.
+        return Plan("dfp", 0.0, 0, cutoff)
+    mean_estimate = sum(est for _, est in uncertain) / len(uncertain)
+    algorithm = "dfp" if mean_estimate < cutoff else "dfs"
+    return Plan(algorithm, mean_estimate, len(uncertain), cutoff)
+
+
+def mine_auto(
+    database,
+    bbs: BBS,
+    min_support,
+    *,
+    memory_bytes: int | None = None,
+    max_size: int | None = None,
+    probe_fraction_cutoff: float = PROBE_FRACTION_CUTOFF,
+) -> MiningResult:
+    """Mine with the planner-selected dual-filter scheme.
+
+    The returned result's ``algorithm`` field records the decision, e.g.
+    ``"auto:dfp"``.
+    """
+    threshold = resolve_threshold(min_support, max(len(database), 1))
+    plan = plan_refinement(
+        bbs, threshold, probe_fraction_cutoff=probe_fraction_cutoff
+    )
+    if memory_bytes is not None and bbs.size_bytes > memory_bytes:
+        from repro.core.adaptive import mine_adaptive
+
+        result = mine_adaptive(
+            database, bbs, threshold, plan.algorithm,
+            memory_bytes=memory_bytes, max_size=max_size,
+        )
+        result.algorithm = f"auto:{result.algorithm}"
+        return result
+    runner = mine_dfp if plan.algorithm == "dfp" else mine_dfs
+    result = runner(
+        database, bbs, threshold,
+        memory_bytes=memory_bytes, max_size=max_size,
+    )
+    result.algorithm = f"auto:{plan.algorithm}"
+    return result

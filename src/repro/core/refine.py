@@ -1,0 +1,200 @@
+"""The refinement phase: ``SequentialScan`` and ``Probe`` (Section 3.2).
+
+Filtering yields a superset of the frequent patterns; refinement removes
+the false drops by consulting the actual database.
+
+* :func:`sequential_scan` loads as many candidate patterns as the
+  memory budget allows, scans the database once per batch, and keeps
+  those whose true support clears τ.
+* :func:`probe` fetches only the transactions flagged by the pattern's
+  resultant bit vector (through the database's positional index) and
+  verifies containment — exactly the access path the paper describes:
+  *"the key of the index is the relative position of the transaction
+  from the beginning of the file"*.
+
+Both return true supports, so any candidate they confirm is exactly
+frequent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bbs import BBS
+from repro.core.results import RefineStats
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, DatabaseMismatchError
+
+#: Simulated in-memory footprint of one resident candidate pattern,
+#: used to translate a byte budget into a batch size.
+CANDIDATE_BYTES = 64
+
+
+def sequential_scan(
+    database: TransactionDatabase,
+    candidates: Sequence[frozenset],
+    threshold: int,
+    *,
+    memory_bytes: int | None = None,
+    stats: RefineStats | None = None,
+) -> dict[frozenset, int]:
+    """Verify ``candidates`` by scanning the database, in memory-sized batches.
+
+    Returns the true support of every candidate that is actually
+    frequent.  ``memory_bytes`` bounds how many candidates are resident
+    per scan (``None`` = all of them, a single scan).
+    """
+    stats = stats if stats is not None else RefineStats()
+    confirmed: dict[frozenset, int] = {}
+    if not candidates:
+        return confirmed
+    batch_size = len(candidates)
+    if memory_bytes is not None:
+        batch_size = max(1, memory_bytes // CANDIDATE_BYTES)
+    for start in range(0, len(candidates), batch_size):
+        batch = candidates[start:start + batch_size]
+        counts = {c: 0 for c in batch}
+        # Bucket candidates by their least-frequent item: a candidate
+        # only needs checking against transactions containing that
+        # anchor, turning the inner loop from O(|batch|) into the
+        # smallest bucket the candidate admits.
+        item_counts = database.item_counts()
+        buckets: dict = {}
+        for candidate in batch:
+            anchor = min(candidate, key=lambda i: (item_counts.get(i, 0), repr(i)))
+            buckets.setdefault(anchor, []).append(candidate)
+        stats.scans += 1
+        for _, itemset in database.scan():
+            tx = set(itemset)
+            for item in itemset:
+                bucket = buckets.get(item)
+                if not bucket:
+                    continue
+                for candidate in bucket:
+                    if candidate <= tx:
+                        counts[candidate] += 1
+        for candidate, count in counts.items():
+            if count >= threshold:
+                confirmed[candidate] = count
+                stats.verified += 1
+            else:
+                stats.false_drops += 1
+    return confirmed
+
+
+def probe(
+    database: TransactionDatabase,
+    itemset: frozenset,
+    candidate_positions: Iterable[int],
+    *,
+    stats: RefineStats | None = None,
+) -> int:
+    """True support of ``itemset`` by fetching only its candidate tuples.
+
+    ``candidate_positions`` are the set bits of the pattern's resultant
+    vector (Lemma 3 guarantees they cover every true occurrence, so the
+    returned count is exact).
+    """
+    stats = stats if stats is not None else RefineStats()
+    stats.probes += 1
+    count = 0
+    for position in candidate_positions:
+        transaction = database.fetch(int(position))
+        stats.probed_tuples += 1
+        if itemset <= set(transaction):
+            count += 1
+    return count
+
+
+def probe_all(
+    database: TransactionDatabase,
+    bbs: BBS,
+    candidates: Sequence[tuple[frozenset, int]],
+    threshold: int,
+    *,
+    stats: RefineStats | None = None,
+) -> dict[frozenset, int]:
+    """Probe-verify a whole candidate list (the non-integrated Probe path).
+
+    Used by the adaptive pipeline and ad-hoc queries; SFP/DFP instead
+    integrate probing into the filter recursion (Section 3.3).
+    """
+    if bbs.n_transactions != len(database):
+        raise DatabaseMismatchError(
+            f"index covers {bbs.n_transactions} transactions, "
+            f"database has {len(database)}"
+        )
+    stats = stats if stats is not None else RefineStats()
+    confirmed: dict[frozenset, int] = {}
+    for itemset, _est in candidates:
+        positions = bbs.candidate_positions(itemset)
+        count = probe(database, itemset, positions, stats=stats)
+        if count >= threshold:
+            confirmed[itemset] = count
+            stats.verified += 1
+        else:
+            stats.false_drops += 1
+    return confirmed
+
+
+def resolve_exact_counts(
+    result,
+    database: TransactionDatabase,
+    bbs: BBS,
+    *,
+    stats: RefineStats | None = None,
+):
+    """Upgrade every estimated count in ``result`` to the exact support.
+
+    DualFilter may certify a pattern as frequent while only knowing an
+    upper-bound count (flag 2).  Membership is already guaranteed, so
+    this probes just those patterns and rewrites their counts in place.
+    Returns ``result`` for chaining.
+    """
+    from repro.core.results import PatternCount
+
+    stats = stats if stats is not None else result.refine_stats
+    for itemset, pattern in list(result.patterns.items()):
+        if pattern.exact:
+            continue
+        positions = bbs.candidate_positions(itemset)
+        count = probe(database, itemset, positions, stats=stats)
+        result.patterns[itemset] = PatternCount(count, exact=True)
+    return result
+
+
+def positions_from_vector(vector: np.ndarray, n_transactions: int) -> np.ndarray:
+    """Expand a resultant vector into candidate transaction positions."""
+    from repro.core import bitvec
+
+    return bitvec.indices_of_set_bits(vector, n_transactions)
+
+
+def resolve_threshold(min_support, n_transactions: int) -> int:
+    """Normalise a support specification into an absolute count.
+
+    ``min_support`` may be an ``int`` (absolute count, >= 1) or a
+    ``float`` in (0, 1] (fraction of the database, the paper's
+    percentages).  Fractions round up, so a pattern is frequent iff its
+    support is at least ``ceil(frac * |D|)``.
+    """
+    if isinstance(min_support, bool):
+        raise ConfigurationError("min_support must be a count or fraction, not bool")
+    if isinstance(min_support, int):
+        if min_support < 1:
+            raise ConfigurationError(
+                f"absolute min_support must be >= 1, got {min_support}"
+            )
+        return min_support
+    if isinstance(min_support, float):
+        if not 0.0 < min_support <= 1.0:
+            raise ConfigurationError(
+                f"fractional min_support must be in (0, 1], got {min_support}"
+            )
+        return max(1, math.ceil(min_support * n_transactions))
+    raise ConfigurationError(
+        f"min_support must be int or float, got {type(min_support).__name__}"
+    )

@@ -1,0 +1,204 @@
+"""Result and statistics types returned by the mining algorithms.
+
+Every miner — the four BBS schemes and both baselines — returns a
+:class:`MiningResult` so that benchmarks and tests can treat them
+uniformly.  Counts carry an ``exact`` bit because the paper's DualFilter
+may certify a pattern as frequent while only knowing an upper-bound
+count (``flag = 2`` in Figure 3); downstream code must be able to tell
+the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.metrics import IOStats
+
+
+@dataclass(frozen=True)
+class PatternCount:
+    """Support of one frequent pattern.
+
+    ``exact`` is True when ``count`` is the true database support and
+    False when it is a BBS estimate (always an upper bound, Lemma 4).
+    """
+
+    count: int
+    exact: bool = True
+
+
+@dataclass
+class FilterStats:
+    """Work performed by the filtering phase."""
+
+    count_itemset_calls: int = 0
+    candidates: int = 0          # itemsets that passed the BBS threshold
+    certified_exact: int = 0     # flag = 1: guaranteed frequent, exact count
+    certified_bounded: int = 0   # flag = 2: guaranteed frequent, estimated count
+    uncertain: int = 0           # flag = 0: needs refinement
+    pruned_infrequent_item: int = 0  # flag = -1 at the top level (DualFilter)
+    post_pruned: int = 0         # adaptive phase 3: re-estimation prunes
+
+    @property
+    def certified(self) -> int:
+        """Patterns accepted without any database access."""
+        return self.certified_exact + self.certified_bounded
+
+
+@dataclass
+class RefineStats:
+    """Work performed by the refinement phase."""
+
+    probes: int = 0              # candidate patterns verified by probing
+    probed_tuples: int = 0       # transactions fetched by Probe
+    scans: int = 0               # full database scans (SequentialScan)
+    false_drops: int = 0         # candidates refuted by refinement
+    verified: int = 0            # candidates confirmed by refinement
+
+
+@dataclass
+class MiningResult:
+    """Frequent patterns plus the bookkeeping the paper's evaluation reports."""
+
+    algorithm: str
+    min_support: int
+    n_transactions: int
+    patterns: dict[frozenset, PatternCount] = field(default_factory=dict)
+    filter_stats: FilterStats = field(default_factory=FilterStats)
+    refine_stats: RefineStats = field(default_factory=RefineStats)
+    io: IOStats = field(default_factory=IOStats)
+    elapsed_seconds: float = 0.0
+
+    def itemsets(self) -> set[frozenset]:
+        """The set of frequent itemsets found."""
+        return set(self.patterns)
+
+    def count(self, itemset) -> int:
+        """Reported support of ``itemset`` (KeyError if not frequent)."""
+        return self.patterns[frozenset(itemset)].count
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def false_drop_ratio(self) -> float:
+        """The paper's FDR: false drops over actual frequent patterns.
+
+        Defined as 0 when no frequent pattern exists (instead of 0/0).
+        """
+        if not self.patterns:
+            return 0.0
+        return self.refine_stats.false_drops / len(self.patterns)
+
+    @property
+    def certified_fraction(self) -> float:
+        """Fraction of the answer set accepted without touching the database.
+
+        The paper reports 80-90 % for DFP at the default settings.
+        """
+        if not self.patterns:
+            return 0.0
+        return self.filter_stats.certified / len(self.patterns)
+
+    def add_pattern(self, itemset: frozenset, count: int, exact: bool) -> None:
+        """Record one frequent pattern with its count and exactness."""
+        self.patterns[itemset] = PatternCount(count, exact)
+
+    def summary(self) -> str:
+        """One-line human summary used by the CLI and examples."""
+        return (
+            f"{self.algorithm}: {len(self.patterns)} frequent patterns "
+            f"(min_support={self.min_support}, |D|={self.n_transactions}) "
+            f"false_drops={self.refine_stats.false_drops} "
+            f"probes={self.refine_stats.probes} scans={self.refine_stats.scans} "
+            f"certified={self.filter_stats.certified} "
+            f"elapsed={self.elapsed_seconds:.3f}s"
+        )
+
+    # -- serialization (the CLI's `mine --out` / `rules` pipeline) ---------
+
+    def to_json_dict(self) -> dict:
+        """A JSON-safe dict capturing patterns and statistics.
+
+        Items must be ``int`` or ``str``; they are stored type-tagged so
+        a round-trip restores the original types.
+        """
+        return {
+            "format": "repro-mining-result",
+            "version": 1,
+            "algorithm": self.algorithm,
+            "min_support": self.min_support,
+            "n_transactions": self.n_transactions,
+            "elapsed_seconds": self.elapsed_seconds,
+            "patterns": [
+                {
+                    "items": sorted(
+                        (_tag_item(i) for i in itemset), key=repr
+                    ),
+                    "count": pattern.count,
+                    "exact": pattern.exact,
+                }
+                for itemset, pattern in sorted(
+                    self.patterns.items(),
+                    key=lambda kv: (len(kv[0]), repr(sorted(map(repr, kv[0])))),
+                )
+            ],
+            "filter_stats": dict(vars(self.filter_stats)),
+            "refine_stats": dict(vars(self.refine_stats)),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "MiningResult":
+        """Rebuild a result written by :meth:`to_json_dict`."""
+        if payload.get("format") != "repro-mining-result":
+            raise ValueError("not a serialized mining result")
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported result version {payload.get('version')!r}"
+            )
+        result = cls(
+            algorithm=payload["algorithm"],
+            min_support=int(payload["min_support"]),
+            n_transactions=int(payload["n_transactions"]),
+        )
+        result.elapsed_seconds = float(payload.get("elapsed_seconds", 0.0))
+        for entry in payload["patterns"]:
+            itemset = frozenset(_untag_item(i) for i in entry["items"])
+            result.patterns[itemset] = PatternCount(
+                int(entry["count"]), bool(entry["exact"])
+            )
+        result.filter_stats = FilterStats(**payload.get("filter_stats", {}))
+        result.refine_stats = RefineStats(**payload.get("refine_stats", {}))
+        return result
+
+    def save_json(self, path) -> None:
+        """Write the serialized result to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_json_dict(), indent=1))
+
+    @classmethod
+    def load_json(cls, path) -> "MiningResult":
+        """Read a result written by :meth:`save_json`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_json_dict(json.loads(Path(path).read_text()))
+
+
+def _tag_item(item) -> list:
+    if isinstance(item, bool) or not isinstance(item, (int, str)):
+        raise ValueError(
+            f"only int and str items serialize, got {type(item).__name__}"
+        )
+    return ["i", item] if isinstance(item, int) else ["s", item]
+
+
+def _untag_item(tagged: list):
+    tag, value = tagged
+    if tag == "i":
+        return int(value)
+    if tag == "s":
+        return str(value)
+    raise ValueError(f"unknown item tag {tag!r}")

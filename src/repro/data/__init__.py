@@ -1,0 +1,10 @@
+"""Databases and workload generators."""
+
+from repro.data.database import TransactionDatabase
+from repro.data.datasets import groceries, running_example
+
+__all__ = [
+    "TransactionDatabase",
+    "groceries",
+    "running_example",
+]

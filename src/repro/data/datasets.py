@@ -1,0 +1,85 @@
+"""Canned datasets, including the paper's running example (Tables 1-2).
+
+The running example is small enough to check by hand and is used
+throughout the documentation and tests: five transactions over items
+0-15, a single hash ``h(x) = x mod 8``, and 8-bit signatures.  The
+module-level constants record the paper's own tables so tests can assert
+bit-for-bit agreement.
+"""
+
+from __future__ import annotations
+
+from repro.core.bbs import BBS
+from repro.core.hashing import ModuloHashFamily
+from repro.data.database import TransactionDatabase
+
+#: Table 1 of the paper: TID -> item set.
+RUNNING_EXAMPLE_TRANSACTIONS = {
+    100: (0, 1, 2, 3, 4, 5, 14, 15),
+    200: (1, 2, 3, 5, 6, 7),
+    300: (1, 5, 14, 15),
+    400: (0, 1, 2, 7),
+    500: (1, 2, 5, 6, 11, 15),
+}
+
+#: Table 1's bit vectors (bit 0 = hash value 0 is the leftmost character).
+#:
+#: Note: the published Table 1 prints TID 500's vector as ``01101111``,
+#: which contradicts its own item set {1, 2, 5, 6, 11, 15} — item 11
+#: hashes to bit 3 (11 mod 8), not bit 4.  The paper's Example 2 counts
+#: (est{0,1} = 2, est{1,3} = 3) agree with the corrected vector below,
+#: so the printed table is a typo.
+RUNNING_EXAMPLE_VECTORS = {
+    100: "11111111",
+    200: "01110111",
+    300: "01000111",
+    400: "11100001",
+    500: "01110111",
+}
+
+#: Table 2 of the paper: the 8 bit-slices (one string per slice; the
+#: i-th character of slice s is transaction i's bit).  Derived from the
+#: item sets of Table 1; consistent with Example 2's worked counts.
+RUNNING_EXAMPLE_SLICES = [
+    "10010",
+    "11111",
+    "11011",
+    "11001",
+    "10000",
+    "11101",
+    "11101",
+    "11111",
+]
+
+RUNNING_EXAMPLE_M = 8
+
+
+def running_example() -> tuple[TransactionDatabase, BBS]:
+    """The paper's Example 1: its database and its BBS, ready to query."""
+    database = TransactionDatabase()
+    bbs = BBS(
+        RUNNING_EXAMPLE_M,
+        hash_family=ModuloHashFamily(RUNNING_EXAMPLE_M),
+    )
+    for tid, items in sorted(RUNNING_EXAMPLE_TRANSACTIONS.items()):
+        database.append(items, tid=tid)
+        bbs.insert(items)
+    return database, bbs
+
+
+#: A tiny grocery-style dataset for doctests and quickstart output.
+GROCERIES = [
+    ("bread", "butter", "milk"),
+    ("bread", "butter"),
+    ("beer", "diapers"),
+    ("bread", "milk"),
+    ("beer", "bread", "butter", "milk"),
+    ("diapers", "milk"),
+    ("bread", "butter", "diapers"),
+    ("beer", "diapers", "milk"),
+]
+
+
+def groceries() -> TransactionDatabase:
+    """A small named-item database used by examples and docs."""
+    return TransactionDatabase(GROCERIES)

@@ -1,0 +1,178 @@
+"""A disk-backed transaction database with real (not simulated) paging.
+
+:class:`DiskDatabase` mirrors the accounted API of
+:class:`~repro.data.database.TransactionDatabase` — ``scan``, ``fetch``,
+``append``, exact ``support`` — but reads records from a
+:mod:`repro.storage.txfile` pair on disk through a page buffer.  Every
+miner in the library accepts either flavour, so the same experiment can
+be run fully in memory (fast iteration) or against files (the paper's
+actual setting).
+
+Items are ``uint32`` integers; see :mod:`repro.storage.txfile` for the
+format and its corruption detection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.storage.buffer import PageCache
+from repro.storage.metrics import DEFAULT_PAGE_BYTES, IOStats
+from repro.storage.txfile import TransactionFileReader, TransactionFileWriter
+
+DEFAULT_PROBE_CACHE_PAGES = 64
+
+
+class DiskDatabase:
+    """Transactions stored in a file pair, accessed through a buffer pool."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        probe_cache_pages: int = DEFAULT_PROBE_CACHE_PAGES,
+        stats: IOStats | None = None,
+    ):
+        self.path = Path(path)
+        self.page_bytes = page_bytes
+        self.stats = stats if stats is not None else IOStats()
+        self._cache = PageCache(probe_cache_pages, self.stats)
+        self._reader = TransactionFileReader(self.path)
+        self._item_counts: Counter | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        transactions: Iterable[Iterable[int]],
+        **kwargs,
+    ) -> "DiskDatabase":
+        """Write ``transactions`` to ``path`` and open the result."""
+        with TransactionFileWriter(path) as writer:
+            for tx in transactions:
+                writer.append(tx)
+        return cls(path, **kwargs)
+
+    def append(self, items: Iterable[int], tid: int | None = None) -> int:
+        """Append one transaction (closing and reopening the reader)."""
+        self._reader.close()
+        with TransactionFileWriter(self.path, truncate=False) as writer:
+            writer.append(items, tid=tid)
+        self.stats.page_writes += 1
+        self._reader = TransactionFileReader(self.path)
+        self._cache.clear()
+        self._item_counts = None
+        return len(self._reader) - 1
+
+    def extend(self, transactions: Iterable[Iterable[int]]) -> None:
+        """Append many transactions with a single writer session."""
+        self._reader.close()
+        with TransactionFileWriter(self.path, truncate=False) as writer:
+            for tx in transactions:
+                writer.append(tx)
+                self.stats.page_writes += 1
+        self._reader = TransactionFileReader(self.path)
+        self._cache.clear()
+        self._item_counts = None
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._reader)
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Unaccounted iteration (test/oracle use)."""
+        for _, _, items in self._reader.scan():
+            yield items
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size of the data file."""
+        return self._reader.data_bytes
+
+    @property
+    def n_pages(self) -> int:
+        """Number of data pages at the configured page size."""
+        return (self.size_bytes + self.page_bytes - 1) // self.page_bytes
+
+    def items(self) -> list:
+        """Distinct items present in the database, sorted."""
+        return sorted(self._counts())
+
+    def item_counts(self) -> dict:
+        """Exact support of every item (a copy)."""
+        return dict(self._counts())
+
+    def _counts(self) -> Counter:
+        if self._item_counts is None:
+            counter: Counter = Counter()
+            for _, _, items in self._reader.scan():
+                counter.update(items)
+            self._item_counts = counter
+        return self._item_counts
+
+    # -- accounted access -------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Sequential scan with the same accounting as the in-memory DB."""
+        self.stats.db_scans += 1
+        self.stats.page_reads += self.n_pages
+        self.stats.tuples_read += len(self)
+        for position, _, items in self._reader.scan():
+            yield position, items
+
+    def fetch(self, position: int) -> tuple:
+        """Positional fetch through the buffer pool."""
+        if not 0 <= position < len(self):
+            raise QueryError(
+                f"transaction position {position} out of range [0, {len(self)})"
+            )
+        page_id = self._reader.offset_of(position) // self.page_bytes
+        self._cache.get(page_id)
+        self.stats.probe_fetches += 1
+        self.stats.tuples_read += 1
+        _, items = self._reader.read_at(position)
+        return items
+
+    def fetch_many(self, positions: Iterable[int]) -> list[tuple]:
+        """Fetch several positions (each individually accounted)."""
+        return [self.fetch(p) for p in positions]
+
+    def tid(self, position: int) -> int:
+        """Application-level TID of the transaction at ``position``."""
+        tid, _ = self._reader.read_at(position)
+        return tid
+
+    def tids(self) -> list[int]:
+        """All TIDs in position order."""
+        return [tid for _, tid, _ in self._reader.scan()]
+
+    # -- oracle helpers ------------------------------------------------------------
+
+    def support(self, itemset: Iterable) -> int:
+        """Exact support of ``itemset`` by unaccounted scanning."""
+        wanted = set(itemset)
+        if not wanted:
+            raise QueryError("support of the empty itemset is undefined here")
+        return sum(1 for tx in self if wanted.issubset(tx))
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters and drop the buffer pool contents."""
+        self.stats.reset()
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Close the underlying file handles."""
+        self._reader.close()
+
+    def __enter__(self) -> "DiskDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,68 @@
+"""FIMI-format transaction files (the community's interchange format).
+
+The Frequent Itemset Mining Implementations repository standardised the
+simplest possible text format — one transaction per line, items as
+space-separated non-negative integers::
+
+    1 4 9 13
+    4 9
+    2 13 40
+
+Real benchmark datasets (retail, kosarak, T10I4D100K, ...) all ship
+this way, so supporting it makes the library directly usable on them.
+Blank lines and ``#`` comments are tolerated on read; duplicates within
+a line collapse (set semantics, matching the rest of the library).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.data.database import TransactionDatabase
+from repro.errors import StorageError
+
+
+def read_fimi(path, *, max_transactions: int | None = None) -> TransactionDatabase:
+    """Load a FIMI text file into a :class:`TransactionDatabase`."""
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as exc:
+        raise StorageError(f"cannot read FIMI file {target}: {exc}") from exc
+    database = TransactionDatabase()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            items = [int(piece) for piece in line.split()]
+        except ValueError as exc:
+            raise StorageError(
+                f"{target}:{line_no}: FIMI lines must be integers, got {raw!r}"
+            ) from exc
+        if any(item < 0 for item in items):
+            raise StorageError(
+                f"{target}:{line_no}: FIMI items must be non-negative"
+            )
+        database.append(items)
+        if max_transactions is not None and len(database) >= max_transactions:
+            break
+    if len(database) == 0:
+        raise StorageError(f"FIMI file {target} contains no transactions")
+    return database
+
+
+def write_fimi(database, path) -> int:
+    """Write a database (any iterable of itemsets) as a FIMI file.
+
+    Returns the number of transactions written.
+    """
+    target = Path(path)
+    count = 0
+    with open(target, "w") as fh:
+        for transaction in database:
+            items = sorted(int(item) for item in transaction)
+            fh.write(" ".join(str(item) for item in items))
+            fh.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,178 @@
+"""The IBM Quest synthetic transaction generator (Agrawal & Srikant '94).
+
+The paper's Section 4 evaluates on *"synthetic data sets ... generated
+using the procedure described in [1]"* with four knobs: the number of
+transactions ``D``, the number of distinct items ``V``, the average
+transaction size ``T``, and the average size of the maximal potentially
+frequent itemsets ``I`` (e.g. the default ``T10.I10.D10K`` with 10K
+items).  This module implements that procedure:
+
+1. ``L`` *potentially frequent itemsets* are drawn; each one's size is
+   Poisson with mean ``I`` (minimum 1).  To model cross-itemset
+   correlation, a fraction of each itemset (exponentially distributed
+   with mean ``correlation``) is copied from the previous itemset and
+   the rest is drawn uniformly.
+2. Each potential itemset carries an exponentially distributed weight
+   (normalised to a probability) and a *corruption level* drawn from a
+   clipped N(0.5, 0.1²).
+3. A transaction's size is Poisson with mean ``T`` (minimum 1).  It is
+   filled by picking potential itemsets by weight and *corrupting* them
+   — items are dropped while a uniform draw stays below the corruption
+   level.  An itemset that no longer fits is added anyway in half the
+   cases and deferred to the next transaction otherwise.
+
+Everything is driven by one :class:`numpy.random.Generator` seeded from
+``spec.seed``, so a spec generates the same database forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError
+
+DEFAULT_N_PATTERNS = 2000
+DEFAULT_CORRELATION = 0.5
+DEFAULT_CORRUPTION_MEAN = 0.5
+DEFAULT_CORRUPTION_SD = 0.1
+
+
+@dataclass(frozen=True)
+class QuestSpec:
+    """The T..I..D.. workload specification (paper Section 4 notation)."""
+
+    n_transactions: int = 10_000       # D
+    n_items: int = 10_000              # V
+    avg_transaction_size: float = 10.0  # T
+    avg_pattern_size: float = 10.0      # I
+    n_patterns: int = DEFAULT_N_PATTERNS  # |L|
+    correlation: float = DEFAULT_CORRELATION
+    corruption_mean: float = DEFAULT_CORRUPTION_MEAN
+    corruption_sd: float = DEFAULT_CORRUPTION_SD
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_transactions < 1:
+            raise ConfigurationError("need at least one transaction")
+        if self.n_items < 2:
+            raise ConfigurationError("need at least two items")
+        if self.avg_transaction_size < 1:
+            raise ConfigurationError("average transaction size must be >= 1")
+        if self.avg_pattern_size < 1:
+            raise ConfigurationError("average pattern size must be >= 1")
+        if self.n_patterns < 1:
+            raise ConfigurationError("need at least one potential pattern")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ConfigurationError("correlation must be in [0, 1]")
+
+    @property
+    def name(self) -> str:
+        """The paper's naming convention, e.g. ``T10.I10.D10K``."""
+        return (
+            f"T{self.avg_transaction_size:g}."
+            f"I{self.avg_pattern_size:g}."
+            f"D{_abbrev(self.n_transactions)}"
+        )
+
+    def with_(self, **changes) -> "QuestSpec":
+        """A modified copy (used by benchmark sweeps)."""
+        return replace(self, **changes)
+
+
+def _abbrev(n: int) -> str:
+    if n % 1_000_000 == 0:
+        return f"{n // 1_000_000}M"
+    if n % 1_000 == 0:
+        return f"{n // 1_000}K"
+    return str(n)
+
+
+class _PotentialItemsets:
+    """The weighted pool of potentially frequent itemsets (step 1-2)."""
+
+    def __init__(self, spec: QuestSpec, rng: np.random.Generator):
+        self.itemsets: list[np.ndarray] = []
+        sizes = np.maximum(1, rng.poisson(spec.avg_pattern_size, spec.n_patterns))
+        previous: np.ndarray | None = None
+        for size in sizes:
+            size = int(min(size, spec.n_items))
+            if previous is None or previous.size == 0:
+                chosen = rng.choice(spec.n_items, size=size, replace=False)
+            else:
+                fraction = min(1.0, rng.exponential(spec.correlation))
+                n_carry = min(int(round(fraction * size)), previous.size, size)
+                carried = rng.choice(previous, size=n_carry, replace=False)
+                fresh_needed = size - n_carry
+                fresh = rng.choice(spec.n_items, size=size, replace=False)
+                fresh = np.setdiff1d(fresh, carried, assume_unique=False)
+                chosen = np.concatenate([carried, fresh[:fresh_needed]])
+            chosen = np.unique(chosen)
+            self.itemsets.append(chosen)
+            previous = chosen
+        weights = rng.exponential(1.0, len(self.itemsets))
+        self.weights = weights / weights.sum()
+        self.corruption = np.clip(
+            rng.normal(spec.corruption_mean, spec.corruption_sd,
+                       len(self.itemsets)),
+            0.0, 1.0,
+        )
+
+    def pick(self, rng: np.random.Generator) -> int:
+        """Index of one potential itemset, drawn by weight."""
+        return int(rng.choice(len(self.itemsets), p=self.weights))
+
+    def corrupted(self, index: int, rng: np.random.Generator) -> np.ndarray:
+        """A copy of itemset ``index`` with items dropped per its level."""
+        items = self.itemsets[index]
+        level = self.corruption[index]
+        keep = len(items)
+        while keep > 0 and rng.random() < level:
+            keep -= 1
+        if keep == len(items):
+            return items
+        return rng.choice(items, size=keep, replace=False)
+
+
+def generate_transactions(spec: QuestSpec) -> list[tuple[int, ...]]:
+    """Generate the transaction list for ``spec`` (deterministic in seed)."""
+    rng = np.random.default_rng(spec.seed)
+    pool = _PotentialItemsets(spec, rng)
+    transactions: list[tuple[int, ...]] = []
+    deferred: np.ndarray | None = None
+    sizes = np.maximum(
+        1, rng.poisson(spec.avg_transaction_size, spec.n_transactions)
+    )
+    for size in sizes:
+        size = int(size)
+        current: set[int] = set()
+        if deferred is not None:
+            current.update(int(i) for i in deferred)
+            deferred = None
+        guard = 0
+        while len(current) < size and guard < 8 * size + 16:
+            guard += 1
+            piece = pool.corrupted(pool.pick(rng), rng)
+            if piece.size == 0:
+                continue
+            if len(current) + piece.size > size and current:
+                # Doesn't fit: add anyway half the time, defer otherwise.
+                if rng.random() < 0.5:
+                    current.update(int(i) for i in piece)
+                else:
+                    deferred = piece
+                break
+            current.update(int(i) for i in piece)
+        if not current:
+            # Degenerate corruption can empty every pick; fall back to a
+            # single uniform item so the transaction is never empty.
+            current.add(int(rng.integers(spec.n_items)))
+        transactions.append(tuple(sorted(current)))
+    return transactions
+
+
+def generate_database(spec: QuestSpec) -> TransactionDatabase:
+    """Generate a :class:`TransactionDatabase` for ``spec``."""
+    return TransactionDatabase(generate_transactions(spec))

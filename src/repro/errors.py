@@ -1,0 +1,34 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  More specific subclasses
+distinguish configuration problems from data-format problems so that a
+caller can, for example, rebuild a corrupt index but surface a bad
+parameter to its own user.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter was supplied (bad ``m``, ``k``, threshold, ...)."""
+
+
+class StorageError(ReproError, IOError):
+    """A persistent file (slice file, transaction file) is unreadable."""
+
+
+class CorruptFileError(StorageError):
+    """A persistent file failed its magic/version/checksum validation."""
+
+
+class DatabaseMismatchError(ReproError):
+    """An index and a database disagree (e.g. differing transaction counts)."""
+
+
+class QueryError(ReproError, ValueError):
+    """An ad-hoc query was malformed (empty itemset, bad constraint, ...)."""

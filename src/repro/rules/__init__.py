@@ -1,0 +1,16 @@
+"""Association-rule generation over mined frequent patterns."""
+
+from repro.rules.association import Rule, generate_rules
+from repro.rules.summarize import (
+    closed_patterns,
+    maximal_patterns,
+    summary_counts,
+)
+
+__all__ = [
+    "Rule",
+    "generate_rules",
+    "closed_patterns",
+    "maximal_patterns",
+    "summary_counts",
+]

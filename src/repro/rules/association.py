@@ -1,0 +1,100 @@
+"""Association-rule generation on top of mined frequent patterns.
+
+Frequent-pattern mining is *"a fundamental step"* — the paper's opening
+line — for association rules.  This module closes that loop: given any
+:class:`~repro.core.results.MiningResult` (from the BBS schemes or the
+baselines), it derives all rules ``antecedent -> consequent`` meeting a
+confidence floor, using the standard decomposition of each frequent
+itemset into its non-trivial antecedent subsets.
+
+Rules are only derived from patterns with *exact* counts; a DualFilter
+result containing bounded (flag-2) counts yields rules only where both
+the itemset's and the antecedent's counts are exact, so reported
+confidences are never fabricated from upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.results import MiningResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One association rule with its standard quality measures."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: int            # absolute count of antecedent ∪ consequent
+    confidence: float       # support(A ∪ C) / support(A)
+    lift: float             # confidence / (support(C) / |D|)
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(map(str, self.antecedent)))
+        rhs = ", ".join(sorted(map(str, self.consequent)))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(support={self.support}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.3f})"
+        )
+
+
+def generate_rules(
+    result: MiningResult,
+    min_confidence: float = 0.5,
+    *,
+    max_consequent_size: int | None = None,
+) -> list[Rule]:
+    """All rules derivable from ``result`` meeting ``min_confidence``.
+
+    Rules are sorted by descending confidence, then descending support,
+    then lexicographically, so output order is deterministic.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ConfigurationError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    exact = {
+        itemset: pattern.count
+        for itemset, pattern in result.patterns.items()
+        if pattern.exact
+    }
+    n = max(result.n_transactions, 1)
+    rules: list[Rule] = []
+    for itemset, support in exact.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset, key=repr)
+        for antecedent_size in range(1, len(items)):
+            consequent_size = len(items) - antecedent_size
+            if (max_consequent_size is not None
+                    and consequent_size > max_consequent_size):
+                continue
+            for antecedent_items in combinations(items, antecedent_size):
+                antecedent = frozenset(antecedent_items)
+                antecedent_support = exact.get(antecedent)
+                if not antecedent_support:
+                    continue  # not mined exactly; skip rather than guess
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                consequent = itemset - antecedent
+                consequent_support = exact.get(consequent)
+                lift = (
+                    confidence / (consequent_support / n)
+                    if consequent_support
+                    else float("nan")
+                )
+                rules.append(Rule(antecedent, consequent, support, confidence, lift))
+    rules.sort(
+        key=lambda r: (
+            -r.confidence,
+            -r.support,
+            sorted(map(repr, r.antecedent)),
+            sorted(map(repr, r.consequent)),
+        ),
+    )
+    return rules

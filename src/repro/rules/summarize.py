@@ -1,0 +1,82 @@
+"""Condensed pattern representations: closed and maximal itemsets.
+
+A full frequent-pattern set is heavily redundant — the paper's default
+workload yields thousands of patterns dominated by the subsets of a few
+long ones.  Two standard summaries:
+
+* a pattern is **closed** when no proper superset has the *same*
+  support (closed patterns preserve every support value);
+* a pattern is **maximal** when no proper superset is frequent at all
+  (maximal patterns preserve only the frequent/infrequent boundary).
+
+Both are derived from any :class:`~repro.core.results.MiningResult`
+with exact counts, so they compose with every miner in the library.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.results import MiningResult
+from repro.errors import ConfigurationError
+
+
+def _exact_patterns(result: MiningResult) -> dict[frozenset, int]:
+    patterns = {
+        itemset: p.count for itemset, p in result.patterns.items() if p.exact
+    }
+    if len(patterns) != len(result.patterns):
+        raise ConfigurationError(
+            "closed/maximal summaries need exact counts; refine the result "
+            "first (DFP with a roomy m, or any scan-refined scheme)"
+        )
+    return patterns
+
+
+def closed_patterns(result: MiningResult) -> dict[frozenset, int]:
+    """The closed frequent patterns of ``result`` (itemset -> support).
+
+    A pattern survives unless some superset *of equal support* exists.
+    Grouping by support makes each check linear in the group size.
+    """
+    patterns = _exact_patterns(result)
+    by_support: dict[int, list[frozenset]] = defaultdict(list)
+    for itemset, support in patterns.items():
+        by_support[support].append(itemset)
+    closed: dict[frozenset, int] = {}
+    for support, group in by_support.items():
+        # Larger first: a pattern is closed iff no earlier (larger)
+        # same-support pattern contains it.
+        group.sort(key=len, reverse=True)
+        kept: list[frozenset] = []
+        for itemset in group:
+            if not any(itemset < bigger for bigger in kept):
+                kept.append(itemset)
+                closed[itemset] = support
+    return closed
+
+
+def maximal_patterns(result: MiningResult) -> dict[frozenset, int]:
+    """The maximal frequent patterns of ``result`` (itemset -> support)."""
+    patterns = _exact_patterns(result)
+    # Group by size; a pattern is maximal iff no frequent superset of
+    # size + 1 exists (supersets of larger sizes imply one of size + 1).
+    by_size: dict[int, set[frozenset]] = defaultdict(set)
+    for itemset in patterns:
+        by_size[len(itemset)].add(itemset)
+    maximal: dict[frozenset, int] = {}
+    for size, group in by_size.items():
+        parents = by_size.get(size + 1, set())
+        for itemset in group:
+            if not any(itemset < parent for parent in parents):
+                maximal[itemset] = patterns[itemset]
+    return maximal
+
+
+def summary_counts(result: MiningResult) -> dict[str, int]:
+    """Sizes of the three representations (for reports and examples)."""
+    return {
+        "all": len(result.patterns),
+        "closed": len(closed_patterns(result)),
+        "maximal": len(maximal_patterns(result)),
+    }

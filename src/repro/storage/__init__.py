@@ -1,0 +1,28 @@
+"""Persistence, buffering, and I/O accounting substrates."""
+
+from repro.storage.buffer import PageCache
+from repro.storage.metrics import (
+    DEFAULT_IO_LATENCY_S,
+    DEFAULT_PAGE_BYTES,
+    CostModel,
+    IOStats,
+)
+
+__all__ = [
+    "PageCache",
+    "DiskBBS",
+    "CostModel",
+    "IOStats",
+    "DEFAULT_IO_LATENCY_S",
+    "DEFAULT_PAGE_BYTES",
+]
+
+
+def __getattr__(name):
+    # DiskBBS depends on repro.core.bbs, which itself imports
+    # repro.storage.metrics; a lazy export breaks the import cycle.
+    if name == "DiskBBS":
+        from repro.storage.diskbbs import DiskBBS
+
+        return DiskBBS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

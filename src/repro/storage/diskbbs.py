@@ -1,0 +1,493 @@
+"""A disk-resident, append-only BBS: the paper's persistence story, fully.
+
+:class:`~repro.core.bbs.BBS` is the in-memory working form;
+:mod:`repro.storage.slicefile` snapshots it.  But the paper's index is
+*"dynamic and persistent"* — it lives on disk across sessions and
+absorbs new transactions **without rewriting** what is already stored.
+A transposed slice matrix makes in-place appends awkward (one new
+transaction touches a bit in up to ``k·n`` slices scattered across the
+file), so :class:`DiskBBS` stores the index as a log of immutable
+**segments**:
+
+* the *base header* fixes ``m``, ``k`` and the hash family;
+* each *segment* is a row-major ``m × n_words`` slice matrix covering a
+  contiguous transaction range, with its own item-count delta and CRC;
+* fresh inserts accumulate in an in-memory *tail* (an ordinary BBS) and
+  :meth:`DiskBBS.flush` appends them as one new segment — a pure
+  ``O(tail)`` write, exactly the update cost the paper advertises.
+
+Queries (``count_itemset``, candidate positions, constrained counts)
+stream the needed slices segment by segment through a
+:class:`~repro.storage.buffer.PageCache`, charging page reads only on
+misses.  Mining loads the whole index once via :meth:`to_memory`
+(one sequential read — the same cost the adaptive pipeline assumes).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import bitvec
+from repro.core.bbs import BBS
+from repro.core.counts import ItemCountTable
+from repro.core.hashing import HashFamily, family_from_description
+from repro.errors import (
+    ConfigurationError,
+    CorruptFileError,
+    QueryError,
+    StorageError,
+)
+from repro.storage.buffer import PageCache
+from repro.storage.metrics import DEFAULT_PAGE_BYTES, IOStats
+from repro.storage.slicefile import _decode_item, _encode_item
+
+BASE_MAGIC = b"BBSD"
+SEGMENT_MAGIC = b"SEG1"
+FORMAT_VERSION = 1
+_BASE_HEAD = struct.Struct("<4sII")      # magic, version, header json len
+_SEG_HEAD = struct.Struct("<4sQII")      # magic, n_tx, n_words, counts len
+_CRC = struct.Struct("<I")
+
+#: Default number of buffered tail transactions before an automatic flush.
+DEFAULT_FLUSH_THRESHOLD = 4096
+DEFAULT_CACHE_PAGES = 256
+
+
+class _Segment:
+    """Directory entry for one on-disk segment."""
+
+    __slots__ = ("offset", "matrix_offset", "n_tx", "n_words", "start_tx")
+
+    def __init__(self, offset, matrix_offset, n_tx, n_words, start_tx):
+        self.offset = offset
+        self.matrix_offset = matrix_offset
+        self.n_tx = n_tx
+        self.n_words = n_words
+        self.start_tx = start_tx
+
+
+class DiskBBS:
+    """Segmented on-disk BBS with an in-memory tail for appends."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        stats: IOStats | None = None,
+    ):
+        if flush_threshold < 1:
+            raise ConfigurationError("flush_threshold must be >= 1")
+        self.path = Path(path)
+        self.flush_threshold = flush_threshold
+        self.page_bytes = page_bytes
+        self.stats = stats if stats is not None else IOStats()
+        self._cache = PageCache(cache_pages, self.stats)
+        self._file = None
+        self._segments: list[_Segment] = []
+        self._counts = ItemCountTable()
+        self._signature_bits = 0
+        self.hash_family: HashFamily | None = None
+        self._tail: BBS | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        m: int,
+        k: int = 4,
+        *,
+        hash_family: HashFamily | None = None,
+        **kwargs,
+    ) -> "DiskBBS":
+        """Initialise a fresh index file and open it."""
+        if hash_family is None:
+            from repro.core.hashing import MD5HashFamily
+
+            hash_family = MD5HashFamily(m, k)
+        if hash_family.m != m:
+            raise ConfigurationError(
+                f"hash family width {hash_family.m} does not match m={m}"
+            )
+        header = json.dumps(
+            {"hash_family": hash_family.describe()},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        target = Path(path)
+        with open(target, "wb") as fh:
+            fh.write(_BASE_HEAD.pack(BASE_MAGIC, FORMAT_VERSION, len(header)))
+            fh.write(header)
+        return cls.open(target, **kwargs)
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "DiskBBS":
+        """Open an existing index file, scanning its segment directory."""
+        store = cls(path, **kwargs)
+        store._open()
+        return store
+
+    def _open(self) -> None:
+        try:
+            self._file = open(self.path, "r+b")
+        except OSError as exc:
+            raise StorageError(f"cannot open index {self.path}: {exc}") from exc
+        head = self._file.read(_BASE_HEAD.size)
+        if len(head) < _BASE_HEAD.size:
+            raise CorruptFileError(f"{self.path} is truncated")
+        magic, version, header_len = _BASE_HEAD.unpack(head)
+        if magic != BASE_MAGIC:
+            raise CorruptFileError(f"{self.path} is not a DiskBBS index")
+        if version != FORMAT_VERSION:
+            raise CorruptFileError(
+                f"{self.path} is format version {version}, "
+                f"expected {FORMAT_VERSION}"
+            )
+        try:
+            header = json.loads(self._file.read(header_len))
+            self.hash_family = family_from_description(header["hash_family"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise CorruptFileError(f"{self.path} base header malformed") from exc
+        self._tail = BBS(self.m, self.k, hash_family=self.hash_family)
+        self._scan_segments()
+
+    def _scan_segments(self) -> None:
+        start_tx = 0
+        while True:
+            offset = self._file.tell()
+            head = self._file.read(_SEG_HEAD.size)
+            if not head:
+                break
+            if len(head) < _SEG_HEAD.size:
+                raise CorruptFileError(f"{self.path}: torn segment header")
+            magic, n_tx, n_words, counts_len = _SEG_HEAD.unpack(head)
+            if magic != SEGMENT_MAGIC:
+                raise CorruptFileError(f"{self.path}: bad segment magic")
+            counts_blob = self._file.read(counts_len)
+            matrix_offset = self._file.tell()
+            matrix_bytes = self.m * n_words * 8
+            self._file.seek(matrix_bytes, 1)
+            crc_blob = self._file.read(_CRC.size)
+            if len(counts_blob) < counts_len or len(crc_blob) < _CRC.size:
+                raise CorruptFileError(f"{self.path}: torn segment body")
+            try:
+                deltas = json.loads(counts_blob)
+                for tagged, count in deltas["item_counts"]:
+                    self._counts.merge(
+                        ItemCountTable({_decode_item(tagged): int(count)})
+                    )
+                self._signature_bits += int(deltas.get("signature_bits", 0))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise CorruptFileError(
+                    f"{self.path}: segment counts malformed"
+                ) from exc
+            self._segments.append(
+                _Segment(offset, matrix_offset, int(n_tx), int(n_words), start_tx)
+            )
+            start_tx += int(n_tx)
+
+    def close(self) -> None:
+        """Flush the tail and close the file handle."""
+        if self._file is not None:
+            if self._tail is not None and self._tail.n_transactions:
+                self.flush()
+            self._file.close()
+            self._file = None
+            self._tail = None
+
+    def __enter__(self) -> "DiskBBS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Signature width in bits."""
+        return self.hash_family.m
+
+    @property
+    def k(self) -> int:
+        """Hash functions per item."""
+        return self.hash_family.k
+
+    @property
+    def n_transactions(self) -> int:
+        """Transactions covered: on-disk segments plus the tail."""
+        on_disk = sum(seg.n_tx for seg in self._segments)
+        return on_disk + (self._tail.n_transactions if self._tail else 0)
+
+    def __len__(self) -> int:
+        return self.n_transactions
+
+    @property
+    def n_segments(self) -> int:
+        """Number of immutable on-disk segments."""
+        return len(self._segments)
+
+    @property
+    def tail_size(self) -> int:
+        """Transactions buffered in memory, not yet flushed."""
+        return self._tail.n_transactions if self._tail else 0
+
+    @property
+    def item_counts(self) -> ItemCountTable:
+        """Exact 1-itemset counts across disk segments and the tail."""
+        merged = ItemCountTable(self._counts.as_dict())
+        if self._tail is not None:
+            merged.merge(self._tail.item_counts)
+        return merged
+
+    def items(self) -> list:
+        """Every distinct item across segments and tail, sorted."""
+        return self.item_counts.items()
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(self, items) -> int:
+        """Append one transaction; auto-flushes past the threshold."""
+        if self._tail is None:
+            raise StorageError("index is closed")
+        position = (
+            sum(seg.n_tx for seg in self._segments) + self._tail.insert(items)
+        )
+        if self._tail.n_transactions >= self.flush_threshold:
+            self.flush()
+        return position
+
+    def flush(self) -> None:
+        """Write the in-memory tail as one immutable on-disk segment."""
+        tail = self._tail
+        if tail is None or tail.n_transactions == 0:
+            return
+        slices, n_tx, counts, sig_bits = tail._raw_state()
+        counts_blob = json.dumps(
+            {
+                "item_counts": [
+                    [_encode_item(item), count]
+                    for item, count in sorted(
+                        counts.items(), key=lambda pair: repr(pair[0])
+                    )
+                ],
+                "signature_bits": sig_bits,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        matrix = np.ascontiguousarray(slices, dtype="<u8").tobytes()
+        segment = bytearray()
+        segment += _SEG_HEAD.pack(
+            SEGMENT_MAGIC, n_tx, slices.shape[1], len(counts_blob)
+        )
+        segment += counts_blob
+        segment += matrix
+        segment += _CRC.pack(zlib.crc32(segment) & 0xFFFFFFFF)
+
+        self._file.seek(0, 2)
+        offset = self._file.tell()
+        self._file.write(segment)
+        self._file.flush()
+        self.stats.page_writes += _pages(len(segment), self.page_bytes)
+
+        start_tx = sum(seg.n_tx for seg in self._segments)
+        matrix_offset = offset + _SEG_HEAD.size + len(counts_blob)
+        self._segments.append(
+            _Segment(offset, matrix_offset, n_tx, slices.shape[1], start_tx)
+        )
+        for item, count in counts.items():
+            self._counts.merge(ItemCountTable({item: count}))
+        self._signature_bits += sig_bits
+        self._tail = BBS(self.m, self.k, hash_family=self.hash_family)
+
+    # -- slice access -----------------------------------------------------------------
+
+    def _segment_slice(self, segment: _Segment, position: int) -> np.ndarray:
+        """One slice row of one segment, through the page cache."""
+        key = (segment.offset, position)
+
+        def load():
+            """Read one slice row from disk (miss path of the cache)."""
+            row_bytes = segment.n_words * 8
+            self._file.seek(segment.matrix_offset + position * row_bytes)
+            blob = self._file.read(row_bytes)
+            if len(blob) < row_bytes:
+                raise CorruptFileError(f"{self.path}: slice read past EOF")
+            # Charge the real page span of one slice row (>= 1 page).
+            self.stats.page_reads += max(
+                0, _pages(row_bytes, self.page_bytes) - 1
+            )
+            return np.frombuffer(blob, dtype="<u8").astype(np.uint64)
+
+        self.stats.slice_reads += 1
+        return self._cache.get(key, load)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def count_itemset(self, items) -> int:
+        """``CountItemSet`` across every segment plus the tail."""
+        positions = self._positions(items)
+        total = 0
+        for segment in self._segments:
+            total += bitvec.popcount(self._segment_and(segment, positions))
+        if self._tail.n_transactions:
+            total += self._tail.count_itemset(items)
+        return total
+
+    def candidate_positions(self, items) -> np.ndarray:
+        """Global candidate transaction positions (for probing)."""
+        positions = self._positions(items)
+        pieces = []
+        for segment in self._segments:
+            hits = bitvec.indices_of_set_bits(
+                self._segment_and(segment, positions), segment.n_tx
+            )
+            if hits.size:
+                pieces.append(hits + segment.start_tx)
+        if self._tail.n_transactions:
+            tail_hits = self._tail.candidate_positions(items)
+            if tail_hits.size:
+                start = sum(seg.n_tx for seg in self._segments)
+                pieces.append(tail_hits + start)
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def count_with_constraint(self, items, constraint_words: np.ndarray) -> int:
+        """Constrained count; the constraint covers the global range."""
+        expected = bitvec.words_for_bits(self.n_transactions)
+        if constraint_words.shape[0] != expected:
+            raise QueryError(
+                f"constraint has {constraint_words.shape[0]} words, "
+                f"index needs {expected}"
+            )
+        flagged = self.candidate_positions(items)
+        return sum(
+            1 for position in flagged
+            if bitvec.get_bit(constraint_words, int(position))
+        )
+
+    def _positions(self, items) -> np.ndarray:
+        positions = self.hash_family.itemset_positions(set(items))
+        if positions.size == 0:
+            raise QueryError("cannot form a signature for the empty itemset")
+        return positions
+
+    def _segment_and(self, segment: _Segment, positions: np.ndarray) -> np.ndarray:
+        out = self._segment_slice(segment, int(positions[0])).copy()
+        for position in positions[1:]:
+            out &= self._segment_slice(segment, int(position))
+        return out
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge every segment (and the tail) into one segment.
+
+        The segment log keeps appends cheap, but every query pays one
+        slice read per segment; compaction restores single-segment
+        query cost.  The rewrite is atomic: the merged index is written
+        to a sibling temp file and renamed over the original.
+        """
+        merged = self.to_memory()
+        header = json.dumps(
+            {"hash_family": self.hash_family.describe()},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp_path, "wb") as fh:
+            fh.write(_BASE_HEAD.pack(BASE_MAGIC, FORMAT_VERSION, len(header)))
+            fh.write(header)
+        self._file.close()
+
+        rewritten = DiskBBS(
+            tmp_path,
+            flush_threshold=self.flush_threshold,
+            cache_pages=self._cache.capacity_pages,
+            page_bytes=self.page_bytes,
+            stats=self.stats,
+        )
+        rewritten._open()
+        if merged.n_transactions:
+            rewritten._tail = merged
+            rewritten.flush()
+        rewritten._file.close()
+
+        tmp_path.replace(self.path)
+        self._segments = []
+        self._counts = ItemCountTable()
+        self._signature_bits = 0
+        self._cache.clear()
+        self._open()
+
+    # -- bulk load for mining --------------------------------------------------------------
+
+    def to_memory(self) -> BBS:
+        """Materialise the whole index as an in-memory BBS (one read pass).
+
+        This is the load the mining algorithms assume; the returned BBS
+        covers disk segments *and* the unflushed tail, in insert order.
+        """
+        total_words = bitvec.words_for_bits(self.n_transactions)
+        matrix = np.zeros((self.m, max(total_words, 1)), dtype=np.uint64)
+        bit_offset = 0
+        for segment in self._segments:
+            self._file.seek(segment.matrix_offset)
+            blob = self._file.read(self.m * segment.n_words * 8)
+            seg_matrix = np.frombuffer(blob, dtype="<u8").reshape(
+                self.m, segment.n_words
+            )
+            _or_shifted(matrix, seg_matrix, bit_offset, segment.n_tx)
+            bit_offset += segment.n_tx
+            self.stats.page_reads += _pages(len(blob), self.page_bytes)
+        if self._tail.n_transactions:
+            tail_slices, tail_n, _, _ = self._tail._raw_state()
+            _or_shifted(matrix, tail_slices, bit_offset, tail_n)
+        counts = self.item_counts.as_dict()
+        return BBS._from_raw_state(
+            self.hash_family, matrix, self.n_transactions, counts,
+            self._signature_bits + (
+                self._tail._signature_bits_total if self._tail else 0
+            ),
+        )
+
+
+def _or_shifted(
+    target: np.ndarray, source: np.ndarray, bit_offset: int, n_bits: int
+) -> None:
+    """OR ``source``'s first ``n_bits`` columns into ``target`` at an offset.
+
+    Segments start on arbitrary bit boundaries, so each source word may
+    straddle two target words.
+    """
+    word_offset, shift = divmod(bit_offset, bitvec.WORD_BITS)
+    n_words = bitvec.words_for_bits(n_bits)
+    chunk = source[:, :n_words]
+    total_words = target.shape[1]
+    if shift == 0:
+        end = min(word_offset + n_words, total_words)
+        target[:, word_offset:end] |= chunk[:, : end - word_offset]
+        return
+    left = (chunk << np.uint64(shift)).astype(np.uint64)
+    right = (chunk >> np.uint64(bitvec.WORD_BITS - shift)).astype(np.uint64)
+    left_end = min(word_offset + n_words, total_words)
+    target[:, word_offset:left_end] |= left[:, : left_end - word_offset]
+    right_start = word_offset + 1
+    right_end = min(right_start + n_words, total_words)
+    if right_end > right_start:
+        # Any bits the clip would drop are beyond n_bits and thus zero.
+        target[:, right_start:right_end] |= right[:, : right_end - right_start]
+
+
+def _pages(n_bytes: int, page_bytes: int) -> int:
+    if n_bytes <= 0:
+        return 0
+    return (n_bytes + page_bytes - 1) // page_bytes

@@ -1,0 +1,92 @@
+"""I/O accounting and the simulated-response-time cost model.
+
+The paper reports wall-clock response times on a 167 MHz SUN Ultra 1
+with a 1997-era disk.  Re-running on modern hardware (with the whole
+working set in the page cache) would flatten exactly the effects the
+memory-size experiment (Figure 11) is about.  We therefore make the I/O
+explicit: every database scan, index probe, and slice read increments
+counters in an :class:`IOStats`, and a :class:`CostModel` converts
+``(cpu_seconds, stats)`` into a simulated response time::
+
+    simulated = cpu_seconds * cpu_scale + page_ios * io_latency
+
+Benchmarks report both raw wall-clock and the simulated figure; the
+figure-11 reproduction uses the simulated one (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_PAGE_BYTES = 4096
+#: 1997-era disk: ~10 ms average access per page.
+DEFAULT_IO_LATENCY_S = 0.010
+
+
+@dataclass
+class IOStats:
+    """Mutable counter bundle threaded through databases and indexes."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    tuples_read: int = 0
+    db_scans: int = 0
+    slice_reads: int = 0      # BBS slice rows pulled from storage
+    probe_fetches: int = 0    # positional-index tuple fetches
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counter values."""
+        return IOStats(**{
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        })
+
+    def merged(self, other: "IOStats") -> "IOStats":
+        """A new :class:`IOStats` with counters summed pairwise."""
+        return IOStats(**{
+            name: getattr(self, name) + getattr(other, name)
+            for name in self.__dataclass_fields__
+        })
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(**{
+            name: getattr(self, name) - getattr(other, name)
+            for name in self.__dataclass_fields__
+        })
+
+    @property
+    def total_page_ios(self) -> int:
+        """Reads plus writes — the quantity the cost model charges."""
+        return self.page_reads + self.page_writes
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Convert measured CPU time plus counted I/O into a response time.
+
+    ``cpu_scale`` rescales Python CPU time toward the paper's compiled
+    C++ (default 1.0: report Python time as-is, since only *relative*
+    times matter for the reproduction).  ``io_latency_s`` is the charge
+    per page I/O.
+    """
+
+    io_latency_s: float = DEFAULT_IO_LATENCY_S
+    cpu_scale: float = 1.0
+    page_bytes: int = DEFAULT_PAGE_BYTES
+
+    def pages_for_bytes(self, n_bytes: int) -> int:
+        """Number of pages spanned by ``n_bytes`` of sequential data."""
+        if n_bytes <= 0:
+            return 0
+        return (n_bytes + self.page_bytes - 1) // self.page_bytes
+
+    def response_time(self, cpu_seconds: float, stats: IOStats) -> float:
+        """Simulated response time in seconds."""
+        return cpu_seconds * self.cpu_scale + stats.total_page_ios * self.io_latency_s

@@ -1,0 +1,151 @@
+"""Binary persistence for the BBS index — the "persistent" in BBS.
+
+The paper's index is explicitly *"a dynamic and persistent data
+structure"*: it lives on disk between mining runs and absorbs inserts
+without a rebuild.  This module defines the on-disk format:
+
+====================  ==========================================
+offset 0              magic ``b"BBSF"``
+4                     format version (uint32 LE)
+8                     header length ``H`` (uint32 LE)
+12 .. 12+H            JSON header (hash family, m, k, n_tx,
+                      signature-bit total, item counts)
+12+H ..               slice matrix: ``m * n_words`` uint64 LE,
+                      row-major (slice 0 first)
+last 4 bytes          CRC32 of everything before it (uint32 LE)
+====================  ==========================================
+
+Items in the count table may be ``int`` or ``str``; they are stored
+type-tagged so a reload round-trips exactly.  The trailing CRC turns
+torn writes and bit rot into :class:`~repro.errors.CorruptFileError`
+instead of silent wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import family_from_description
+from repro.errors import CorruptFileError, StorageError
+from repro.storage.metrics import IOStats
+
+MAGIC = b"BBSF"
+FORMAT_VERSION = 1
+_HEAD = struct.Struct("<4sII")
+_CRC = struct.Struct("<I")
+
+
+def _encode_item(item) -> list:
+    if isinstance(item, bool) or not isinstance(item, (int, str)):
+        raise StorageError(
+            f"only int and str items can be persisted, got {type(item).__name__}"
+        )
+    return ["i", item] if isinstance(item, int) else ["s", item]
+
+
+def _decode_item(tagged: list):
+    tag, value = tagged
+    if tag == "i":
+        return int(value)
+    if tag == "s":
+        return str(value)
+    raise CorruptFileError(f"unknown item tag {tag!r} in slice file")
+
+
+def save_bbs(bbs, path) -> None:
+    """Write ``bbs`` to ``path`` atomically (write-temp-then-rename)."""
+    slices, n_tx, counts, sig_bits = bbs._raw_state()
+    header = {
+        "hash_family": bbs.hash_family.describe(),
+        "m": bbs.m,
+        "k": bbs.k,
+        "n_transactions": n_tx,
+        "n_words": int(slices.shape[1]),
+        "signature_bits_total": sig_bits,
+        "item_counts": [
+            [_encode_item(item), count] for item, count in sorted(
+                counts.items(), key=lambda pair: repr(pair[0])
+            )
+        ],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload = bytearray()
+    payload += _HEAD.pack(MAGIC, FORMAT_VERSION, len(header_bytes))
+    payload += header_bytes
+    payload += np.ascontiguousarray(slices, dtype="<u8").tobytes()
+    payload += _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_bytes(payload)
+    tmp.replace(target)
+    bbs.stats.page_writes += _pages(len(payload))
+
+
+def load_bbs(path, *, stats: IOStats | None = None):
+    """Reload a BBS written by :func:`save_bbs`.
+
+    Raises :class:`CorruptFileError` on any structural damage and
+    :class:`StorageError` when the file cannot be read at all.
+    """
+    from repro.core.bbs import BBS  # local import to avoid a cycle
+
+    target = Path(path)
+    try:
+        blob = target.read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read slice file {target}: {exc}") from exc
+    if len(blob) < _HEAD.size + _CRC.size:
+        raise CorruptFileError(f"slice file {target} is truncated")
+    stored_crc, = _CRC.unpack_from(blob, len(blob) - _CRC.size)
+    if zlib.crc32(blob[: -_CRC.size]) & 0xFFFFFFFF != stored_crc:
+        raise CorruptFileError(f"slice file {target} failed its checksum")
+    magic, version, header_len = _HEAD.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise CorruptFileError(f"{target} is not a BBS slice file")
+    if version != FORMAT_VERSION:
+        raise CorruptFileError(
+            f"slice file {target} has version {version}, "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    header_start = _HEAD.size
+    header_end = header_start + header_len
+    if header_end > len(blob) - _CRC.size:
+        raise CorruptFileError(f"slice file {target} header overruns the file")
+    try:
+        header = json.loads(blob[header_start:header_end])
+    except json.JSONDecodeError as exc:
+        raise CorruptFileError(f"slice file {target} header is not JSON") from exc
+
+    try:
+        m = int(header["m"])
+        n_words = int(header["n_words"])
+        n_tx = int(header["n_transactions"])
+        sig_bits = int(header.get("signature_bits_total", 0))
+        family = family_from_description(header["hash_family"])
+        counts = {
+            _decode_item(tagged): int(count)
+            for tagged, count in header["item_counts"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptFileError(f"slice file {target} header is malformed") from exc
+
+    body = blob[header_end: -_CRC.size]
+    expected = m * n_words * 8
+    if len(body) != expected:
+        raise CorruptFileError(
+            f"slice file {target} body is {len(body)} bytes, expected {expected}"
+        )
+    matrix = np.frombuffer(body, dtype="<u8").astype(np.uint64).reshape(m, n_words)
+    bbs = BBS._from_raw_state(family, matrix, n_tx, counts, sig_bits, stats=stats)
+    bbs.stats.page_reads += _pages(len(blob))
+    return bbs
+
+
+def _pages(n_bytes: int, page_bytes: int = 4096) -> int:
+    return (n_bytes + page_bytes - 1) // page_bytes

@@ -1,0 +1,162 @@
+"""The persistent transaction-file format and its positional index.
+
+The Probe refinement needs exactly what the paper describes: *"an index
+[whose] key is the relative position of the transaction from the
+beginning of the file"*.  A transaction file is therefore two parts:
+
+* ``<name>`` — the data file: a small header followed by fixed-layout
+  records ``(tid: uint64, n_items: uint32, items: n * uint32)``;
+* ``<name>.idx`` — the positional index: a header plus one uint64 byte
+  offset per transaction, appended in lock-step with the data file.
+
+Items are ``uint32`` integers (the synthetic workloads' native type);
+string-item databases should stay in memory or map items through an
+external dictionary.  Both files carry magics and the index stores the
+record count, so mismatched or truncated pairs are detected on open.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CorruptFileError, StorageError
+
+DATA_MAGIC = b"BBTX"
+INDEX_MAGIC = b"BBIX"
+FORMAT_VERSION = 1
+_FILE_HEAD = struct.Struct("<4sI")
+_RECORD_HEAD = struct.Struct("<QI")
+_MAX_ITEM = 2**32 - 1
+
+
+def index_path(data_path) -> Path:
+    """The sidecar index path for a data file path."""
+    data = Path(data_path)
+    return data.with_suffix(data.suffix + ".idx")
+
+
+class TransactionFileWriter:
+    """Append-only writer keeping data and index in lock-step."""
+
+    def __init__(self, path, *, truncate: bool = True):
+        self.path = Path(path)
+        self._index_path = index_path(path)
+        mode = "wb" if truncate else "ab"
+        fresh = truncate or not self.path.exists()
+        self._data = open(self.path, mode)
+        self._index = open(self._index_path, mode)
+        if fresh:
+            self._data.write(_FILE_HEAD.pack(DATA_MAGIC, FORMAT_VERSION))
+            self._index.write(_FILE_HEAD.pack(INDEX_MAGIC, FORMAT_VERSION))
+        self.n_written = 0
+
+    def append(self, items, tid: int | None = None) -> int:
+        """Write one transaction; returns its byte offset in the data file."""
+        itemset = sorted(set(int(i) for i in items))
+        if not itemset:
+            raise StorageError("cannot write an empty transaction")
+        if itemset[0] < 0 or itemset[-1] > _MAX_ITEM:
+            raise StorageError(
+                f"items must fit uint32, got range "
+                f"[{itemset[0]}, {itemset[-1]}]"
+            )
+        offset = self._data.tell()
+        record_tid = self.n_written if tid is None else int(tid)
+        self._data.write(_RECORD_HEAD.pack(record_tid, len(itemset)))
+        self._data.write(np.asarray(itemset, dtype="<u4").tobytes())
+        self._index.write(struct.pack("<Q", offset))
+        self.n_written += 1
+        return offset
+
+    def close(self) -> None:
+        """Close both file handles."""
+        self._data.close()
+        self._index.close()
+
+    def __enter__(self) -> "TransactionFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TransactionFileReader:
+    """Random and sequential access over a transaction file pair."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._index_path = index_path(path)
+        try:
+            self._data = open(self.path, "rb")
+            index_blob = self._index_path.read_bytes()
+        except OSError as exc:
+            raise StorageError(f"cannot open transaction file {path}: {exc}") from exc
+        self._check_head(self._data.read(_FILE_HEAD.size), DATA_MAGIC, self.path)
+        self._check_head(index_blob[: _FILE_HEAD.size], INDEX_MAGIC, self._index_path)
+        payload = index_blob[_FILE_HEAD.size:]
+        if len(payload) % 8:
+            raise CorruptFileError(f"index {self._index_path} has a torn tail")
+        self._offsets = np.frombuffer(payload, dtype="<u8")
+
+    @staticmethod
+    def _check_head(blob: bytes, magic: bytes, path) -> None:
+        if len(blob) < _FILE_HEAD.size:
+            raise CorruptFileError(f"{path} is truncated")
+        got_magic, version = _FILE_HEAD.unpack_from(blob, 0)
+        if got_magic != magic:
+            raise CorruptFileError(f"{path} has the wrong magic")
+        if version != FORMAT_VERSION:
+            raise CorruptFileError(
+                f"{path} is format version {version}, expected {FORMAT_VERSION}"
+            )
+
+    def __len__(self) -> int:
+        return int(self._offsets.size)
+
+    def read_at(self, position: int) -> tuple[int, tuple[int, ...]]:
+        """``(tid, items)`` of the transaction at ``position``."""
+        if not 0 <= position < len(self):
+            raise StorageError(
+                f"position {position} out of range [0, {len(self)})"
+            )
+        self._data.seek(int(self._offsets[position]))
+        return self._read_record()
+
+    def _read_record(self) -> tuple[int, tuple[int, ...]]:
+        head = self._data.read(_RECORD_HEAD.size)
+        if len(head) < _RECORD_HEAD.size:
+            raise CorruptFileError(f"{self.path}: record header truncated")
+        tid, n_items = _RECORD_HEAD.unpack(head)
+        body = self._data.read(4 * n_items)
+        if len(body) < 4 * n_items:
+            raise CorruptFileError(f"{self.path}: record body truncated")
+        items = tuple(int(i) for i in np.frombuffer(body, dtype="<u4"))
+        return tid, items
+
+    def scan(self):
+        """Yield ``(position, tid, items)`` sequentially."""
+        self._data.seek(_FILE_HEAD.size)
+        for position in range(len(self)):
+            yield (position, *self._read_record())
+
+    def offset_of(self, position: int) -> int:
+        """Byte offset of a record (page-accounting hook for DiskDatabase)."""
+        return int(self._offsets[position])
+
+    @property
+    def data_bytes(self) -> int:
+        """Size of the data file in bytes."""
+        return self.path.stat().st_size
+
+    def close(self) -> None:
+        """Close the data file handle."""
+        self._data.close()
+
+    def __enter__(self) -> "TransactionFileReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

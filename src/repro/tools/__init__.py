@@ -1,0 +1,5 @@
+"""Operational tooling: result verification and diagnostics."""
+
+from repro.tools.verify import VerificationReport, verify_result
+
+__all__ = ["VerificationReport", "verify_result"]

@@ -1,0 +1,116 @@
+"""Independent verification of a mining result against its database.
+
+A filter-and-refine pipeline has several places where a bug would
+produce *plausible but wrong* output (a miscounted pattern, a certified
+pattern that is actually infrequent, a missed pattern).  This tool
+re-derives the truth with the dumbest possible counting and audits a
+:class:`~repro.core.results.MiningResult` against it:
+
+* **soundness** — every reported pattern is genuinely frequent; every
+  count flagged exact matches the true support; every estimated count
+  is a valid upper bound;
+* **completeness** — no frequent pattern is missing (checked against a
+  brute-force enumeration; skippable for very large answer sets);
+* **closure** — the answer set is downward-closed (every non-empty
+  subset of a reported pattern is reported), which any correct frequent
+  pattern set must satisfy.
+
+The same checks power several integration tests; exposing them as a
+tool lets downstream users audit results on their own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.results import MiningResult
+from repro.data.database import TransactionDatabase
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_result`."""
+
+    checked_patterns: int = 0
+    issues: list[str] = field(default_factory=list)
+    completeness_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the audit found no issues."""
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        """Append one issue message."""
+        self.issues.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            scope = "sound + complete" if self.completeness_checked else "sound"
+            return f"OK: {self.checked_patterns} patterns verified ({scope})"
+        head = f"{len(self.issues)} issue(s) in {self.checked_patterns} patterns:"
+        return "\n".join([head] + [f"  - {issue}" for issue in self.issues])
+
+
+def verify_result(
+    result: MiningResult,
+    database: TransactionDatabase,
+    *,
+    check_completeness: bool = True,
+    max_issues: int = 25,
+) -> VerificationReport:
+    """Audit ``result`` against ``database``; returns a report."""
+    report = VerificationReport(checked_patterns=len(result.patterns))
+    threshold = result.min_support
+    if len(database) != result.n_transactions:
+        report.add(
+            f"result covers {result.n_transactions} transactions, "
+            f"database has {len(database)}"
+        )
+
+    reported = result.itemsets()
+    for itemset, pattern in result.patterns.items():
+        if len(report.issues) >= max_issues:
+            report.add("... (further issues suppressed)")
+            break
+        true_support = database.support(itemset)
+        label = sorted(map(str, itemset))
+        if true_support < threshold:
+            report.add(
+                f"{label} reported frequent but has support "
+                f"{true_support} < {threshold}"
+            )
+        if pattern.exact and pattern.count != true_support:
+            report.add(
+                f"{label} exact count {pattern.count} != true {true_support}"
+            )
+        if not pattern.exact and pattern.count < true_support:
+            report.add(
+                f"{label} estimated count {pattern.count} underestimates "
+                f"true {true_support}"
+            )
+        # Downward closure: every (k-1)-subset must be reported too.
+        if len(itemset) > 1:
+            for item in itemset:
+                subset = itemset - {item}
+                if subset not in reported:
+                    report.add(
+                        f"{label} reported but its subset "
+                        f"{sorted(map(str, subset))} is missing"
+                    )
+                    break
+
+    if check_completeness and len(report.issues) < max_issues:
+        truth = naive_frequent_patterns(database, threshold)
+        report.completeness_checked = True
+        missing = set(truth) - reported
+        for itemset in sorted(missing, key=lambda s: (len(s), repr(s))):
+            if len(report.issues) >= max_issues:
+                report.add("... (further issues suppressed)")
+                break
+            report.add(
+                f"frequent pattern {sorted(map(str, itemset))} "
+                f"(support {truth[itemset]}) is missing from the result"
+            )
+    return report

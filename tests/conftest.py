@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.data.database import TransactionDatabase
+from repro.data.datasets import running_example
+
+
+def make_random_database(
+    seed: int,
+    n_transactions: int = 150,
+    n_items: int = 40,
+    min_len: int = 1,
+    max_len: int = 8,
+) -> TransactionDatabase:
+    """A reproducible random database for cross-implementation checks."""
+    rng = random.Random(seed)
+    transactions = [
+        rng.sample(range(n_items), rng.randint(min_len, max_len))
+        for _ in range(n_transactions)
+    ]
+    return TransactionDatabase(transactions)
+
+
+@pytest.fixture
+def small_db() -> TransactionDatabase:
+    return make_random_database(seed=7)
+
+
+@pytest.fixture
+def small_bbs(small_db) -> BBS:
+    return BBS.from_database(small_db, m=128)
+
+
+@pytest.fixture
+def paper_example():
+    """The paper's running example: (database, bbs)."""
+    return running_example()
+
+
+@pytest.fixture
+def grocery_db() -> TransactionDatabase:
+    from repro.data.datasets import groceries
+
+    return groceries()

@@ -1,0 +1,138 @@
+"""Tests for the memory-bounded three-phase adaptive pipeline."""
+
+import pytest
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.adaptive import (
+    MAX_SAFE_FOLD_DENSITY,
+    fold_width_for_budget,
+    measured_density,
+    mine_adaptive,
+)
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.errors import ConfigurationError
+from tests.conftest import make_random_database
+
+MIN_SUPPORT = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_random_database(seed=29, n_transactions=200, n_items=30, max_len=7)
+    bbs = BBS.from_database(db, m=256)
+    truth = naive_frequent_patterns(db, MIN_SUPPORT)
+    return db, bbs, truth
+
+
+def _budget_for_slices(bbs, n_slices: int) -> int:
+    from repro.core.adaptive import SLICE_BUDGET_FRACTION
+
+    return int(n_slices * bbs.n_words * 8 / SLICE_BUDGET_FRACTION) + 1
+
+
+class TestFoldWidth:
+    def test_large_budget_keeps_all_slices(self, workload):
+        _, bbs, _ = workload
+        assert fold_width_for_budget(bbs, 10**9) == bbs.m
+
+    def test_small_budget_folds(self, workload):
+        _, bbs, _ = workload
+        width = fold_width_for_budget(bbs, _budget_for_slices(bbs, 64))
+        assert width == 64
+
+    def test_budget_floor_is_one_slice(self, workload):
+        _, bbs, _ = workload
+        assert fold_width_for_budget(bbs, 1) == 1
+
+    def test_nonpositive_budget_rejected(self, workload):
+        _, bbs, _ = workload
+        with pytest.raises(ConfigurationError):
+            fold_width_for_budget(bbs, 0)
+
+
+class TestAdaptiveCorrectness:
+    @pytest.mark.parametrize("algorithm", ["sfs", "sfp", "dfs", "dfp"])
+    def test_matches_truth_under_memory_pressure(self, workload, algorithm):
+        db, bbs, truth = workload
+        budget = _budget_for_slices(bbs, 128)
+        result = mine_adaptive(
+            db, bbs, MIN_SUPPORT, algorithm, memory_bytes=budget
+        )
+        assert result.itemsets() == set(truth)
+
+    def test_exact_counts_still_exact(self, workload):
+        db, bbs, truth = workload
+        result = mine_adaptive(
+            db, bbs, MIN_SUPPORT, "dfp",
+            memory_bytes=_budget_for_slices(bbs, 128),
+        )
+        for itemset, pattern in result.patterns.items():
+            if pattern.exact:
+                assert pattern.count == truth[itemset]
+
+    def test_algorithm_name_tagged(self, workload):
+        db, bbs, _ = workload
+        result = mine_adaptive(
+            db, bbs, MIN_SUPPORT, "dfp",
+            memory_bytes=_budget_for_slices(bbs, 128),
+        )
+        assert result.algorithm == "dfp+adaptive"
+
+
+class TestMineDispatch:
+    def test_mine_routes_to_adaptive_when_index_exceeds_budget(self, workload):
+        db, bbs, truth = workload
+        budget = _budget_for_slices(bbs, 128)
+        assert bbs.size_bytes > budget
+        result = mine(db, bbs, MIN_SUPPORT, "dfp", memory_bytes=budget)
+        assert result.algorithm == "dfp+adaptive"
+        assert result.itemsets() == set(truth)
+
+    def test_mine_stays_resident_when_it_fits(self, workload):
+        db, bbs, _ = workload
+        result = mine(db, bbs, MIN_SUPPORT, "dfp", memory_bytes=10**9)
+        assert result.algorithm == "dfp"
+
+
+class TestIOBounds:
+    def test_two_bbs_passes_charged(self, workload):
+        """The paper's headline property: at most two passes over BBS."""
+        db, bbs, _ = workload
+        budget = _budget_for_slices(bbs, 128)
+        result = mine_adaptive(db, bbs, MIN_SUPPORT, "dfp", memory_bytes=budget)
+        bbs_pages = -(-bbs.size_bytes // db.page_bytes)
+        probe_pages = db.n_pages  # probing is bounded by the buffer pool
+        assert result.io.page_reads <= 2 * bbs_pages + probe_pages
+
+
+class TestDensityGuard:
+    def test_degenerate_fold_rejected(self, workload):
+        db, bbs, _ = workload
+        with pytest.raises(ConfigurationError, match="density"):
+            mine_adaptive(db, bbs, MIN_SUPPORT, "dfp",
+                          memory_bytes=_budget_for_slices(bbs, 2))
+
+    def test_measured_density_bounds(self, workload):
+        _, bbs, _ = workload
+        assert 0.0 < measured_density(bbs) < 1.0
+        folded = bbs.fold(4)
+        assert measured_density(folded) > measured_density(bbs)
+        assert measured_density(BBS(m=8)) == 0.0
+
+    def test_guard_threshold_is_sane(self):
+        assert 0.0 < MAX_SAFE_FOLD_DENSITY < 1.0
+
+
+class TestPostPruning:
+    def test_full_width_reestimation_prunes_candidates(self, workload):
+        """Phase 3 must remove some of the fold's extra false drops."""
+        db, bbs, _ = workload
+        result = mine_adaptive(
+            db, bbs, MIN_SUPPORT, "sfs",
+            memory_bytes=_budget_for_slices(bbs, 64),
+        )
+        assert result.filter_stats.post_pruned >= 0
+        # The pipeline must end at the right answer regardless.
+        truth = naive_frequent_patterns(db, MIN_SUPPORT)
+        assert result.itemsets() == set(truth)

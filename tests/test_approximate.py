@@ -1,0 +1,88 @@
+"""Tests for the phase-2-free approximate miner (the future-work extension)."""
+
+import pytest
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.approximate import (
+    frequent_probability,
+    mine_approximate,
+)
+from repro.core.bbs import BBS
+from tests.conftest import make_random_database
+
+MIN_SUPPORT = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_random_database(seed=37, n_transactions=150, n_items=25, max_len=6)
+    bbs = BBS.from_database(db, m=128)
+    truth = naive_frequent_patterns(db, MIN_SUPPORT)
+    return db, bbs, truth
+
+
+class TestRecallGuarantee:
+    def test_no_false_misses_without_probability_floor(self, workload):
+        """Skipping phase 2 keeps Lemma 3: every true pattern survives."""
+        _, bbs, truth = workload
+        result, _ = mine_approximate(bbs, MIN_SUPPORT)
+        assert set(truth) <= result.itemsets()
+
+    def test_counts_are_flagged_estimates(self, workload):
+        _, bbs, _ = workload
+        result, _ = mine_approximate(bbs, MIN_SUPPORT)
+        assert all(not p.exact for p in result.patterns.values())
+
+    def test_estimates_dominate_truth(self, workload):
+        db, bbs, _ = workload
+        result, _ = mine_approximate(bbs, MIN_SUPPORT)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.count >= db.support(itemset)
+
+
+class TestConfidences:
+    def test_probabilities_in_unit_interval(self, workload):
+        _, bbs, _ = workload
+        _, confidences = mine_approximate(bbs, MIN_SUPPORT)
+        assert confidences
+        for approx in confidences.values():
+            assert 0.0 <= approx.probability <= 1.0
+
+    def test_wider_margin_means_higher_confidence(self):
+        base = dict(threshold=10, n_transactions=1000,
+                    signature_width=8, density=0.3)
+        low = frequent_probability(estimate=10, **base)
+        high = frequent_probability(estimate=60, **base)
+        assert high >= low
+
+    def test_below_threshold_is_impossible(self):
+        assert frequent_probability(
+            estimate=5, threshold=10, n_transactions=100,
+            signature_width=4, density=0.3,
+        ) == 0.0
+
+    def test_zero_density_is_certain(self):
+        assert frequent_probability(
+            estimate=12, threshold=10, n_transactions=100,
+            signature_width=4, density=0.0,
+        ) == 1.0
+
+    def test_probability_floor_filters(self, workload):
+        _, bbs, _ = workload
+        all_results, _ = mine_approximate(bbs, MIN_SUPPORT, min_probability=0.0)
+        strict, confidences = mine_approximate(
+            bbs, MIN_SUPPORT, min_probability=0.999
+        )
+        assert strict.itemsets() <= all_results.itemsets()
+        for approx in confidences.values():
+            assert approx.probability >= 0.999
+
+
+class TestNoDatabaseTouched:
+    def test_zero_db_io(self, workload):
+        """The entire point: answers come from the index alone."""
+        db, bbs, _ = workload
+        db.reset_io()
+        mine_approximate(bbs, MIN_SUPPORT)
+        assert db.stats.db_scans == 0
+        assert db.stats.probe_fetches == 0

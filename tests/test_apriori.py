@@ -1,0 +1,82 @@
+"""Tests for the Apriori baseline."""
+
+import pytest
+
+from repro.baselines.apriori import apriori, generate_candidates
+from repro.baselines.naive import naive_frequent_patterns
+from repro.data.database import TransactionDatabase
+from tests.conftest import make_random_database
+
+
+class TestGenerateCandidates:
+    def test_empty_input(self):
+        assert generate_candidates([]) == []
+
+    def test_pairs_from_singletons(self):
+        candidates = generate_candidates([(1,), (2,), (3,)])
+        assert candidates == [(1, 2), (1, 3), (2, 3)]
+
+    def test_join_requires_shared_prefix(self):
+        candidates = generate_candidates([(1, 2), (1, 3), (2, 3)])
+        assert candidates == [(1, 2, 3)]
+
+    def test_prune_removes_unsupported_subsets(self):
+        # (1,2,3) needs (2,3) frequent; it is absent here.
+        candidates = generate_candidates([(1, 2), (1, 3), (2, 4)])
+        assert candidates == []
+
+    def test_no_join_across_different_prefixes(self):
+        candidates = generate_candidates([(1, 2), (3, 4)])
+        assert candidates == []
+
+
+class TestApriori:
+    def test_matches_naive_oracle(self):
+        db = make_random_database(seed=41, n_transactions=120, n_items=20)
+        truth = naive_frequent_patterns(db, 8)
+        result = apriori(db, 8)
+        assert result.itemsets() == set(truth)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.count == truth[itemset]
+            assert pattern.exact
+
+    def test_counts_one_scan_per_level(self):
+        db = TransactionDatabase([[1, 2, 3]] * 5 + [[4]] * 5)
+        db.reset_io()
+        result = apriori(db, 3)
+        # Levels: 1-itemsets, 2-itemsets, 3-itemsets, (empty 4) = 3 scans.
+        assert db.stats.db_scans == 3
+        assert frozenset([1, 2, 3]) in result.itemsets()
+
+    def test_memory_budget_adds_scans(self):
+        from repro.core.refine import CANDIDATE_BYTES
+
+        db = TransactionDatabase(
+            [[1, 2], [1, 2], [2, 3], [2, 3], [1, 3], [1, 3]]
+        )
+        unbounded = apriori(db, 2)
+        db.reset_io()
+        bounded = apriori(db, 2, memory_bytes=1 * CANDIDATE_BYTES)
+        assert bounded.itemsets() == unbounded.itemsets()
+        assert bounded.refine_stats.scans > unbounded.refine_stats.scans
+
+    def test_max_size(self):
+        db = TransactionDatabase([[1, 2, 3]] * 5)
+        result = apriori(db, 3, max_size=2)
+        assert max(len(i) for i in result.itemsets()) == 2
+
+    def test_empty_result_when_threshold_too_high(self):
+        db = TransactionDatabase([[1], [2]])
+        assert len(apriori(db, 2)) == 0
+
+    def test_fractional_support(self):
+        db = TransactionDatabase([[1, 2]] * 9 + [[3]])
+        result = apriori(db, 0.5)
+        assert result.min_support == 5
+        assert frozenset([1, 2]) in result.itemsets()
+
+    def test_string_items(self):
+        db = TransactionDatabase([["a", "b"], ["a", "b"], ["b", "c"]])
+        result = apriori(db, 2)
+        assert frozenset(["a", "b"]) in result.itemsets()
+        assert result.count(["b"]) == 3

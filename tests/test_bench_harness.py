@@ -1,0 +1,118 @@
+"""Tests for the shared benchmark harness (it feeds EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import LABELS, SCHEMES, run_scheme
+from repro.bench.workloads import (
+    bench_scale,
+    clear_caches,
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+from repro.data.ibm import QuestSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return QuestSpec(
+        n_transactions=200, n_items=100, avg_transaction_size=6,
+        avg_pattern_size=3, n_patterns=30, seed=77,
+    )
+
+
+class TestWorkloads:
+    def test_scale_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert bench_scale() == "paper"
+        assert default_spec().n_transactions == 10_000
+        assert default_m() == 1600
+        assert default_min_support() == 0.003
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_workload_is_cached(self, tiny_spec):
+        first = get_workload(tiny_spec, 64)
+        second = get_workload(tiny_spec, 64)
+        assert first.database is second.database
+        assert first.bbs is second.bbs
+
+    def test_cache_keyed_by_m(self, tiny_spec):
+        assert get_workload(tiny_spec, 64).bbs is not get_workload(tiny_spec, 128).bbs
+
+    def test_workload_io_reset_between_uses(self, tiny_spec):
+        workload = get_workload(tiny_spec, 64)
+        list(workload.database.scan())
+        workload = get_workload(tiny_spec, 64)
+        assert workload.database.stats.db_scans == 0
+
+    def test_clear_caches(self, tiny_spec):
+        first = get_workload(tiny_spec, 64)
+        clear_caches()
+        assert get_workload(tiny_spec, 64).database is not first.database
+
+    def test_workload_name(self, tiny_spec):
+        assert get_workload(tiny_spec, 64).name == "T6.I3.D200.m64"
+
+
+class TestRunner:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_scheme_runs(self, tiny_spec, scheme):
+        workload = get_workload(tiny_spec, 64)
+        run = run_scheme(scheme, workload.database, workload.bbs, 0.05)
+        assert run.scheme == scheme
+        assert run.wall_seconds > 0
+        assert run.simulated_seconds >= run.wall_seconds
+        assert run.n_patterns == len(run.result)
+
+    def test_schemes_agree(self, tiny_spec):
+        workload = get_workload(tiny_spec, 64)
+        results = {
+            scheme: run_scheme(
+                scheme, workload.database, workload.bbs, 0.05
+            ).result.itemsets()
+            for scheme in SCHEMES
+        }
+        reference = results["apriori"]
+        for scheme, itemsets in results.items():
+            assert itemsets == reference, scheme
+
+    def test_unknown_scheme_rejected(self, tiny_spec):
+        workload = get_workload(tiny_spec, 64)
+        with pytest.raises(ValueError):
+            run_scheme("voodoo", workload.database, workload.bbs, 0.05)
+
+    def test_extra_info_keys(self, tiny_spec):
+        workload = get_workload(tiny_spec, 64)
+        info = run_scheme("dfp", workload.database, workload.bbs, 0.05).extra_info()
+        for key in ("scheme", "patterns", "false_drop_ratio",
+                    "certified_fraction", "simulated_seconds"):
+            assert key in info
+
+    def test_labels_cover_schemes(self):
+        assert set(LABELS) == set(SCHEMES)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Demo", ["x", "value"], [[1, 0.5], [20, 1.25]], note="a note"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "== Demo =="
+        assert "x" in lines[1] and "value" in lines[1]
+        assert "0.500" in text and "1.250" in text
+        assert "a note" in text
+
+    def test_empty_rows(self):
+        text = format_table("Empty", ["a"], [])
+        assert "Empty" in text

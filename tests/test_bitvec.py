@@ -1,0 +1,165 @@
+"""Unit and property tests for the packed bit-vector kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitvec
+
+
+class TestWordsForBits:
+    def test_zero_bits_need_zero_words(self):
+        assert bitvec.words_for_bits(0) == 0
+
+    def test_one_bit_needs_one_word(self):
+        assert bitvec.words_for_bits(1) == 1
+
+    def test_exact_boundary(self):
+        assert bitvec.words_for_bits(64) == 1
+        assert bitvec.words_for_bits(65) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitvec.words_for_bits(-1)
+
+
+class TestZerosOnes:
+    def test_zeros_has_no_set_bits(self):
+        assert bitvec.popcount(bitvec.zeros(130)) == 0
+
+    def test_ones_sets_exactly_n_bits(self):
+        for n in (0, 1, 63, 64, 65, 127, 128, 200):
+            assert bitvec.popcount(bitvec.ones(n)) == n
+
+    def test_ones_tail_is_clear(self):
+        words = bitvec.ones(70)
+        # bits 70..127 must be zero
+        for index in range(70, 128):
+            assert not bitvec.get_bit(words, index)
+
+
+class TestPopcount:
+    def test_empty_array(self):
+        assert bitvec.popcount(np.empty(0, dtype=np.uint64)) == 0
+
+    def test_all_ones_word(self):
+        words = np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert bitvec.popcount(words) == 64
+
+    @given(st.lists(st.integers(0, 2**64 - 1), max_size=8))
+    def test_matches_python_bit_count(self, values):
+        words = np.array(values, dtype=np.uint64)
+        assert bitvec.popcount(words) == sum(v.bit_count() for v in values)
+
+
+class TestSetGetClear:
+    def test_set_then_get(self):
+        words = bitvec.zeros(100)
+        bitvec.set_bit(words, 77)
+        assert bitvec.get_bit(words, 77)
+        assert not bitvec.get_bit(words, 76)
+
+    def test_clear_bit(self):
+        words = bitvec.ones(100)
+        bitvec.clear_bit(words, 0)
+        assert not bitvec.get_bit(words, 0)
+        assert bitvec.popcount(words) == 99
+
+    @given(st.sets(st.integers(0, 199), max_size=30))
+    def test_set_bits_round_trip(self, indices):
+        words = bitvec.zeros(200)
+        for index in indices:
+            bitvec.set_bit(words, index)
+        assert set(bitvec.indices_of_set_bits(words).tolist()) == indices
+        assert bitvec.popcount(words) == len(indices)
+
+
+class TestAndReduce:
+    def test_single_row_is_copy(self):
+        rows = np.array([[0b1010]], dtype=np.uint64)
+        out = bitvec.and_reduce(rows)
+        assert out[0] == 0b1010
+        out[0] = 0
+        assert rows[0, 0] == 0b1010  # original untouched
+
+    def test_multi_row(self):
+        rows = np.array([[0b1110], [0b0111], [0b0110]], dtype=np.uint64)
+        assert bitvec.and_reduce(rows)[0] == 0b0110
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            bitvec.and_reduce(np.empty((0, 2), dtype=np.uint64))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            bitvec.and_reduce(np.zeros(4, dtype=np.uint64))
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=2),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_matches_python_and(self, rows):
+        stacked = np.array(rows, dtype=np.uint64)
+        out = bitvec.and_reduce(stacked)
+        for col in range(2):
+            expected = rows[0][col]
+            for row in rows[1:]:
+                expected &= row[col]
+            assert int(out[col]) == expected
+
+
+class TestIndicesAndPacking:
+    def test_pack_unpack_round_trip(self):
+        indices = [0, 5, 63, 64, 120]
+        words = bitvec.pack_indices(indices, 121)
+        assert bitvec.indices_of_set_bits(words).tolist() == indices
+
+    def test_pack_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            bitvec.pack_indices([10], 10)
+        with pytest.raises(IndexError):
+            bitvec.pack_indices([-1], 10)
+
+    def test_limit_truncates(self):
+        words = bitvec.pack_indices([0, 60, 63], 64)
+        assert bitvec.indices_of_set_bits(words, limit=61).tolist() == [0, 60]
+
+    def test_empty_indices(self):
+        words = bitvec.pack_indices([], 64)
+        assert bitvec.popcount(words) == 0
+
+    @given(st.sets(st.integers(0, 300), max_size=50))
+    def test_property_round_trip(self, indices):
+        words = bitvec.pack_indices(sorted(indices), 301)
+        assert set(bitvec.indices_of_set_bits(words).tolist()) == indices
+
+    def test_unpack_bits_length(self):
+        words = bitvec.pack_indices([1, 3], 10)
+        bits = bitvec.unpack_bits(words, 10)
+        assert bits.tolist() == [0, 1, 0, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_unpack_empty(self):
+        assert bitvec.unpack_bits(np.empty(0, dtype=np.uint64), 5).tolist() == [0] * 5
+
+
+class TestBitstrings:
+    def test_to_bitstring(self):
+        words = bitvec.pack_indices([0, 2], 4)
+        assert bitvec.to_bitstring(words, 4) == "1010"
+
+    def test_from_bitstring(self):
+        words = bitvec.from_bitstring("0110")
+        assert bitvec.indices_of_set_bits(words).tolist() == [1, 2]
+
+    def test_from_bitstring_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bitvec.from_bitstring("01x0")
+
+    @given(st.text(alphabet="01", min_size=1, max_size=120))
+    def test_bitstring_round_trip(self, text):
+        words = bitvec.from_bitstring(text)
+        assert bitvec.to_bitstring(words, len(text)) == text

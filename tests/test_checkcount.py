@@ -1,0 +1,166 @@
+"""Tests for CheckCount (Figure 3) — every flag path, plus lemma scenarios."""
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.core.checkcount import Certainty, check_count
+from repro.core.hashing import ModuloHashFamily
+from repro.data.database import TransactionDatabase
+
+
+class TestEmptyItemsetBranch:
+    """Lines 1-3: I2 = NULL uses the exact 1-item table."""
+
+    def test_frequent_item_gets_exact_flag(self):
+        flag, count = check_count(
+            threshold=3, est_item=10, act_item=5, est_itemset=None,
+            itemset_count=0, itemset_flag=Certainty.EXACT, est_union=10,
+        )
+        assert flag is Certainty.EXACT
+        assert count == 5  # the actual count, not the estimate
+
+    def test_infrequent_item_flagged(self):
+        flag, count = check_count(
+            threshold=3, est_item=10, act_item=2, est_itemset=None,
+            itemset_count=0, itemset_flag=Certainty.EXACT, est_union=10,
+        )
+        assert flag is Certainty.INFREQUENT
+        assert count == 2
+
+    def test_threshold_boundary_is_inclusive(self):
+        flag, _ = check_count(
+            threshold=3, est_item=3, act_item=3, est_itemset=None,
+            itemset_count=0, itemset_flag=Certainty.EXACT, est_union=3,
+        )
+        assert flag is Certainty.EXACT
+
+
+class TestCorollary1Branch:
+    """Lines 6-7: both constituents exact => union count is exact."""
+
+    def test_both_exact_yields_exact_union(self):
+        flag, count = check_count(
+            threshold=2, est_item=5, act_item=5, est_itemset=7,
+            itemset_count=7, itemset_flag=Certainty.EXACT, est_union=4,
+        )
+        assert flag is Certainty.EXACT
+        assert count == 4
+
+    def test_item_not_exact_blocks_corollary(self):
+        flag, _ = check_count(
+            threshold=2, est_item=6, act_item=5, est_itemset=7,
+            itemset_count=7, itemset_flag=Certainty.EXACT, est_union=6,
+        )
+        assert flag is not Certainty.EXACT
+
+
+class TestLemma5LowerBounds:
+    """Lines 8-11: certify via the lower bound when one side is exact."""
+
+    def test_item_exact_bound_clears_threshold(self):
+        # est(I2)=10, act(I2)=count=8 -> bound = est_union - 2
+        flag, count = check_count(
+            threshold=5, est_item=6, act_item=6, est_itemset=10,
+            itemset_count=8, itemset_flag=Certainty.EXACT, est_union=7,
+        )
+        assert flag is Certainty.BOUNDED
+        assert count == 7  # the estimate is carried
+
+    def test_item_exact_bound_misses_threshold(self):
+        flag, _ = check_count(
+            threshold=6, est_item=6, act_item=6, est_itemset=10,
+            itemset_count=8, itemset_flag=Certainty.EXACT, est_union=7,
+        )
+        assert flag is Certainty.UNCERTAIN
+
+    def test_itemset_exact_bound_clears_threshold(self):
+        # Roles swapped: est(I2)=count (I2 exact), item inexact by 1.
+        flag, count = check_count(
+            threshold=5, est_item=9, act_item=8, est_itemset=10,
+            itemset_count=10, itemset_flag=Certainty.EXACT, est_union=6,
+        )
+        assert flag is Certainty.BOUNDED
+        assert count == 6
+
+    def test_itemset_exact_bound_misses_threshold(self):
+        flag, _ = check_count(
+            threshold=6, est_item=9, act_item=8, est_itemset=10,
+            itemset_count=10, itemset_flag=Certainty.EXACT, est_union=6,
+        )
+        assert flag is Certainty.UNCERTAIN
+
+
+class TestUncertainFallthrough:
+    def test_non_exact_parent_skips_certification(self):
+        """Lines 4-11 require flag == 1 on the parent pattern."""
+        for parent_flag in (Certainty.UNCERTAIN, Certainty.BOUNDED):
+            flag, count = check_count(
+                threshold=2, est_item=5, act_item=5, est_itemset=7,
+                itemset_count=7, itemset_flag=parent_flag, est_union=4,
+            )
+            assert flag is Certainty.UNCERTAIN
+            assert count == 4
+
+    def test_nothing_exact_falls_through(self):
+        flag, _ = check_count(
+            threshold=2, est_item=6, act_item=5, est_itemset=9,
+            itemset_count=8, itemset_flag=Certainty.EXACT, est_union=5,
+        )
+        assert flag is Certainty.UNCERTAIN
+
+
+class TestCertaintyEnum:
+    def test_guaranteed(self):
+        assert Certainty.EXACT.guaranteed
+        assert Certainty.BOUNDED.guaranteed
+        assert not Certainty.UNCERTAIN.guaranteed
+        assert not Certainty.INFREQUENT.guaranteed
+
+    def test_values_match_paper(self):
+        assert Certainty.INFREQUENT == -1
+        assert Certainty.UNCERTAIN == 0
+        assert Certainty.EXACT == 1
+        assert Certainty.BOUNDED == 2
+
+
+class TestLemma5OnRealData:
+    """Validate the inequality the bounds rely on, on a concrete BBS."""
+
+    @pytest.fixture
+    def setup(self):
+        # Items 0..7 with h(x) = x mod 4 => guaranteed collisions.
+        db = TransactionDatabase([
+            [0, 1], [0, 1], [0, 5], [4, 1], [0, 1, 2], [2, 3], [6, 7],
+        ])
+        bbs = BBS(m=4, hash_family=ModuloHashFamily(4))
+        for tx in db:
+            bbs.insert(tx)
+        return db, bbs
+
+    def test_lower_bound_inequality_holds(self, setup):
+        db, bbs = setup
+        # I1 = {0}, I2 = {1}: act/est for each, then the union bound.
+        est_1 = bbs.count_itemset([0])
+        act_1 = db.support([0])
+        est_2 = bbs.count_itemset([1])
+        act_2 = db.support([1])
+        est_union = bbs.count_itemset([0, 1])
+        act_union = db.support([0, 1])
+        assert est_union >= act_union
+        if est_1 == act_1:
+            assert act_union >= est_union - (est_2 - act_2)
+
+    def test_corollary1_on_real_counts(self, setup):
+        db, bbs = setup
+        # Find two items whose estimates are exact; Corollary 1 says the
+        # union estimate is exact too.
+        exact_items = [
+            i for i in db.items()
+            if bbs.count_itemset([i]) == db.support([i])
+        ]
+        for a in exact_items:
+            for b in exact_items:
+                if a < b:
+                    assert (
+                        bbs.count_itemset([a, b]) == db.support([a, b])
+                    ), (a, b)

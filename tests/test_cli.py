@@ -1,0 +1,231 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def capsys_run(capsys):
+    def run(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return run
+
+
+@pytest.fixture
+def generated(tmp_path, capsys_run):
+    """A small generated database + index on disk."""
+    db_path = str(tmp_path / "demo.tx")
+    idx_path = str(tmp_path / "demo.bbs")
+    code, out, _ = capsys_run(
+        "generate", "--out", db_path,
+        "--transactions", "400", "--items", "120",
+        "--avg-size", "6", "--pattern-size", "3",
+        "--patterns", "40", "--seed", "5",
+    )
+    assert code == 0
+    code, out, _ = capsys_run(
+        "index", "--db", db_path, "--out", idx_path, "--m", "256"
+    )
+    assert code == 0
+    return db_path, idx_path
+
+
+class TestGenerate:
+    def test_reports_workload_name(self, tmp_path, capsys_run):
+        code, out, _ = capsys_run(
+            "generate", "--out", str(tmp_path / "g.tx"),
+            "--transactions", "100", "--items", "50",
+            "--avg-size", "5", "--pattern-size", "3", "--patterns", "20",
+        )
+        assert code == 0
+        assert "T5.I3.D100" in out
+
+    def test_file_is_readable(self, tmp_path, capsys_run):
+        from repro.data.diskdb import DiskDatabase
+
+        path = tmp_path / "g.tx"
+        capsys_run("generate", "--out", str(path),
+                   "--transactions", "100", "--items", "50",
+                   "--patterns", "20")
+        with DiskDatabase(path) as db:
+            assert len(db) == 100
+
+
+class TestIndex:
+    def test_reports_size(self, generated, capsys_run):
+        db_path, _ = generated
+        # (already indexed in the fixture; the assertion is in setup)
+
+    def test_index_loadable(self, generated):
+        from repro.core.bbs import BBS
+
+        _, idx_path = generated
+        bbs = BBS.load(idx_path)
+        assert bbs.m == 256
+        assert bbs.n_transactions == 400
+
+
+class TestMine:
+    def test_mine_prints_patterns(self, generated, capsys_run):
+        db_path, idx_path = generated
+        code, out, _ = capsys_run(
+            "mine", "--db", db_path, "--index", idx_path,
+            "--min-support", "0.02", "--algorithm", "dfp", "--top", "5",
+        )
+        assert code == 0
+        assert "dfp:" in out
+        assert "frequent patterns" in out
+
+    def test_mine_matches_library(self, generated, capsys_run):
+        from repro.baselines.apriori import apriori
+        from repro.data.diskdb import DiskDatabase
+
+        db_path, idx_path = generated
+        with DiskDatabase(db_path) as db:
+            expected = len(apriori(db, 0.02))
+        _, out, _ = capsys_run(
+            "mine", "--db", db_path, "--index", idx_path,
+            "--min-support", "0.02", "--top", "0",
+        )
+        assert f"{expected} frequent patterns" in out
+
+    def test_absolute_support_parsed(self, generated, capsys_run):
+        db_path, idx_path = generated
+        code, out, _ = capsys_run(
+            "mine", "--db", db_path, "--index", idx_path,
+            "--min-support", "8",
+        )
+        assert code == 0
+        assert "min_support=8" in out
+
+
+class TestCount:
+    def test_plain_count(self, generated, capsys_run):
+        from repro.data.diskdb import DiskDatabase
+
+        db_path, idx_path = generated
+        with DiskDatabase(db_path) as db:
+            item = db.items()[0]
+            expected = db.support([item])
+        code, out, _ = capsys_run(
+            "count", "--db", db_path, "--index", idx_path,
+            "--items", str(item),
+        )
+        assert code == 0
+        assert f"exact={expected}" in out
+
+    def test_constrained_count(self, generated, capsys_run):
+        db_path, idx_path = generated
+        code, out, _ = capsys_run(
+            "count", "--db", db_path, "--index", idx_path,
+            "--items", "1,2", "--tid-mod", "7",
+        )
+        assert code == 0
+        assert "estimate=" in out
+
+
+class TestExample:
+    def test_replays_running_example(self, capsys_run):
+        code, out, _ = capsys_run("example")
+        assert code == 0
+        assert "TID 100" in out
+        assert "slice 0: 10010" in out
+        assert "est count({0, 1}) = 2" in out
+        assert "est count({1, 3}) = 3" in out
+
+
+class TestErrors:
+    def test_missing_db_is_reported(self, tmp_path, capsys_run):
+        code, _, err = capsys_run(
+            "index", "--db", str(tmp_path / "nope.tx"),
+            "--out", str(tmp_path / "o.bbs"),
+        )
+        assert code == 1
+        assert "error:" in err
+
+
+class TestMineOut:
+    def test_result_json_written(self, generated, capsys_run, tmp_path):
+        db_path, idx_path = generated
+        out = str(tmp_path / "result.json")
+        code, stdout, _ = capsys_run(
+            "mine", "--db", db_path, "--index", idx_path,
+            "--min-support", "0.02", "--out", out,
+        )
+        assert code == 0
+        assert "result written" in stdout
+        from repro.core.results import MiningResult
+
+        result = MiningResult.load_json(out)
+        assert len(result) > 0
+
+    def test_auto_algorithm(self, generated, capsys_run):
+        db_path, idx_path = generated
+        code, stdout, _ = capsys_run(
+            "mine", "--db", db_path, "--index", idx_path,
+            "--min-support", "0.02", "--algorithm", "auto",
+        )
+        assert code == 0
+        assert "auto:" in stdout
+
+
+class TestRulesCommand:
+    def test_rules_from_saved_result(self, generated, capsys_run, tmp_path):
+        db_path, idx_path = generated
+        out = str(tmp_path / "result.json")
+        capsys_run("mine", "--db", db_path, "--index", idx_path,
+                   "--min-support", "0.02", "--out", out)
+        code, stdout, _ = capsys_run(
+            "rules", "--result", out, "--min-confidence", "0.5", "--top", "5",
+        )
+        assert code == 0
+        assert "rules at confidence" in stdout
+
+
+class TestVerifyCommand:
+    def test_clean_result_passes(self, generated, capsys_run, tmp_path):
+        db_path, idx_path = generated
+        out = str(tmp_path / "result.json")
+        capsys_run("mine", "--db", db_path, "--index", idx_path,
+                   "--min-support", "0.05", "--out", out)
+        code, stdout, _ = capsys_run(
+            "verify", "--db", db_path, "--result", out,
+        )
+        assert code == 0
+        assert "OK" in stdout
+
+    def test_tampered_result_fails(self, generated, capsys_run, tmp_path):
+        import json
+
+        db_path, idx_path = generated
+        out = tmp_path / "result.json"
+        capsys_run("mine", "--db", db_path, "--index", idx_path,
+                   "--min-support", "0.05", "--out", str(out))
+        payload = json.loads(out.read_text())
+        if payload["patterns"]:
+            payload["patterns"][0]["count"] += 3
+        out.write_text(json.dumps(payload))
+        code, stdout, _ = capsys_run(
+            "verify", "--db", db_path, "--result", str(out),
+            "--skip-completeness",
+        )
+        assert code == 1
+        assert "issue" in stdout
+
+
+class TestImportCommand:
+    def test_fimi_import(self, tmp_path, capsys_run):
+        fimi = tmp_path / "in.dat"
+        fimi.write_text("1 2 3\n2 3\n1 3\n")
+        out = str(tmp_path / "out.tx")
+        code, stdout, _ = capsys_run("import", "--fimi", str(fimi), "--out", out)
+        assert code == 0
+        assert "imported 3 transactions" in stdout
+        from repro.data.diskdb import DiskDatabase
+
+        with DiskDatabase(out) as db:
+            assert len(db) == 3

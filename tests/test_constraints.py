@@ -1,0 +1,159 @@
+"""Tests for constraint slices and the ad-hoc query engine (§3.4, §4.9)."""
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
+from repro.data.database import TransactionDatabase
+from repro.errors import DatabaseMismatchError, QueryError
+from tests.conftest import make_random_database
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_random_database(seed=31, n_transactions=120, n_items=25, max_len=6)
+    bbs = BBS.from_database(db, m=128)
+    return db, bbs
+
+
+class TestConstraintSlice:
+    def test_from_positions(self, workload):
+        db, _ = workload
+        slice_ = ConstraintSlice.from_positions([0, 5, 7], len(db))
+        assert slice_.count() == 3
+        assert slice_.positions().tolist() == [0, 5, 7]
+
+    def test_from_tid_predicate(self, workload):
+        db, _ = workload
+        slice_ = ConstraintSlice.from_tid_predicate(db, lambda t: t % 7 == 0)
+        expected = [p for p in range(len(db)) if db.tid(p) % 7 == 0]
+        assert slice_.positions().tolist() == expected
+
+    def test_from_transaction_predicate_scans_once(self, workload):
+        db, _ = workload
+        db.reset_io()
+        slice_ = ConstraintSlice.from_transaction_predicate(
+            db, lambda pos, tx: len(tx) >= 4
+        )
+        assert db.stats.db_scans == 1
+        expected = sum(1 for tx in db if len(tx) >= 4)
+        assert slice_.count() == expected
+
+    def test_and_or_invert(self, workload):
+        db, _ = workload
+        evens = ConstraintSlice.from_tid_predicate(db, lambda t: t % 2 == 0)
+        threes = ConstraintSlice.from_tid_predicate(db, lambda t: t % 3 == 0)
+        sixes = evens & threes
+        assert set(sixes.positions().tolist()) == (
+            set(evens.positions().tolist()) & set(threes.positions().tolist())
+        )
+        either = evens | threes
+        assert set(either.positions().tolist()) == (
+            set(evens.positions().tolist()) | set(threes.positions().tolist())
+        )
+        odds = ~evens
+        assert odds.count() == len(db) - evens.count()
+        assert not (set(odds.positions().tolist())
+                    & set(evens.positions().tolist()))
+
+    def test_combining_mismatched_sizes_rejected(self, workload):
+        db, _ = workload
+        a = ConstraintSlice.from_positions([0], len(db))
+        b = ConstraintSlice.from_positions([0], len(db) + 5)
+        with pytest.raises(QueryError):
+            _ = a & b
+        with pytest.raises(QueryError):
+            _ = a | b
+
+
+class TestQuery1:
+    """Exact counts of arbitrary — including non-frequent — patterns."""
+
+    def test_exact_count_matches_support(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        for itemset in ([0], [0, 1], [3, 9], [24]):
+            assert engine.exact_count(itemset) == db.support(itemset)
+
+    def test_estimate_dominates_exact(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        for itemset in ([0], [0, 1], [3, 9]):
+            assert engine.estimated_count(itemset) >= engine.exact_count(itemset)
+
+    def test_probing_cheaper_than_scanning(self, workload):
+        """The point of Query 1: fetch only the flagged tuples."""
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        engine.exact_count([0, 1])
+        assert engine.refine_stats.probed_tuples < len(db)
+
+    def test_absent_item_counts_zero(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        assert engine.exact_count([987654]) == 0
+
+
+class TestQuery2:
+    """Constrained counting through an extra bit-slice."""
+
+    def test_exact_constrained_count(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        constraint = ConstraintSlice.from_tid_predicate(db, lambda t: t % 7 == 0)
+        itemset = [0, 1]
+        expected = sum(
+            1 for p in range(len(db))
+            if db.tid(p) % 7 == 0 and {0, 1} <= set(db.fetch(p))
+        )
+        assert engine.exact_count_where(itemset, constraint) == expected
+
+    def test_estimate_dominates_constrained_exact(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        constraint = ConstraintSlice.from_tid_predicate(db, lambda t: t % 3 == 0)
+        est = engine.estimated_count_where([0], constraint)
+        exact = engine.exact_count_where([0], constraint)
+        assert est >= exact
+
+    def test_empty_constraint_counts_zero(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        nothing = ConstraintSlice.from_positions([], len(db))
+        assert engine.estimated_count_where([0], nothing) == 0
+        assert engine.exact_count_where([0], nothing) == 0
+
+    def test_mismatched_constraint_rejected(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        bad = ConstraintSlice.from_positions([0], len(db) + 64)
+        with pytest.raises(QueryError):
+            engine.estimated_count_where([0], bad)
+
+
+class TestEngineValidation:
+    def test_alignment_enforced(self, workload):
+        db, _ = workload
+        stale = BBS(m=32)
+        stale.insert([1])
+        with pytest.raises(DatabaseMismatchError):
+            AdHocQueryEngine(db, stale)
+
+    def test_empty_itemset_rejected(self, workload):
+        db, bbs = workload
+        engine = AdHocQueryEngine(db, bbs)
+        with pytest.raises(QueryError):
+            engine.exact_count([])
+
+
+class TestConstraintWithDynamicGrowth:
+    def test_constraint_rebuilt_after_growth(self):
+        db = TransactionDatabase([[1, 2], [2, 3]])
+        bbs = BBS.from_database(db, m=64)
+        db.append([1, 2], tid=14)
+        bbs.insert([1, 2])
+        engine = AdHocQueryEngine(db, bbs)
+        constraint = ConstraintSlice.from_tid_predicate(db, lambda t: t % 7 == 0)
+        # TIDs: 0, 1, 14 -> positions 0 and 2 qualify.
+        assert constraint.positions().tolist() == [0, 2]
+        assert engine.exact_count_where([1, 2], constraint) == 2

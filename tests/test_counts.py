@@ -1,0 +1,69 @@
+"""Tests for the exact 1-itemset counter table."""
+
+from repro.core.counts import ItemCountTable
+
+
+class TestRecord:
+    def test_counts_distinct_items_per_transaction(self):
+        table = ItemCountTable()
+        table.record([1, 2, 2, 3])  # duplicates collapse
+        assert table.count(2) == 1
+
+    def test_accumulates_across_transactions(self):
+        table = ItemCountTable()
+        table.record([1, 2])
+        table.record([2, 3])
+        assert table.count(2) == 2
+        assert table.count(1) == 1
+        assert table.count(99) == 0
+
+
+class TestQueries:
+    def test_contains(self):
+        table = ItemCountTable()
+        table.record(["a"])
+        assert "a" in table
+        assert "b" not in table
+
+    def test_len(self):
+        table = ItemCountTable()
+        table.record([1, 2, 3])
+        assert len(table) == 3
+
+    def test_items_sorted(self):
+        table = ItemCountTable()
+        table.record([3, 1, 2])
+        assert table.items() == [1, 2, 3]
+
+    def test_frequent_items(self):
+        table = ItemCountTable()
+        for _ in range(3):
+            table.record([1])
+        table.record([2])
+        assert table.frequent_items(2) == [1]
+        assert table.frequent_items(1) == [1, 2]
+        assert table.frequent_items(5) == []
+
+    def test_mixed_types_sort_stably(self):
+        table = ItemCountTable()
+        table.record(["b", 1, "a", 2])
+        assert table.items() == [1, 2, "a", "b"]
+
+
+class TestMergeAndExport:
+    def test_merge(self):
+        a = ItemCountTable({"x": 2})
+        b = ItemCountTable({"x": 1, "y": 3})
+        a.merge(b)
+        assert a.count("x") == 3
+        assert a.count("y") == 3
+
+    def test_as_dict_is_a_copy(self):
+        table = ItemCountTable({"x": 1})
+        exported = table.as_dict()
+        exported["x"] = 99
+        assert table.count("x") == 1
+
+    def test_init_from_dict(self):
+        table = ItemCountTable({"x": 5})
+        assert table.count("x") == 5

@@ -1,0 +1,34 @@
+"""Tests for the canned datasets module."""
+
+from repro.data.datasets import (
+    GROCERIES,
+    RUNNING_EXAMPLE_TRANSACTIONS,
+    RUNNING_EXAMPLE_VECTORS,
+    groceries,
+    running_example,
+)
+
+
+class TestGroceries:
+    def test_database_matches_constant(self):
+        db = groceries()
+        assert len(db) == len(GROCERIES)
+        assert list(db) == [tuple(sorted(t)) for t in GROCERIES]
+
+    def test_fresh_instances(self):
+        a = groceries()
+        b = groceries()
+        a.append(["yeast"])
+        assert len(b) == len(GROCERIES)
+
+
+class TestRunningExampleConstants:
+    def test_vectors_align_with_transactions(self):
+        assert set(RUNNING_EXAMPLE_VECTORS) == set(RUNNING_EXAMPLE_TRANSACTIONS)
+
+    def test_vector_width(self):
+        assert all(len(v) == 8 for v in RUNNING_EXAMPLE_VECTORS.values())
+
+    def test_database_and_index_aligned(self):
+        db, bbs = running_example()
+        assert len(db) == bbs.n_transactions == 5

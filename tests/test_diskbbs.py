@@ -1,0 +1,257 @@
+"""Tests for the segmented disk-resident BBS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.core import bitvec
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.errors import ConfigurationError, CorruptFileError, QueryError, StorageError
+from repro.storage.diskbbs import DiskBBS, _or_shifted
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def db():
+    return make_random_database(seed=47, n_transactions=130, n_items=22, max_len=6)
+
+
+@pytest.fixture
+def mirrored(tmp_path, db):
+    """A DiskBBS (multiple segments + tail) mirroring an in-memory BBS."""
+    memory = BBS.from_database(db, m=96)
+    disk = DiskBBS.create(tmp_path / "idx.bbsd", m=96, flush_threshold=40)
+    for tx in db:
+        disk.insert(tx)
+    yield db, memory, disk
+    disk.close()
+
+
+class TestCreateOpen:
+    def test_create_then_open_empty(self, tmp_path):
+        DiskBBS.create(tmp_path / "e.bbsd", m=64).close()
+        with DiskBBS.open(tmp_path / "e.bbsd") as disk:
+            assert disk.n_transactions == 0
+            assert disk.m == 64
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            DiskBBS.open(tmp_path / "absent.bbsd")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bbsd"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(CorruptFileError):
+            DiskBBS.open(path)
+
+    def test_mismatched_family_rejected(self, tmp_path):
+        from repro.core.hashing import MD5HashFamily
+
+        with pytest.raises(ConfigurationError):
+            DiskBBS.create(tmp_path / "x.bbsd", m=64,
+                           hash_family=MD5HashFamily(32, 4))
+
+    def test_bad_flush_threshold(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            DiskBBS(tmp_path / "x.bbsd", flush_threshold=0)
+
+
+class TestSegmentation:
+    def test_auto_flush_creates_segments(self, mirrored):
+        db, _, disk = mirrored
+        assert disk.n_segments == len(db) // 40
+        assert disk.tail_size == len(db) % 40
+        assert disk.n_transactions == len(db)
+
+    def test_explicit_flush_drains_tail(self, mirrored):
+        _, _, disk = mirrored
+        disk.flush()
+        assert disk.tail_size == 0
+
+    def test_flush_of_empty_tail_is_noop(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "n.bbsd", m=32)
+        before = disk.n_segments
+        disk.flush()
+        assert disk.n_segments == before
+        disk.close()
+
+
+class TestQueryParity:
+    """Every query must agree with the equivalent in-memory BBS."""
+
+    def test_counts_match(self, mirrored):
+        db, memory, disk = mirrored
+        for item in db.items():
+            assert disk.count_itemset([item]) == memory.count_itemset([item])
+
+    def test_pair_counts_match(self, mirrored):
+        db, memory, disk = mirrored
+        items = db.items()
+        for a, b in zip(items, items[5:]):
+            assert disk.count_itemset([a, b]) == memory.count_itemset([a, b])
+
+    def test_candidate_positions_match(self, mirrored):
+        db, memory, disk = mirrored
+        for item in db.items()[:8]:
+            assert (
+                sorted(disk.candidate_positions([item]).tolist())
+                == sorted(memory.candidate_positions([item]).tolist())
+            )
+
+    def test_item_counts_match(self, mirrored):
+        db, memory, disk = mirrored
+        for item in db.items():
+            assert disk.item_counts.count(item) == memory.item_counts.count(item)
+
+    def test_constrained_count(self, mirrored):
+        db, memory, disk = mirrored
+        constraint = bitvec.ones(len(db))
+        item = db.items()[0]
+        assert (
+            disk.count_with_constraint([item], constraint)
+            == memory.count_itemset([item])
+        )
+
+    def test_constraint_shape_enforced(self, mirrored):
+        _, _, disk = mirrored
+        with pytest.raises(QueryError):
+            disk.count_with_constraint([1], bitvec.zeros(3))
+
+    def test_empty_itemset_rejected(self, mirrored):
+        _, _, disk = mirrored
+        with pytest.raises(QueryError):
+            disk.count_itemset([])
+
+
+class TestToMemory:
+    def test_materialised_mining_matches(self, mirrored):
+        db, _, disk = mirrored
+        reference = apriori(db, 7)
+        result = mine(db, disk.to_memory(), 7, "dfp")
+        assert result.itemsets() == reference.itemsets()
+
+    def test_bit_identical_to_bulk_build(self, mirrored):
+        db, memory, disk = mirrored
+        materialised = disk.to_memory()
+        for position in range(memory.m):
+            assert np.array_equal(
+                materialised.slice_words(position),
+                memory.slice_words(position),
+            ), f"slice {position}"
+
+    def test_unflushed_tail_included(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "t.bbsd", m=32, flush_threshold=1000)
+        disk.insert([1, 2])
+        disk.insert([2, 3])
+        memory = disk.to_memory()
+        assert memory.n_transactions == 2
+        assert memory.count_itemset([2]) == 2
+        disk.close()
+
+
+class TestPersistence:
+    def test_reopen_preserves_everything(self, tmp_path, db):
+        disk = DiskBBS.create(tmp_path / "p.bbsd", m=96, flush_threshold=40)
+        for tx in db:
+            disk.insert(tx)
+        expected = {i: disk.count_itemset([i]) for i in db.items()}
+        disk.close()  # flushes the tail
+
+        reopened = DiskBBS.open(tmp_path / "p.bbsd")
+        assert reopened.n_transactions == len(db)
+        for item, count in expected.items():
+            assert reopened.count_itemset([item]) == count
+        reopened.close()
+
+    def test_appends_after_reopen(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "a.bbsd", m=32, flush_threshold=4)
+        for _ in range(4):
+            disk.insert([7])
+        disk.close()
+        reopened = DiskBBS.open(tmp_path / "a.bbsd")
+        reopened.insert([7])
+        assert reopened.count_itemset([7]) == 5
+        reopened.close()
+
+    def test_insert_after_close_rejected(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "c.bbsd", m=32)
+        disk.close()
+        with pytest.raises(StorageError):
+            disk.insert([1])
+
+
+class TestAccounting:
+    def test_segment_reads_hit_cache(self, mirrored):
+        _, _, disk = mirrored
+        disk.stats.reset()
+        disk.count_itemset([1])
+        first = disk.stats.page_reads
+        disk.count_itemset([1])
+        assert disk.stats.page_reads == first  # cached slices
+        assert disk.stats.cache_hits > 0
+
+    def test_flush_charges_writes(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "w.bbsd", m=32, flush_threshold=10**9)
+        disk.insert([1])
+        before = disk.stats.page_writes
+        disk.flush()
+        assert disk.stats.page_writes > before
+        disk.close()
+
+
+class TestOrShifted:
+    def test_aligned(self):
+        target = np.zeros((1, 3), dtype=np.uint64)
+        source = bitvec.pack_indices([0, 5], 64).reshape(1, -1)
+        _or_shifted(target, source, 64, 64)
+        assert bitvec.indices_of_set_bits(target[0]).tolist() == [64, 69]
+
+    def test_unaligned(self):
+        target = np.zeros((1, 3), dtype=np.uint64)
+        source = bitvec.pack_indices([0, 5, 63], 64).reshape(1, -1)
+        _or_shifted(target, source, 10, 64)
+        assert bitvec.indices_of_set_bits(target[0]).tolist() == [10, 15, 73]
+
+    def test_straddles_word_boundary(self):
+        target = np.zeros((1, 2), dtype=np.uint64)
+        source = bitvec.pack_indices([60], 61).reshape(1, -1)
+        _or_shifted(target, source, 60, 61)
+        assert bitvec.indices_of_set_bits(target[0]).tolist() == [120]
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    transactions=st.lists(
+        st.sets(st.integers(0, 25), min_size=1, max_size=5),
+        min_size=1, max_size=60,
+    ),
+    flush_threshold=st.sampled_from([1, 3, 7, 64, 1000]),
+)
+def test_property_segmentation_invisible_to_queries(
+    tmp_path_factory, transactions, flush_threshold
+):
+    """Any flush cadence yields the same answers as the in-memory BBS."""
+    path = tmp_path_factory.mktemp("dbbs") / "p.bbsd"
+    disk = DiskBBS.create(path, m=64, flush_threshold=flush_threshold)
+    memory = BBS(m=64)
+    for tx in transactions:
+        disk.insert(tx)
+        memory.insert(tx)
+    items = sorted({i for tx in transactions for i in tx})
+    for item in items[:10]:
+        assert disk.count_itemset([item]) == memory.count_itemset([item])
+        assert (
+            disk.candidate_positions([item]).tolist()
+            == memory.candidate_positions([item]).tolist()
+        )
+    materialised = disk.to_memory()
+    for row in range(64):
+        assert np.array_equal(
+            materialised.slice_words(row), memory.slice_words(row)
+        )
+    disk.close()

@@ -1,0 +1,67 @@
+"""Tests for the Eclat and brute-force oracles (they must agree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.eclat import eclat
+from repro.baselines.naive import naive_frequent_patterns, naive_support
+from repro.data.database import TransactionDatabase
+from tests.conftest import make_random_database
+
+
+class TestEclat:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_naive(self, seed):
+        db = make_random_database(seed, n_transactions=90, n_items=16, max_len=5)
+        truth = naive_frequent_patterns(db, 5)
+        result = eclat(db, 5)
+        assert result.itemsets() == set(truth)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.count == truth[itemset]
+
+    def test_max_size(self):
+        db = TransactionDatabase([["a", "b", "c"]] * 4)
+        result = eclat(db, 2, max_size=2)
+        assert max(len(i) for i in result.itemsets()) == 2
+
+    def test_single_scan(self):
+        db = make_random_database(seed=8)
+        db.reset_io()
+        eclat(db, 5)
+        assert db.stats.db_scans == 1
+
+
+class TestNaive:
+    def test_support_literal(self):
+        db = TransactionDatabase([[1, 2], [1], [2], [1, 2]])
+        assert naive_support(db, [1, 2]) == 2
+        assert naive_support(db, [1]) == 3
+
+    def test_patterns_include_all_sizes(self):
+        db = TransactionDatabase([["a", "b", "c"]] * 3)
+        found = naive_frequent_patterns(db, 3)
+        assert len(found) == 7  # all non-empty subsets of {a, b, c}
+
+    def test_threshold_excludes(self):
+        db = TransactionDatabase([["a"], ["a"], ["b"]])
+        found = naive_frequent_patterns(db, 2)
+        assert set(found) == {frozenset(["a"])}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transactions=st.lists(
+        st.sets(st.integers(0, 10), min_size=1, max_size=5),
+        min_size=1, max_size=25,
+    ),
+    threshold=st.integers(1, 5),
+)
+def test_property_oracles_agree(transactions, threshold):
+    """Eclat and brute force are independent; they must coincide."""
+    db = TransactionDatabase(transactions)
+    truth = naive_frequent_patterns(db, threshold)
+    result = eclat(db, threshold)
+    assert result.itemsets() == set(truth)
+    for itemset in truth:
+        assert result.count(itemset) == truth[itemset]

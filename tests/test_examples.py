@@ -1,0 +1,92 @@
+"""Smoke tests for the example applications.
+
+The faster examples are executed end-to-end; the slower ones are
+imported (their ``main`` is guarded) and their module constants checked,
+so a rename or API break in the library still fails the suite quickly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "market_basket.py",
+    "weblog_monitoring.py",
+    "adhoc_queries.py",
+    "tuning_vector_size.py",
+    "persistent_index.py",
+]
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_present_and_documented(self, name):
+        path = EXAMPLES_DIR / name
+        assert path.exists(), f"missing example {name}"
+        text = path.read_text()
+        assert '"""' in text, f"{name} lacks a module docstring"
+        assert "def main()" in text
+
+
+class TestQuickstart:
+    def test_runs_and_agrees_with_apriori(self):
+        out = run_example("quickstart.py")
+        assert out.count("agrees with Apriori: True") == 4
+        assert "Frequent patterns" in out
+
+
+class TestAdHocQueries:
+    def test_runs_and_answers_both_queries(self):
+        out = run_example("adhoc_queries.py")
+        assert "Query 1" in out
+        assert "Query 2" in out
+        assert "cannot answer" in out
+
+
+class TestTuning:
+    def test_prints_the_sweep_table(self):
+        out = run_example("tuning_vector_size.py")
+        assert "Tuning m" in out
+        assert "DFP FDR" in out
+
+
+class TestPersistentIndex:
+    def test_two_session_lifecycle(self):
+        out = run_example("persistent_index.py")
+        assert "session 1" in out
+        assert "reopened" in out
+        assert "existing segments untouched" in out
+        assert "maximal" in out
+
+
+class TestMarketBasket:
+    def test_mines_rules_and_answers_adhoc(self):
+        out = run_example("market_basket.py")
+        assert "association rules" in out
+        assert "ad-hoc: bundle" in out
+        assert "certified" in out
+
+
+class TestWeblogMonitoring:
+    def test_daily_table_printed(self):
+        out = run_example("weblog_monitoring.py")
+        assert "DFP (s)" in out
+        assert "day" in out
+        # One row per simulated day plus the closing commentary.
+        assert "per-day cost" in out or "DFP's per-day cost" in out

@@ -1,0 +1,185 @@
+"""Tests for SingleFilter and DualFilter."""
+
+import pytest
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.bbs import BBS
+from repro.core.filters import DualFilter, FilterEngine, SingleFilter
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError
+from tests.conftest import make_random_database
+
+THRESHOLD = 8
+
+
+@pytest.fixture
+def db():
+    return make_random_database(seed=11, n_transactions=120, n_items=25, max_len=7)
+
+
+@pytest.fixture
+def bbs(db):
+    return BBS.from_database(db, m=96)
+
+
+@pytest.fixture
+def truth(db):
+    return naive_frequent_patterns(db, THRESHOLD)
+
+
+class TestSingleFilter:
+    def test_candidates_are_a_superset_of_truth(self, bbs, truth):
+        output = SingleFilter(bbs, THRESHOLD).run()
+        candidate_sets = {itemset for itemset, _ in output.candidates}
+        assert set(truth) <= candidate_sets
+
+    def test_estimates_dominate_true_support(self, db, bbs):
+        output = SingleFilter(bbs, THRESHOLD).run()
+        for itemset, estimate in output.candidates:
+            assert estimate >= db.support(itemset)
+            assert estimate >= THRESHOLD
+
+    def test_no_duplicates(self, bbs):
+        output = SingleFilter(bbs, THRESHOLD).run()
+        itemsets = [itemset for itemset, _ in output.candidates]
+        assert len(itemsets) == len(set(itemsets))
+
+    def test_deterministic(self, bbs):
+        first = SingleFilter(bbs, THRESHOLD).run()
+        second = SingleFilter(bbs, THRESHOLD).run()
+        assert first.candidates == second.candidates
+
+    def test_stats_coherent(self, bbs):
+        output = SingleFilter(bbs, THRESHOLD).run()
+        assert output.stats.candidates == len(output.candidates)
+        assert output.stats.uncertain == output.stats.candidates
+        assert output.stats.count_itemset_calls >= output.stats.candidates
+
+    def test_max_size_caps_patterns(self, bbs):
+        output = SingleFilter(bbs, THRESHOLD, max_size=2).run()
+        assert all(len(itemset) <= 2 for itemset, _ in output.candidates)
+
+    def test_max_size_one_yields_items_only(self, bbs):
+        output = SingleFilter(bbs, THRESHOLD, max_size=1).run()
+        assert all(len(itemset) == 1 for itemset, _ in output.candidates)
+
+    def test_empty_index(self):
+        bbs = BBS(m=32)
+        output = SingleFilter(bbs, 1).run()
+        assert output.candidates == []
+
+    def test_threshold_above_database_size(self, db, bbs):
+        output = SingleFilter(bbs, len(db) + 1).run()
+        assert output.candidates == []
+
+    def test_explicit_item_universe(self, db, bbs):
+        some_items = db.items()[:5]
+        output = SingleFilter(bbs, THRESHOLD, items=some_items).run()
+        for itemset, _ in output.candidates:
+            assert itemset <= set(some_items)
+
+
+class TestDualFilter:
+    def test_partition_covers_truth(self, bbs, truth):
+        output = DualFilter(bbs, THRESHOLD).run()
+        covered = set(output.certain) | {i for i, _ in output.candidates}
+        assert set(truth) <= covered
+
+    def test_certain_patterns_are_truly_frequent(self, db, bbs):
+        """The 100%-guarantee claim: F contains no false drops."""
+        output = DualFilter(bbs, THRESHOLD).run()
+        for itemset, pattern in output.certain.items():
+            assert db.support(itemset) >= THRESHOLD, itemset
+
+    def test_exact_counts_are_exact(self, db, bbs):
+        output = DualFilter(bbs, THRESHOLD).run()
+        for itemset, pattern in output.certain.items():
+            if pattern.exact:
+                assert pattern.count == db.support(itemset), itemset
+
+    def test_bounded_counts_dominate_truth(self, db, bbs):
+        output = DualFilter(bbs, THRESHOLD).run()
+        for itemset, pattern in output.certain.items():
+            if not pattern.exact:
+                assert pattern.count >= db.support(itemset)
+
+    def test_stats_partition_adds_up(self, bbs):
+        output = DualFilter(bbs, THRESHOLD).run()
+        stats = output.stats
+        assert stats.candidates == (
+            stats.certified_exact + stats.certified_bounded + stats.uncertain
+        )
+        assert len(output.certain) == stats.certified
+        assert len(output.candidates) == stats.uncertain
+
+    def test_exact_one_item_counts_prune_top_level(self):
+        """An item whose BBS estimate passes but whose exact count fails
+        must be pruned with flag -1 (the dual filter's extra power)."""
+        # h(x) = x mod 2: items 0 and 2 share every slice.
+        from repro.core.hashing import ModuloHashFamily
+
+        db = TransactionDatabase([[0], [0], [0], [2]])
+        bbs = BBS(m=2, hash_family=ModuloHashFamily(2))
+        for tx in db:
+            bbs.insert(tx)
+        output = DualFilter(bbs, 2).run()
+        assert frozenset([2]) not in output.certain
+        assert frozenset([2]) not in {i for i, _ in output.candidates}
+        assert output.stats.pruned_infrequent_item >= 1
+
+    def test_no_overlap_between_certain_and_uncertain(self, bbs):
+        output = DualFilter(bbs, THRESHOLD).run()
+        uncertain = {i for i, _ in output.candidates}
+        assert not (set(output.certain) & uncertain)
+
+
+class TestSameCandidatesAcrossFilters:
+    def test_dual_covers_exactly_the_single_filter_survivors(self, db, bbs):
+        """DualFilter explores the same lattice minus exact-count prunes;
+        with no prunes the covered sets coincide."""
+        single = SingleFilter(bbs, THRESHOLD).run()
+        dual = DualFilter(bbs, THRESHOLD).run()
+        single_sets = {i for i, _ in single.candidates}
+        dual_sets = set(dual.certain) | {i for i, _ in dual.candidates}
+        # Dual may prune more (exact 1-counts), never less.
+        assert dual_sets <= single_sets
+        # Anything single found that dual dropped must contain an item
+        # whose exact support is below the threshold.
+        for itemset in single_sets - dual_sets:
+            assert any(
+                db.support([item]) < THRESHOLD for item in itemset
+            ), itemset
+
+
+class TestValidation:
+    def test_zero_threshold_rejected(self, bbs):
+        with pytest.raises(ConfigurationError):
+            SingleFilter(bbs, 0)
+
+    def test_bad_max_size_rejected(self, bbs):
+        with pytest.raises(ConfigurationError):
+            SingleFilter(bbs, 1, max_size=0)
+
+    def test_engine_visit_is_abstract(self, bbs):
+        engine = FilterEngine(bbs, 1)
+        with pytest.raises(NotImplementedError):
+            engine.visit(("a",), 1, None, None, None)
+
+
+class TestSeededFilterValidation:
+    def test_seeded_dual_filter_requires_state(self, bbs):
+        with pytest.raises(ConfigurationError, match="seed_state"):
+            DualFilter(bbs, THRESHOLD, seed=[1])
+
+    def test_seeded_single_filter_enumerates_supersets_only(self, db, bbs):
+        from repro.baselines.naive import naive_frequent_patterns
+
+        truth = naive_frequent_patterns(db, THRESHOLD)
+        seed = next(iter(i for i in truth if len(i) == 1))
+        output = SingleFilter(bbs, THRESHOLD, seed=seed).run()
+        for itemset, _ in output.candidates:
+            assert seed <= itemset
+        # Every true superset of the seed must be among the candidates.
+        expected = {i for i in truth if seed < i}
+        got = {i for i, _ in output.candidates}
+        assert expected <= got

@@ -1,0 +1,80 @@
+"""Tests for the FIMI transaction-file format."""
+
+import pytest
+
+from repro.data.fimi import read_fimi, write_fimi
+from repro.errors import StorageError
+from tests.conftest import make_random_database
+
+
+class TestRead:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 4 9\n4 9\n2 13 40\n")
+        db = read_fimi(path)
+        assert len(db) == 3
+        assert list(db)[0] == (1, 4, 9)
+
+    def test_blank_lines_and_comments(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("# header\n1 2\n\n  \n3 4  # trailing\n")
+        db = read_fimi(path)
+        assert len(db) == 2
+        assert list(db)[1] == (3, 4)
+
+    def test_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("5 5 5 1\n")
+        assert list(read_fimi(path))[0] == (1, 5)
+
+    def test_max_transactions(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1\n2\n3\n4\n")
+        assert len(read_fimi(path, max_transactions=2)) == 2
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 banana\n")
+        with pytest.raises(StorageError, match="integers"):
+            read_fimi(path)
+
+    def test_negative_rejected(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 -2\n")
+        with pytest.raises(StorageError, match="non-negative"):
+            read_fimi(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("# nothing\n\n")
+        with pytest.raises(StorageError, match="no transactions"):
+            read_fimi(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_fimi(tmp_path / "absent.dat")
+
+
+class TestWriteRoundTrip:
+    def test_round_trip(self, tmp_path):
+        db = make_random_database(seed=91, n_transactions=40, n_items=15)
+        path = tmp_path / "rt.dat"
+        written = write_fimi(db, path)
+        assert written == 40
+        reread = read_fimi(path)
+        assert list(reread) == list(db)
+
+    def test_mining_on_fimi_data(self, tmp_path):
+        from repro.baselines.apriori import apriori
+        from repro.core.bbs import BBS
+        from repro.core.mining import mine
+
+        db = make_random_database(seed=92, n_transactions=80, n_items=15)
+        path = tmp_path / "m.dat"
+        write_fimi(db, path)
+        loaded = read_fimi(path)
+        bbs = BBS.from_database(loaded, m=128)
+        assert (
+            mine(loaded, bbs, 6, "dfp").itemsets()
+            == apriori(db, 6).itemsets()
+        )

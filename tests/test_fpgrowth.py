@@ -1,0 +1,80 @@
+"""Tests for FP-growth mining."""
+
+import pytest
+
+from repro.baselines.fpgrowth import fp_growth
+from repro.baselines.naive import naive_frequent_patterns
+from repro.data.database import TransactionDatabase
+from tests.conftest import make_random_database
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_naive_oracle(self, seed):
+        db = make_random_database(seed, n_transactions=100, n_items=18, max_len=6)
+        truth = naive_frequent_patterns(db, 6)
+        result = fp_growth(db, 6)
+        assert result.itemsets() == set(truth)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.count == truth[itemset], itemset
+
+    def test_classic_sigmod_example(self):
+        db = TransactionDatabase([
+            ["f", "a", "c", "d", "g", "i", "m", "p"],
+            ["a", "b", "c", "f", "l", "m", "o"],
+            ["b", "f", "h", "j", "o"],
+            ["b", "c", "k", "s", "p"],
+            ["a", "f", "c", "e", "l", "p", "m", "n"],
+        ])
+        result = fp_growth(db, 3)
+        # Known frequent patterns at threshold 3.
+        assert result.count(["f", "c", "a", "m"]) == 3
+        assert result.count(["c", "p"]) == 3
+        assert result.count(["f"]) == 4
+        truth = naive_frequent_patterns(db, 3)
+        assert result.itemsets() == set(truth)
+
+    def test_single_path_shortcut_exercised(self):
+        """A pure chain database goes through the combination path."""
+        db = TransactionDatabase([["a", "b", "c"]] * 4 + [["a", "b"]] * 2)
+        result = fp_growth(db, 2)
+        truth = naive_frequent_patterns(db, 2)
+        assert result.itemsets() == set(truth)
+        assert result.count(["a", "b", "c"]) == 4
+
+    def test_max_size(self):
+        db = TransactionDatabase([["a", "b", "c", "d"]] * 3)
+        result = fp_growth(db, 2, max_size=2)
+        assert max(len(i) for i in result.itemsets()) == 2
+        truth = naive_frequent_patterns(db, 2, max_size=2)
+        assert result.itemsets() == set(truth)
+
+    def test_empty_database_threshold(self):
+        db = TransactionDatabase([[1], [2]])
+        assert len(fp_growth(db, 3)) == 0
+
+
+class TestMemoryModel:
+    def test_overflow_charges_extra_scans(self):
+        db = make_random_database(seed=9, n_transactions=150, n_items=30)
+        unbounded = fp_growth(db, 5)
+        db.reset_io()
+        squeezed = fp_growth(db, 5, memory_bytes=256)  # tree >> budget
+        assert squeezed.itemsets() == unbounded.itemsets()
+        assert squeezed.io.db_scans > unbounded.io.db_scans
+
+    def test_fitting_tree_charges_nothing_extra(self):
+        db = make_random_database(seed=9, n_transactions=150, n_items=30)
+        roomy = fp_growth(db, 5, memory_bytes=10**9)
+        assert roomy.io.db_scans == 2
+
+
+class TestAgainstApriori:
+    def test_agree_on_grocery_data(self, grocery_db):
+        from repro.baselines.apriori import apriori
+
+        ap = apriori(grocery_db, 2)
+        fp = fp_growth(grocery_db, 2)
+        assert ap.itemsets() == fp.itemsets()
+        for itemset in ap.itemsets():
+            assert ap.count(itemset) == fp.count(itemset)

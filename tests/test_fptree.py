@@ -1,0 +1,122 @@
+"""Tests for the FP-tree structure."""
+
+import pytest
+
+from repro.baselines.fptree import FPTree
+from repro.data.database import TransactionDatabase
+
+
+@pytest.fixture
+def classic_db():
+    """The canonical example from the FP-growth paper (SIGMOD'00)."""
+    return TransactionDatabase([
+        ["f", "a", "c", "d", "g", "i", "m", "p"],
+        ["a", "b", "c", "f", "l", "m", "o"],
+        ["b", "f", "h", "j", "o"],
+        ["b", "c", "k", "s", "p"],
+        ["a", "f", "c", "e", "l", "p", "m", "n"],
+    ])
+
+
+class TestConstruction:
+    def test_two_scans(self, classic_db):
+        classic_db.reset_io()
+        FPTree.from_database(classic_db, threshold=3)
+        assert classic_db.stats.db_scans == 2
+
+    def test_item_order_by_descending_support(self, classic_db):
+        tree = FPTree.from_database(classic_db, threshold=3)
+        counts = classic_db.item_counts()
+        ranks = tree.item_order
+        for item, rank in ranks.items():
+            assert counts[item] >= 3
+        ordered = sorted(ranks, key=ranks.__getitem__)
+        supports = [counts[i] for i in ordered]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_infrequent_items_excluded(self, classic_db):
+        tree = FPTree.from_database(classic_db, threshold=3)
+        assert "g" not in tree.item_order
+        assert "g" not in tree.header
+
+    def test_classic_compression(self, classic_db):
+        """The SIGMOD example compresses 5 transactions into few nodes."""
+        tree = FPTree.from_database(classic_db, threshold=3)
+        # Frequent items: f(4) c(4) a(3) b(3) m(3) p(3).
+        assert set(tree.item_order) == {"f", "c", "a", "b", "m", "p"}
+        # The famous result: the f-c-a prefix path is shared 3 ways.
+        f_nodes = list(tree.node_chain("f"))
+        assert sum(n.count for n in f_nodes) == 4
+
+    def test_item_support_via_links(self, classic_db):
+        tree = FPTree.from_database(classic_db, threshold=3)
+        counts = classic_db.item_counts()
+        for item in tree.header:
+            assert tree.item_support(item) == counts[item]
+
+
+class TestPaths:
+    def test_prefix_path(self, classic_db):
+        tree = FPTree.from_database(classic_db, threshold=3)
+        for node in tree.node_chain("p"):
+            path = tree.prefix_path(node)
+            # Every prefix item ranks strictly above p.
+            for item in path:
+                assert tree.item_order[item] < tree.item_order["p"]
+
+    def test_single_path_detection(self):
+        db = TransactionDatabase([["a", "b", "c"], ["a", "b"], ["a"]])
+        tree = FPTree.from_database(db, threshold=1)
+        path = tree.single_path()
+        assert path is not None
+        assert [n.item for n in path] == ["a", "b", "c"]
+        assert [n.count for n in path] == [3, 2, 1]
+
+    def test_branching_is_not_single_path(self):
+        db = TransactionDatabase([["a", "b"], ["a", "c"], ["a", "b"], ["a", "c"]])
+        tree = FPTree.from_database(db, threshold=1)
+        assert tree.single_path() is None
+
+
+class TestBookkeeping:
+    def test_node_count_and_size(self, classic_db):
+        tree = FPTree.from_database(classic_db, threshold=3)
+        from repro.baselines.fptree import NODE_BYTES
+
+        assert tree.size_bytes == tree.n_nodes * NODE_BYTES
+        assert tree.n_nodes > 0
+
+    def test_empty_tree(self):
+        db = TransactionDatabase([[1], [2]])
+        tree = FPTree.from_database(db, threshold=5)
+        assert tree.is_empty()
+        assert tree.single_path() == []
+
+    def test_insert_with_count_weight(self):
+        tree = FPTree({"a": 0, "b": 1})
+        tree.insert_transaction(["a", "b"], count=5)
+        assert tree.item_support("b") == 5
+
+    def test_insert_ignores_unordered_items(self):
+        tree = FPTree({"a": 0})
+        tree.insert_transaction(["a", "zzz"])
+        assert "zzz" not in tree.header
+        assert tree.item_support("a") == 1
+
+
+class TestRebuild:
+    def test_rebuild_reflects_new_data(self, classic_db):
+        before = FPTree.from_database(classic_db, threshold=3)
+        assert "h" not in before.item_order
+        for _ in range(3):
+            classic_db.append(["h", "f"])
+        after = FPTree.rebuild_for_update(classic_db, threshold=3)
+        assert "h" in after.item_order
+        assert after.item_support("f") == 7
+
+    def test_rebuild_costs_two_more_scans(self, classic_db):
+        FPTree.from_database(classic_db, threshold=3)
+        classic_db.append(["f", "c"])
+        classic_db.reset_io()
+        FPTree.rebuild_for_update(classic_db, threshold=3)
+        assert classic_db.stats.db_scans == 2

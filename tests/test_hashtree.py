@@ -1,0 +1,93 @@
+"""Tests for the Apriori hash tree."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hashtree import HashTree
+
+
+def brute_force_counts(candidates, transactions):
+    counts = {tuple(c): 0 for c in candidates}
+    for tx in transactions:
+        tx_set = set(tx)
+        for candidate in counts:
+            if tx_set.issuperset(candidate):
+                counts[candidate] += 1
+    return counts
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([(1, 2), (1, 2, 3)])
+
+    def test_len_counts_candidates(self):
+        tree = HashTree([(1, 2), (3, 4), (5, 6)])
+        assert len(tree) == 3
+
+    def test_splitting_happens(self):
+        candidates = [(i, i + 1) for i in range(0, 100, 2)]
+        tree = HashTree(candidates, leaf_capacity=4)
+        assert tree._root.children is not None  # root split
+
+
+class TestCounting:
+    def test_simple_containment(self):
+        tree = HashTree([(1, 2), (2, 3)])
+        tree.count_transaction((1, 2, 3))
+        assert tree.counts() == {(1, 2): 1, (2, 3): 1}
+
+    def test_short_transactions_skipped(self):
+        tree = HashTree([(1, 2, 3)])
+        tree.count_transaction((1, 2))
+        assert tree.counts() == {(1, 2, 3): 0}
+
+    def test_no_double_count_via_hash_collisions(self):
+        # Force collisions with fanout=1: every item hashes to slot 0.
+        candidates = [(1, 2), (3, 4), (5, 6)]
+        tree = HashTree(candidates, leaf_capacity=1, fanout=1)
+        tree.count_transaction((1, 2, 3, 4, 5, 6))
+        assert tree.counts() == {(1, 2): 1, (3, 4): 1, (5, 6): 1}
+
+    def test_collision_does_not_fake_containment(self):
+        # fanout=1: transaction (9, 2) walks into every bucket, but only
+        # true subsets may be counted.
+        tree = HashTree([(1, 2)], leaf_capacity=1, fanout=1)
+        tree.count_transaction((2, 9))
+        assert tree.counts() == {(1, 2): 0}
+
+    def test_reset_counts(self):
+        tree = HashTree([(1, 2)])
+        tree.count_transaction((1, 2))
+        tree.reset_counts()
+        assert tree.counts() == {(1, 2): 0}
+        tree.count_transaction((1, 2))
+        assert tree.counts() == {(1, 2): 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        txs=st.lists(
+            st.sets(st.integers(0, 12), min_size=1, max_size=7),
+            min_size=1, max_size=25,
+        ),
+        k=st.integers(2, 3),
+        leaf_capacity=st.integers(1, 4),
+        fanout=st.integers(1, 8),
+    )
+    def test_property_matches_brute_force(self, txs, k, leaf_capacity, fanout):
+        universe = sorted({i for tx in txs for i in tx})
+        if len(universe) < k:
+            return
+        candidates = list(combinations(universe, k))[:40]
+        tree = HashTree(candidates, leaf_capacity=leaf_capacity, fanout=fanout)
+        sorted_txs = [tuple(sorted(tx)) for tx in txs]
+        for tx in sorted_txs:
+            tree.count_transaction(tx)
+        assert tree.counts() == brute_force_counts(candidates, sorted_txs)

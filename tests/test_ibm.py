@@ -1,0 +1,83 @@
+"""Tests for the IBM Quest synthetic generator."""
+
+import pytest
+
+from repro.data.ibm import QuestSpec, generate_database, generate_transactions
+from repro.errors import ConfigurationError
+
+
+class TestSpec:
+    def test_name_follows_paper_convention(self):
+        spec = QuestSpec(n_transactions=10_000, avg_transaction_size=10,
+                         avg_pattern_size=10)
+        assert spec.name == "T10.I10.D10K"
+
+    def test_name_abbreviations(self):
+        assert QuestSpec(n_transactions=1_000_000).name.endswith("D1M")
+        assert QuestSpec(n_transactions=1_234).name.endswith("D1234")
+
+    def test_with_override(self):
+        spec = QuestSpec(seed=1).with_(n_transactions=55)
+        assert spec.n_transactions == 55
+        assert spec.seed == 1
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_transactions", 0),
+        ("n_items", 1),
+        ("avg_transaction_size", 0.5),
+        ("avg_pattern_size", 0),
+        ("n_patterns", 0),
+        ("correlation", 1.5),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            QuestSpec(**{field: value})
+
+
+class TestGeneration:
+    SPEC = QuestSpec(
+        n_transactions=300, n_items=150, avg_transaction_size=8,
+        avg_pattern_size=4, n_patterns=40, seed=99,
+    )
+
+    def test_deterministic(self):
+        assert generate_transactions(self.SPEC) == generate_transactions(self.SPEC)
+
+    def test_seed_changes_output(self):
+        other = self.SPEC.with_(seed=100)
+        assert generate_transactions(self.SPEC) != generate_transactions(other)
+
+    def test_transaction_count(self):
+        assert len(generate_transactions(self.SPEC)) == 300
+
+    def test_no_empty_transactions(self):
+        assert all(len(tx) >= 1 for tx in generate_transactions(self.SPEC))
+
+    def test_items_within_universe(self):
+        for tx in generate_transactions(self.SPEC):
+            assert all(0 <= item < 150 for item in tx)
+
+    def test_items_sorted_and_unique(self):
+        for tx in generate_transactions(self.SPEC):
+            assert list(tx) == sorted(set(tx))
+
+    def test_average_size_near_target(self):
+        spec = self.SPEC.with_(n_transactions=2_000)
+        txs = generate_transactions(spec)
+        average = sum(len(t) for t in txs) / len(txs)
+        assert 0.6 * spec.avg_transaction_size <= average \
+            <= 1.6 * spec.avg_transaction_size
+
+    def test_skewed_supports(self):
+        """Weighted patterns must make some itemsets far more common
+        than the uniform baseline — the whole point of the generator."""
+        db = generate_database(self.SPEC.with_(n_transactions=1_000))
+        counts = sorted(db.item_counts().values(), reverse=True)
+        mean = sum(counts) / len(counts)
+        assert counts[0] > 2 * mean
+        assert counts[-1] < mean  # and a long tail of rare items
+
+    def test_database_matches_transactions(self):
+        db = generate_database(self.SPEC)
+        assert len(db) == 300
+        assert list(db) == [tuple(t) for t in generate_transactions(self.SPEC)]

@@ -1,0 +1,138 @@
+"""Tests for incremental result maintenance (the negative border)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.bbs import BBS
+from repro.core.incremental import IncrementalMiner
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, DatabaseMismatchError
+from tests.conftest import make_random_database
+
+THRESHOLD = 6
+
+
+def build(seed=121, n=80, items=18):
+    db = make_random_database(seed, n_transactions=n, n_items=items, max_len=5)
+    bbs = BBS.from_database(db, m=128)
+    return db, bbs
+
+
+class TestInitialState:
+    def test_starts_equal_to_fresh_mining(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        truth = naive_frequent_patterns(db, THRESHOLD)
+        assert miner.patterns() == truth
+
+    def test_border_patterns_are_minimal_infrequent(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        frequent = set(miner.patterns())
+        for pattern, count in miner._border.items():
+            assert count < THRESHOLD
+            assert count == db.support(pattern)
+            for item in pattern:
+                assert pattern - {item} in frequent or len(pattern) == 1
+
+    def test_fractional_threshold_rejected(self):
+        db, bbs = build()
+        with pytest.raises(ConfigurationError):
+            IncrementalMiner(db, bbs, 0.05)
+        with pytest.raises(ConfigurationError):
+            IncrementalMiner(db, bbs, 0)
+
+    def test_misaligned_index_rejected(self):
+        db, _ = build()
+        stale = BBS(m=32)
+        stale.insert([1])
+        with pytest.raises(DatabaseMismatchError):
+            IncrementalMiner(db, stale, THRESHOLD)
+
+
+class TestInsertStream:
+    def test_stays_equal_to_fresh_mining(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        rng = random.Random(9)
+        for step in range(60):
+            tx = rng.sample(range(18), rng.randint(1, 5))
+            miner.insert(tx)
+            if step % 10 == 0:
+                truth = naive_frequent_patterns(db, THRESHOLD)
+                assert miner.patterns() == truth, step
+        assert miner.patterns() == naive_frequent_patterns(db, THRESHOLD)
+
+    def test_promotions_happen_without_rescans(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        db.reset_io()
+        rng = random.Random(10)
+        for _ in range(80):
+            miner.insert(rng.sample(range(18), rng.randint(2, 5)))
+        assert miner.promotions > 0           # some border patterns crossed
+        assert db.stats.db_scans == 0         # ...without a single scan
+
+    def test_brand_new_item_becomes_frequent(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        for _ in range(THRESHOLD):
+            miner.insert([999, 0])
+        assert frozenset([999]) in miner.patterns()
+        assert miner.patterns()[frozenset([999])] == THRESHOLD
+        truth = naive_frequent_patterns(db, THRESHOLD)
+        assert miner.patterns() == truth
+
+    def test_pair_with_new_item_emerges(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        for _ in range(THRESHOLD):
+            miner.insert([500, 501])
+        patterns = miner.patterns()
+        assert frozenset([500, 501]) in patterns
+        assert patterns[frozenset([500, 501])] == THRESHOLD
+
+    def test_result_object(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD)
+        miner.insert([0, 1, 2])
+        result = miner.result()
+        assert result.algorithm == "incremental"
+        assert result.n_transactions == len(db)
+        assert all(p.exact for p in result.patterns.values())
+
+    def test_max_size_respected(self):
+        db, bbs = build()
+        miner = IncrementalMiner(db, bbs, THRESHOLD, max_size=2)
+        rng = random.Random(11)
+        for _ in range(60):
+            miner.insert(rng.sample(range(18), rng.randint(2, 5)))
+        assert all(len(p) <= 2 for p in miner.patterns())
+        truth = naive_frequent_patterns(db, THRESHOLD, max_size=2)
+        assert miner.patterns() == truth
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    base=st.lists(
+        st.sets(st.integers(0, 9), min_size=1, max_size=4),
+        min_size=8, max_size=25,
+    ),
+    stream=st.lists(
+        st.sets(st.integers(0, 11), min_size=1, max_size=4),
+        min_size=1, max_size=25,
+    ),
+    threshold=st.integers(2, 5),
+)
+def test_property_incremental_equals_batch(base, stream, threshold):
+    """After any insert stream, the maintained set equals fresh mining."""
+    db = TransactionDatabase(base)
+    bbs = BBS.from_database(db, m=64)
+    miner = IncrementalMiner(db, bbs, threshold)
+    for tx in stream:
+        miner.insert(tx)
+    assert miner.patterns() == naive_frequent_patterns(db, threshold)

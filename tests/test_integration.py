@@ -1,0 +1,133 @@
+"""Whole-system integration tests spanning every subsystem."""
+
+import pytest
+
+from repro import BBS, TransactionDatabase, apriori, fp_growth, mine
+from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
+from repro.data.diskdb import DiskDatabase
+from repro.data.ibm import QuestSpec, generate_database, generate_transactions
+from repro.data.weblog import WeblogSimulator, WeblogSpec
+from repro.rules import generate_rules
+
+SPEC = QuestSpec(
+    n_transactions=600, n_items=250, avg_transaction_size=8,
+    avg_pattern_size=4, n_patterns=60, seed=2024,
+)
+MIN_SUPPORT = 0.02
+
+
+class TestFullPipelineInMemory:
+    def test_generate_index_mine_rules(self):
+        db = generate_database(SPEC)
+        bbs = BBS.from_database(db, m=512)
+        reference = apriori(db, MIN_SUPPORT)
+        result = mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert result.itemsets() == reference.itemsets()
+        rules = generate_rules(result, 0.6)
+        reference_rules = generate_rules(reference, 0.6)
+        exact_only = all(p.exact for p in result.patterns.values())
+        if exact_only:
+            assert rules == reference_rules
+
+
+class TestFullPipelineOnDisk:
+    def test_persist_everything_and_reload(self, tmp_path):
+        transactions = generate_transactions(SPEC)
+        disk = DiskDatabase.create(tmp_path / "data.tx", transactions)
+        bbs = BBS.from_database(disk, m=512)
+        bbs.save(tmp_path / "data.bbs")
+
+        # A "second process" opens both files cold.
+        reloaded_db = DiskDatabase(tmp_path / "data.tx")
+        reloaded_bbs = BBS.load(tmp_path / "data.bbs")
+        result = mine(reloaded_db, reloaded_bbs, MIN_SUPPORT, "dfp")
+        reference = apriori(reloaded_db, MIN_SUPPORT)
+        assert result.itemsets() == reference.itemsets()
+        disk.close()
+        reloaded_db.close()
+
+    def test_appends_survive_reload(self, tmp_path):
+        disk = DiskDatabase.create(tmp_path / "d.tx", [[1, 2], [1, 2]])
+        bbs = BBS.from_database(disk, m=64)
+        disk.append([1, 2, 3])
+        bbs.insert([1, 2, 3])
+        bbs.save(tmp_path / "d.bbs")
+        disk.close()
+
+        db2 = DiskDatabase(tmp_path / "d.tx")
+        bbs2 = BBS.load(tmp_path / "d.bbs")
+        result = mine(db2, bbs2, 3, "dfp")
+        assert frozenset([1, 2]) in result.itemsets()
+        assert result.count([1, 2]) == 3
+        db2.close()
+
+
+class TestDynamicScenario:
+    """The paper's Section 4.8 flow: daily growth without index rebuilds."""
+
+    def test_daily_increments_stay_consistent(self):
+        sim = WeblogSimulator(WeblogSpec(n_files=150, seed=77))
+        db = TransactionDatabase(sim.day_transactions(300))
+        bbs = BBS.from_database(db, m=256)
+        for _ in range(3):
+            sim.advance_day()
+            for session in sim.day_transactions(100):
+                db.append(session)
+                bbs.insert(session)
+            result = mine(db, bbs, 0.03, "dfp")
+            reference = fp_growth(db, 0.03)
+            assert result.itemsets() == reference.itemsets()
+
+    def test_bbs_update_is_cheap_fp_tree_rebuild_is_not(self):
+        """The structural claim behind Figure 12, as I/O counts."""
+        sim = WeblogSimulator(WeblogSpec(n_files=150, seed=78))
+        db = TransactionDatabase(sim.day_transactions(400))
+        bbs = BBS.from_database(db, m=256)
+
+        sim.advance_day()
+        increment = sim.day_transactions(50)
+        db.reset_io()
+        for session in increment:
+            db.append(session)
+            bbs.insert(session)
+        appends_scans = db.stats.db_scans  # appending scans nothing
+
+        from repro.baselines.fptree import FPTree
+
+        db.reset_io()
+        FPTree.rebuild_for_update(db, threshold=10)
+        rebuild_scans = db.stats.db_scans
+        assert appends_scans == 0
+        assert rebuild_scans == 2
+
+
+class TestConstrainedMiningEndToEnd:
+    def test_query_two_full_flow(self):
+        db = generate_database(SPEC)
+        bbs = BBS.from_database(db, m=512)
+        engine = AdHocQueryEngine(db, bbs)
+        constraint = ConstraintSlice.from_tid_predicate(
+            db, lambda tid: tid % 7 == 0
+        )
+        # Run the full mining first, then spot-check constrained counts
+        # for a handful of its frequent patterns against brute force.
+        result = mine(db, bbs, MIN_SUPPORT, "dfp")
+        some_patterns = sorted(result.itemsets(), key=str)[:5]
+        for pattern in some_patterns:
+            expected = sum(
+                1 for position in range(len(db))
+                if db.tid(position) % 7 == 0
+                and pattern <= set(db.fetch(position))
+            )
+            assert engine.exact_count_where(pattern, constraint) == expected
+
+
+class TestMemoryPressureEndToEnd:
+    def test_adaptive_and_resident_agree(self):
+        db = generate_database(SPEC)
+        bbs = BBS.from_database(db, m=512)
+        resident = mine(db, bbs, MIN_SUPPORT, "dfp")
+        half_budget = bbs.size_bytes // 2
+        adaptive = mine(db, bbs, MIN_SUPPORT, "dfp", memory_bytes=half_budget)
+        assert adaptive.algorithm == "dfp+adaptive"
+        assert adaptive.itemsets() == resident.itemsets()

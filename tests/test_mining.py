@@ -1,0 +1,216 @@
+"""Cross-checks of the four BBS mining algorithms against the oracles."""
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.baselines.eclat import eclat
+from repro.baselines.fpgrowth import fp_growth
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.bbs import BBS
+from repro.core.mining import ALGORITHMS, mine, mine_dfp, mine_sfp
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, DatabaseMismatchError
+from tests.conftest import make_random_database
+
+MIN_SUPPORT = 9
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_random_database(seed=17, n_transactions=200, n_items=30, max_len=7)
+    bbs = BBS.from_database(db, m=128)
+    truth = naive_frequent_patterns(db, MIN_SUPPORT)
+    return db, bbs, truth
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_naive_oracle(self, workload, algorithm):
+        db, bbs, truth = workload
+        result = mine(db, bbs, MIN_SUPPORT, algorithm)
+        assert result.itemsets() == set(truth)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_exact_counts_match_truth(self, workload, algorithm):
+        db, bbs, truth = workload
+        result = mine(db, bbs, MIN_SUPPORT, algorithm)
+        for itemset, pattern in result.patterns.items():
+            if pattern.exact:
+                assert pattern.count == truth[itemset], itemset
+            else:
+                assert pattern.count >= truth[itemset], itemset
+
+    def test_baselines_agree_with_oracle(self, workload):
+        db, _, truth = workload
+        for baseline in (apriori, fp_growth, eclat):
+            result = baseline(db, MIN_SUPPORT)
+            assert result.itemsets() == set(truth), baseline.__name__
+            for itemset, pattern in result.patterns.items():
+                assert pattern.count == truth[itemset]
+
+
+class TestPaperStructuralClaims:
+    """Invariants the paper asserts about the four schemes."""
+
+    def test_scan_schemes_share_false_drop_counts(self, workload):
+        """SFS and DFS see the same candidate lattice (§3.3): together,
+        certified patterns plus refinement outcomes must partition it
+        identically."""
+        db, bbs, _ = workload
+        sfs = mine(db, bbs, MIN_SUPPORT, "sfs")
+        dfs = mine(db, bbs, MIN_SUPPORT, "dfs")
+        # Dual may pre-prune via exact 1-counts; false drops can only shrink.
+        assert dfs.refine_stats.false_drops <= sfs.refine_stats.false_drops
+
+    def test_probe_schemes_never_exceed_scan_false_drops(self, workload):
+        """Integrated probing kills false-drop chains (§3.3)."""
+        db, bbs, _ = workload
+        sfs = mine(db, bbs, MIN_SUPPORT, "sfs")
+        sfp = mine(db, bbs, MIN_SUPPORT, "sfp")
+        assert sfp.refine_stats.false_drops <= sfs.refine_stats.false_drops
+        dfs = mine(db, bbs, MIN_SUPPORT, "dfs")
+        dfp = mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert dfp.refine_stats.false_drops <= dfs.refine_stats.false_drops
+
+    def test_dfp_probes_no_more_than_sfp(self, workload):
+        """DFP certifies some patterns without probing; SFP probes all."""
+        db, bbs, _ = workload
+        sfp = mine(db, bbs, MIN_SUPPORT, "sfp")
+        dfp = mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert dfp.refine_stats.probes <= sfp.refine_stats.probes
+
+    def test_sfp_probes_every_candidate(self, workload):
+        db, bbs, _ = workload
+        sfp = mine(db, bbs, MIN_SUPPORT, "sfp")
+        assert sfp.refine_stats.probes == sfp.filter_stats.candidates
+
+    def test_dfp_certifies_some_patterns(self, workload):
+        db, bbs, _ = workload
+        dfp = mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert dfp.filter_stats.certified > 0
+        assert dfp.certified_fraction > 0
+
+    def test_probe_schemes_do_not_scan(self, workload):
+        db, bbs, _ = workload
+        for algorithm in ("sfp", "dfp"):
+            result = mine(db, bbs, MIN_SUPPORT, algorithm)
+            assert result.io.db_scans == 0, algorithm
+
+    def test_scan_schemes_scan_at_least_once(self, workload):
+        db, bbs, _ = workload
+        for algorithm in ("sfs", "dfs"):
+            result = mine(db, bbs, MIN_SUPPORT, algorithm)
+            assert result.io.db_scans >= 1, algorithm
+
+
+class TestResultMetadata:
+    def test_algorithm_name_recorded(self, workload):
+        db, bbs, _ = workload
+        assert mine(db, bbs, MIN_SUPPORT, "dfp").algorithm == "dfp"
+
+    def test_elapsed_positive(self, workload):
+        db, bbs, _ = workload
+        assert mine(db, bbs, MIN_SUPPORT, "dfp").elapsed_seconds > 0
+
+    def test_fractional_support_resolves(self, workload):
+        db, bbs, truth = workload
+        fraction = MIN_SUPPORT / len(db)
+        result = mine(db, bbs, fraction, "dfp")
+        assert result.min_support == MIN_SUPPORT
+        assert result.itemsets() == set(truth)
+
+    def test_io_is_a_delta_not_a_total(self, workload):
+        db, bbs, _ = workload
+        first = mine(db, bbs, MIN_SUPPORT, "sfs")
+        second = mine(db, bbs, MIN_SUPPORT, "sfs")
+        assert second.io.db_scans == first.io.db_scans
+
+    def test_summary_mentions_key_numbers(self, workload):
+        db, bbs, _ = workload
+        result = mine(db, bbs, MIN_SUPPORT, "dfp")
+        summary = result.summary()
+        assert "dfp" in summary
+        assert str(len(result)) in summary
+
+
+class TestMaxSize:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_max_size_truncates_lattice(self, workload, algorithm):
+        db, bbs, truth = workload
+        result = mine(db, bbs, MIN_SUPPORT, algorithm, max_size=2)
+        expected = {i for i in truth if len(i) <= 2}
+        assert result.itemsets() == expected
+
+
+class TestValidation:
+    def test_unknown_algorithm_rejected(self, workload):
+        db, bbs, _ = workload
+        with pytest.raises(ConfigurationError):
+            mine(db, bbs, MIN_SUPPORT, "magic")
+
+    def test_misaligned_index_rejected(self, workload):
+        db, _, _ = workload
+        stale = BBS(m=64)
+        stale.insert([1])
+        with pytest.raises(DatabaseMismatchError):
+            mine(db, stale, MIN_SUPPORT, "dfp")
+
+    def test_direct_functions_validate_too(self, workload):
+        db, _, _ = workload
+        stale = BBS(m=64)
+        stale.insert([1])
+        for fn in (mine_sfp, mine_dfp):
+            with pytest.raises(DatabaseMismatchError):
+                fn(db, stale, MIN_SUPPORT)
+
+
+class TestDynamicInserts:
+    """The paper's dynamic-database claim: append, then mine — no rebuild."""
+
+    def test_incremental_inserts_keep_results_exact(self):
+        db = make_random_database(seed=5, n_transactions=100, n_items=20)
+        bbs = BBS.from_database(db, m=128)
+        # Grow the database and the index in lock-step.
+        extra = make_random_database(seed=6, n_transactions=50, n_items=25)
+        for tx in extra:
+            db.append(tx)
+            bbs.insert(tx)
+        truth = naive_frequent_patterns(db, 12)
+        result = mine(db, bbs, 12, "dfp")
+        assert result.itemsets() == set(truth)
+
+    def test_new_items_need_no_rebuild(self):
+        db = TransactionDatabase([[1, 2], [1, 2], [2, 3]])
+        bbs = BBS.from_database(db, m=64)
+        db.append([900, 901])  # items never seen before
+        bbs.insert([900, 901])
+        db.append([900, 901])
+        bbs.insert([900, 901])
+        result = mine(db, bbs, 2, "dfp")
+        assert frozenset([900, 901]) in result.itemsets()
+
+
+class TestSaturationWarning:
+    def test_saturated_index_warns(self):
+        import warnings
+
+        import random
+        rng = random.Random(1)
+        # 200 items forced through a 16-bit signature: hopeless density.
+        db = TransactionDatabase(
+            [rng.sample(range(200), 6) for _ in range(50)]
+        )
+        bbs = BBS.from_database(db, m=16)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mine(db, bbs, 45, "dfp")  # high threshold keeps it fast
+        assert any("dense" in str(w.message) for w in caught)
+
+    def test_healthy_index_does_not_warn(self, workload):
+        import warnings
+
+        db, bbs, _ = workload
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert not [w for w in caught if "dense" in str(w.message)]

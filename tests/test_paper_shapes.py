@@ -1,0 +1,132 @@
+"""Small-scale assertions of the paper's qualitative claims.
+
+The benchmarks regenerate Figures 5-13 at full size; these tests pin the
+same *shapes* at a size small enough for the unit-test suite, so a
+regression that would flip a figure fails fast and cheaply.
+"""
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.data.ibm import QuestSpec, generate_database
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = QuestSpec(
+        n_transactions=800, n_items=400, avg_transaction_size=8,
+        avg_pattern_size=4, n_patterns=80, seed=2002,
+    )
+    db = generate_database(spec)
+    return db, {m: BBS.from_database(db, m=m) for m in (64, 96, 128, 256)}
+
+
+MIN_SUPPORT = 0.02
+
+
+class TestFigure5Shapes:
+    def test_fdr_decreases_with_m(self, workload):
+        db, indexes = workload
+        fdrs = [
+            mine(db, indexes[m], MIN_SUPPORT, "sfs").false_drop_ratio
+            for m in (64, 96, 128, 256)
+        ]
+        # Monotone non-increasing, and the small-m end is clearly worse.
+        assert all(a >= b for a, b in zip(fdrs, fdrs[1:]))
+        assert fdrs[0] > fdrs[-1]
+
+    def test_probe_false_drops_below_scan_false_drops(self, workload):
+        db, indexes = workload
+        for m in (64, 96):
+            scan = mine(db, indexes[m], MIN_SUPPORT, "sfs")
+            probed = mine(db, indexes[m], MIN_SUPPORT, "sfp")
+            assert (
+                probed.refine_stats.false_drops
+                <= scan.refine_stats.false_drops
+            ), m
+
+    def test_probe_schemes_fdr_fraction(self, workload):
+        """The paper: probe schemes keep <= 10% of scan false drops at
+        the collision-heavy end of the sweep."""
+        db, indexes = workload
+        scan = mine(db, indexes[64], MIN_SUPPORT, "sfs")
+        probed = mine(db, indexes[64], MIN_SUPPORT, "sfp")
+        if scan.refine_stats.false_drops >= 50:
+            assert (
+                probed.refine_stats.false_drops
+                <= 0.2 * scan.refine_stats.false_drops
+            )
+
+
+class TestFigure6Shapes:
+    def test_all_schemes_agree_and_dfp_certifies_majority(self, workload):
+        db, indexes = workload
+        bbs = indexes[128]
+        results = {
+            a: mine(db, bbs, MIN_SUPPORT, a) for a in ("sfs", "sfp", "dfs", "dfp")
+        }
+        reference = results["sfs"].itemsets()
+        for name, result in results.items():
+            assert result.itemsets() == reference, name
+        assert results["dfp"].certified_fraction > 0.5
+
+    def test_dfp_fdr_is_tiny_at_the_knee(self, workload):
+        db, indexes = workload
+        dfp = mine(db, indexes[256], MIN_SUPPORT, "dfp")
+        assert dfp.false_drop_ratio < 0.03  # the paper's "< 3%" band
+
+
+class TestFigure7Shapes:
+    def test_work_falls_as_threshold_rises(self, workload):
+        db, indexes = workload
+        bbs = indexes[128]
+        calls = [
+            mine(db, bbs, tau, "dfp").filter_stats.count_itemset_calls
+            for tau in (0.01, 0.03, 0.08)
+        ]
+        assert calls[0] > calls[1] > 0
+        assert calls[1] >= calls[2]
+
+
+class TestFigure11Shapes:
+    def test_adaptive_io_rises_as_memory_falls(self, workload):
+        db, indexes = workload
+        bbs = indexes[256]
+        tight = mine(db, bbs, MIN_SUPPORT, "dfp",
+                     memory_bytes=bbs.size_bytes // 2)
+        tighter = mine(db, bbs, MIN_SUPPORT, "dfp",
+                       memory_bytes=bbs.size_bytes // 3)
+        resident = mine(db, bbs, MIN_SUPPORT, "dfp")
+        assert resident.io.page_reads <= tight.io.page_reads
+        assert tight.itemsets() == tighter.itemsets() == resident.itemsets()
+
+
+class TestFigure12Shapes:
+    def test_appends_cost_no_scans_rebuild_costs_two(self, workload):
+        from repro.baselines.fptree import FPTree
+        from repro.data.database import TransactionDatabase
+
+        source, _ = workload
+        # A private copy: the module-scoped workload must stay aligned
+        # with its indexes for the other tests.
+        db = TransactionDatabase(list(source))
+        bbs = BBS.from_database(db, m=128)
+        db.reset_io()
+        db.append([1, 2, 3])
+        bbs.insert([1, 2, 3])
+        assert db.stats.db_scans == 0
+        FPTree.rebuild_for_update(db, threshold=10)
+        assert db.stats.db_scans == 2
+
+
+class TestFigure13Shapes:
+    def test_adhoc_probe_reads_fraction_of_database(self, workload):
+        from repro.core.constraints import AdHocQueryEngine
+
+        db, indexes = workload
+        engine = AdHocQueryEngine(db, indexes[256])
+        items = db.items()
+        pattern = (items[0], items[1])
+        engine.exact_count(pattern)
+        assert engine.refine_stats.probed_tuples < 0.25 * len(db)

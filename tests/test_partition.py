@@ -1,0 +1,59 @@
+"""Tests for the Partition (SON) baseline."""
+
+import pytest
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.baselines.partition import _partition_bounds, partition_mine
+from repro.errors import ConfigurationError
+from tests.conftest import make_random_database
+
+
+class TestBounds:
+    def test_covers_range_without_overlap(self):
+        bounds = _partition_bounds(10, 3)
+        flat = [i for start, end in bounds for i in range(start, end)]
+        assert flat == list(range(10))
+
+    def test_single_partition(self):
+        assert _partition_bounds(7, 1) == [(0, 7)]
+
+    def test_more_partitions_than_rows(self):
+        bounds = _partition_bounds(2, 5)
+        flat = [i for start, end in bounds for i in range(start, end)]
+        assert flat == [0, 1]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_partitions", [1, 2, 3, 7])
+    def test_matches_oracle(self, n_partitions):
+        db = make_random_database(seed=71, n_transactions=110, n_items=18)
+        truth = naive_frequent_patterns(db, 7)
+        result = partition_mine(db, 7, n_partitions=n_partitions)
+        assert result.itemsets() == set(truth)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.count == truth[itemset]
+            assert pattern.exact
+
+    def test_two_pass_io_bound(self):
+        """The SON guarantee: exactly two database scans."""
+        db = make_random_database(seed=72, n_transactions=90, n_items=15)
+        db.reset_io()
+        partition_mine(db, 6, n_partitions=4)
+        assert db.stats.db_scans == 2
+
+    def test_max_size(self):
+        db = make_random_database(seed=73, n_transactions=90, n_items=15)
+        result = partition_mine(db, 5, n_partitions=3, max_size=2)
+        truth = naive_frequent_patterns(db, 5, max_size=2)
+        assert result.itemsets() == set(truth)
+
+    def test_zero_partitions_rejected(self):
+        db = make_random_database(seed=74)
+        with pytest.raises(ConfigurationError):
+            partition_mine(db, 5, n_partitions=0)
+
+    def test_fractional_support(self):
+        db = make_random_database(seed=75, n_transactions=100, n_items=15)
+        absolute = partition_mine(db, 10)
+        fractional = partition_mine(db, 0.1)
+        assert absolute.itemsets() == fractional.itemsets()

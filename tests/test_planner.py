@@ -1,0 +1,109 @@
+"""Tests for the cost-based refinement planner."""
+
+import random
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.core.bbs import BBS
+from repro.core.planner import (
+    PROBE_FRACTION_CUTOFF,
+    mine_auto,
+    plan_refinement,
+)
+from repro.data.database import TransactionDatabase
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def sparse_workload():
+    """Low supports, roomy index: the probe-friendly regime."""
+    db = make_random_database(seed=51, n_transactions=200, n_items=40, max_len=6)
+    return db, BBS.from_database(db, m=256)
+
+
+@pytest.fixture
+def dense_workload():
+    """Few items with huge supports and a collision-prone index:
+    candidate estimates are a large fraction of |D| -> scan-friendly."""
+    rng = random.Random(9)
+    transactions = [rng.sample(range(12), rng.randint(4, 8)) for _ in range(150)]
+    db = TransactionDatabase(transactions)
+    return db, BBS.from_database(db, m=48)
+
+
+class TestPlan:
+    def test_sparse_prefers_probe(self, sparse_workload):
+        db, bbs = sparse_workload
+        plan = plan_refinement(bbs, 10)
+        assert plan.algorithm == "dfp"
+
+    def test_dense_prefers_scan(self, dense_workload):
+        db, bbs = dense_workload
+        plan = plan_refinement(bbs, 8)
+        assert plan.algorithm == "dfs"
+        assert plan.mean_candidate_estimate >= plan.cutoff_tuples
+
+    def test_cutoff_is_tunable(self, dense_workload):
+        _, bbs = dense_workload
+        generous = plan_refinement(bbs, 8, probe_fraction_cutoff=1.0)
+        assert generous.algorithm == "dfp"
+
+    def test_reason_is_informative(self, sparse_workload):
+        _, bbs = sparse_workload
+        plan = plan_refinement(bbs, 10)
+        assert "pilot mean estimate" in plan.reason
+        assert "cutoff" in plan.reason
+
+    def test_all_certified_pilot_means_probe(self):
+        """No uncertain candidates: DFP finishes without DB access."""
+        db = TransactionDatabase([[1, 2]] * 10 + [[3]] * 5)
+        bbs = BBS.from_database(db, m=1024)
+        plan = plan_refinement(bbs, 3)
+        assert plan.algorithm == "dfp"
+        assert plan.n_pilot_candidates == 0
+
+    def test_default_cutoff_constant(self):
+        assert 0.0 < PROBE_FRACTION_CUTOFF < 1.0
+
+
+class TestMineAuto:
+    def test_sparse_correct_and_tagged(self, sparse_workload):
+        db, bbs = sparse_workload
+        result = mine_auto(db, bbs, 10)
+        assert result.algorithm == "auto:dfp"
+        assert result.itemsets() == apriori(db, 10).itemsets()
+
+    def test_dense_correct_and_tagged(self, dense_workload):
+        db, bbs = dense_workload
+        result = mine_auto(db, bbs, 8)
+        assert result.algorithm == "auto:dfs"
+        assert result.itemsets() == apriori(db, 8).itemsets()
+
+    def test_fractional_support(self, sparse_workload):
+        db, bbs = sparse_workload
+        result = mine_auto(db, bbs, 10 / len(db))
+        assert result.min_support == 10
+
+    def test_max_size_forwarded(self, sparse_workload):
+        db, bbs = sparse_workload
+        result = mine_auto(db, bbs, 10, max_size=2)
+        assert all(len(i) <= 2 for i in result.itemsets())
+
+
+class TestMineDispatchAuto:
+    def test_mine_accepts_auto(self, sparse_workload):
+        from repro.core.mining import mine
+
+        db, bbs = sparse_workload
+        result = mine(db, bbs, 10, "auto")
+        assert result.algorithm.startswith("auto:")
+        assert result.itemsets() == apriori(db, 10).itemsets()
+
+    def test_auto_with_memory_budget_goes_adaptive(self, sparse_workload):
+        from repro.core.mining import mine
+
+        db, bbs = sparse_workload
+        result = mine(db, bbs, 10, "auto", memory_bytes=bbs.size_bytes // 2)
+        assert "adaptive" in result.algorithm
+        assert result.itemsets() == apriori(db, 10).itemsets()

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.plotting import GLYPHS, chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+        assert len(line) == 3
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        ranks = [GLYPHS.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 0
+        assert ranks[-1] == len(GLYPHS) - 1
+
+    def test_log_scale_compresses_decades(self):
+        linear = sparkline([1, 10, 100, 1000])
+        logarithmic = sparkline([1, 10, 100, 1000], log_scale=True)
+        lin_ranks = [GLYPHS.index(ch) for ch in linear]
+        log_ranks = [GLYPHS.index(ch) for ch in logarithmic]
+        # Log scale spreads the small values apart.
+        assert log_ranks[1] > lin_ranks[1]
+
+    def test_zero_values_survive_log_scale(self):
+        line = sparkline([0, 1, 10], log_scale=True)
+        assert len(line) == 3
+
+
+class TestChart:
+    def test_structure(self):
+        text = chart(
+            "demo", [1, 2, 4],
+            {"A": [1.0, 2.0, 3.0], "B": [3.0, 2.0, 1.0]},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "-- demo --"
+        assert lines[1].lstrip().startswith("A")
+        assert lines[-1].strip() == "x: 1 2 4"
+        assert "1.00 .. 3.00" in lines[1]
+
+    def test_log_scale_noted(self):
+        text = chart("demo", [1], {"A": [1.0]}, log_scale=True)
+        assert "(log scale)" in text
+
+    def test_empty_series_skipped(self):
+        text = chart("demo", [1], {"A": [], "B": [2.0]})
+        assert "A" not in text.splitlines()[1]
+
+    def test_number_formats(self):
+        text = chart("demo", [1, 2], {"A": [0.001, 250.0]})
+        assert "0.001" in text
+        assert "250" in text

@@ -1,0 +1,142 @@
+"""End-to-end property-based tests: the library's core invariants.
+
+These are the highest-value tests in the suite: on arbitrary random
+databases, all four BBS schemes, both baselines, and the brute-force
+oracle must produce the *identical* frequent-pattern set, and the BBS
+estimates must respect the paper's lemmas.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apriori import apriori
+from repro.baselines.fpgrowth import fp_growth
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.data.database import TransactionDatabase
+
+# Small universes maximise hash collisions, which is exactly the stress
+# the filter-and-refine machinery must survive.
+transactions_strategy = st.lists(
+    st.sets(st.integers(0, 14), min_size=1, max_size=6),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    threshold=st.integers(1, 6),
+    m=st.sampled_from([8, 16, 32, 64]),
+    algorithm=st.sampled_from(["sfs", "sfp", "dfs", "dfp"]),
+)
+def test_every_scheme_matches_the_oracle(transactions, threshold, m, algorithm):
+    """The headline correctness property, even at brutally small m."""
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=m)
+    truth = naive_frequent_patterns(db, threshold)
+    result = mine(db, bbs, threshold, algorithm)
+    assert result.itemsets() == set(truth)
+    for itemset, pattern in result.patterns.items():
+        if pattern.exact:
+            assert pattern.count == truth[itemset]
+        else:
+            assert truth[itemset] <= pattern.count
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    threshold=st.integers(1, 6),
+)
+def test_baselines_agree_with_each_other(transactions, threshold):
+    db = TransactionDatabase(transactions)
+    ap = apriori(db, threshold)
+    fp = fp_growth(db, threshold)
+    assert ap.itemsets() == fp.itemsets()
+    for itemset in ap.itemsets():
+        assert ap.count(itemset) == fp.count(itemset)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    m=st.sampled_from([4, 8, 32]),
+    probe=st.sets(st.integers(0, 14), min_size=1, max_size=3),
+)
+def test_lemma4_estimate_dominates_support(transactions, m, probe):
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=m)
+    assert bbs.count_itemset(probe) >= db.support(probe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    m=st.sampled_from([4, 8, 32]),
+    probe=st.sets(st.integers(0, 14), min_size=1, max_size=3),
+)
+def test_lemma3_no_false_misses(transactions, m, probe):
+    """Every transaction containing the itemset is flagged as a candidate."""
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=m)
+    flagged = set(bbs.candidate_positions(probe).tolist())
+    for position, tx in enumerate(transactions):
+        if probe <= tx:
+            assert position in flagged
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    m=st.sampled_from([8, 32]),
+    threshold=st.integers(1, 5),
+)
+def test_dual_filter_certified_set_is_sound(transactions, m, threshold):
+    """Flag 1/2 patterns are guaranteed frequent — no exceptions."""
+    from repro.core.filters import DualFilter
+
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=m)
+    output = DualFilter(bbs, threshold).run()
+    for itemset, pattern in output.certain.items():
+        assert db.support(itemset) >= threshold
+        if pattern.exact:
+            assert pattern.count == db.support(itemset)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    threshold=st.integers(1, 5),
+    m=st.sampled_from([16, 64]),
+)
+def test_incremental_inserts_equal_bulk_build(transactions, threshold, m):
+    """Dynamic property: insert-as-you-go == build-once (same index bits)."""
+    db = TransactionDatabase(transactions)
+    bulk = BBS.from_database(db, m=m)
+    incremental = BBS(m=m)
+    for tx in transactions:
+        incremental.insert(tx)
+    truth = naive_frequent_patterns(db, threshold)
+    bulk_result = mine(db, bulk, threshold, "dfp")
+    incr_result = mine(db, incremental, threshold, "dfp")
+    assert bulk_result.itemsets() == incr_result.itemsets() == set(truth)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    threshold=st.integers(2, 5),
+    fold=st.sampled_from([16, 32]),
+)
+def test_folded_index_still_mines_correctly(transactions, threshold, fold):
+    """OR-folding (the MemBBS) preserves the no-false-miss guarantee."""
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=64)
+    folded = bbs.fold(fold)
+    truth = naive_frequent_patterns(db, threshold)
+    result = mine(db, folded, threshold, "dfp")
+    assert result.itemsets() == set(truth)

@@ -1,0 +1,186 @@
+"""Tests for the refinement phase and threshold resolution."""
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.core.refine import (
+    probe,
+    probe_all,
+    resolve_threshold,
+    sequential_scan,
+)
+from repro.core.results import RefineStats
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, DatabaseMismatchError
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def db():
+    return make_random_database(seed=3, n_transactions=80, n_items=20, max_len=6)
+
+
+class TestSequentialScan:
+    def test_confirms_true_counts(self, db):
+        candidates = [frozenset([0]), frozenset([0, 1]), frozenset([19])]
+        confirmed = sequential_scan(db, candidates, threshold=1)
+        for itemset, count in confirmed.items():
+            assert count == db.support(itemset)
+
+    def test_prunes_below_threshold(self, db):
+        target = frozenset([0, 1])
+        support = db.support(target)
+        confirmed = sequential_scan(db, [target], threshold=support + 1)
+        assert target not in confirmed
+
+    def test_empty_candidates_no_scan(self, db):
+        stats = RefineStats()
+        db.reset_io()
+        assert sequential_scan(db, [], 1, stats=stats) == {}
+        assert stats.scans == 0
+        assert db.stats.db_scans == 0
+
+    def test_single_batch_is_one_scan(self, db):
+        stats = RefineStats()
+        db.reset_io()
+        sequential_scan(db, [frozenset([0]), frozenset([1])], 1, stats=stats)
+        assert stats.scans == 1
+        assert db.stats.db_scans == 1
+
+    def test_memory_budget_forces_batches(self, db):
+        from repro.core.refine import CANDIDATE_BYTES
+
+        candidates = [frozenset([i]) for i in range(10)]
+        stats = RefineStats()
+        db.reset_io()
+        sequential_scan(
+            db, candidates, 1,
+            memory_bytes=3 * CANDIDATE_BYTES, stats=stats,
+        )
+        assert stats.scans == 4  # ceil(10 / 3)
+        assert db.stats.db_scans == 4
+
+    def test_batching_does_not_change_results(self, db):
+        from repro.core.refine import CANDIDATE_BYTES
+
+        candidates = [frozenset([i]) for i in range(15)]
+        whole = sequential_scan(db, candidates, 3)
+        batched = sequential_scan(
+            db, candidates, 3, memory_bytes=2 * CANDIDATE_BYTES
+        )
+        assert whole == batched
+
+    def test_false_drop_accounting(self, db):
+        stats = RefineStats()
+        impossible = frozenset([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        sequential_scan(db, [impossible, frozenset([0])], 1, stats=stats)
+        assert stats.false_drops + stats.verified == 2
+
+
+class TestProbe:
+    def test_exact_count_from_full_candidate_list(self, db):
+        itemset = frozenset([0, 1])
+        count = probe(db, itemset, range(len(db)))
+        assert count == db.support(itemset)
+
+    def test_counts_probed_tuples(self, db):
+        stats = RefineStats()
+        probe(db, frozenset([0]), [0, 1, 2], stats=stats)
+        assert stats.probes == 1
+        assert stats.probed_tuples == 3
+
+    def test_with_bbs_candidate_positions(self, db):
+        bbs = BBS.from_database(db, m=128)
+        for itemset in (frozenset([0]), frozenset([0, 1]), frozenset([5, 7])):
+            positions = bbs.candidate_positions(itemset)
+            assert probe(db, itemset, positions) == db.support(itemset)
+
+
+class TestProbeAll:
+    def test_matches_sequential_scan(self, db):
+        bbs = BBS.from_database(db, m=128)
+        candidates = [(frozenset([i]), 0) for i in range(10)]
+        probed = probe_all(db, bbs, candidates, threshold=5)
+        scanned = sequential_scan(db, [c for c, _ in candidates], 5)
+        assert probed == scanned
+
+    def test_alignment_enforced(self, db):
+        bbs = BBS(m=32)
+        bbs.insert([1])
+        with pytest.raises(DatabaseMismatchError):
+            probe_all(db, bbs, [(frozenset([1]), 0)], 1)
+
+    def test_false_drops_counted(self, db):
+        bbs = BBS.from_database(db, m=128)
+        support = db.support([0])
+        stats = RefineStats()
+        probe_all(db, bbs, [(frozenset([0]), 0)], support + 1, stats=stats)
+        assert stats.false_drops == 1
+        assert stats.verified == 0
+
+
+class TestResolveThreshold:
+    def test_absolute_passes_through(self):
+        assert resolve_threshold(7, 100) == 7
+
+    def test_fraction_rounds_up(self):
+        assert resolve_threshold(0.003, 1000) == 3
+        assert resolve_threshold(0.0031, 1000) == 4
+
+    def test_fraction_floor_of_one(self):
+        assert resolve_threshold(0.0001, 10) == 1
+
+    def test_full_fraction(self):
+        assert resolve_threshold(1.0, 50) == 50
+
+    def test_zero_absolute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_threshold(0, 100)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_threshold(1.5, 100)
+        with pytest.raises(ConfigurationError):
+            resolve_threshold(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            resolve_threshold(-0.1, 100)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_threshold(True, 100)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_threshold("3", 100)
+
+
+class TestResolveExactCounts:
+    def test_upgrades_bounded_counts(self, db):
+        from repro.core.mining import mine
+        from repro.core.refine import resolve_exact_counts
+
+        bbs = BBS.from_database(db, m=48)  # collision-prone on purpose
+        result = mine(db, bbs, 5, "dfp")
+        resolve_exact_counts(result, db, bbs)
+        for itemset, pattern in result.patterns.items():
+            assert pattern.exact
+            assert pattern.count == db.support(itemset)
+
+    def test_noop_when_already_exact(self, db):
+        from repro.core.mining import mine
+        from repro.core.refine import resolve_exact_counts
+        from repro.core.results import RefineStats
+
+        bbs = BBS.from_database(db, m=1024)
+        result = mine(db, bbs, 5, "sfs")  # scan-refined: all exact
+        stats = RefineStats()
+        resolve_exact_counts(result, db, bbs, stats=stats)
+        assert stats.probes == 0
+
+    def test_returns_result_for_chaining(self, db):
+        from repro.core.mining import mine
+        from repro.core.refine import resolve_exact_counts
+
+        bbs = BBS.from_database(db, m=64)
+        result = mine(db, bbs, 5, "dfp")
+        assert resolve_exact_counts(result, db, bbs) is result

@@ -1,0 +1,60 @@
+"""Tests for the result/statistics types."""
+
+import pytest
+
+from repro.core.results import (
+    FilterStats,
+    MiningResult,
+    PatternCount,
+    RefineStats,
+)
+
+
+class TestPatternCount:
+    def test_frozen(self):
+        pattern = PatternCount(5)
+        with pytest.raises(AttributeError):
+            pattern.count = 6
+
+    def test_exact_default(self):
+        assert PatternCount(5).exact
+
+
+class TestFilterStats:
+    def test_certified_sum(self):
+        stats = FilterStats(certified_exact=3, certified_bounded=2)
+        assert stats.certified == 5
+
+
+class TestMiningResult:
+    def test_itemsets_and_count(self):
+        result = MiningResult("t", 2, 10)
+        result.add_pattern(frozenset([1, 2]), 4, exact=True)
+        assert result.itemsets() == {frozenset([1, 2])}
+        assert result.count([2, 1]) == 4
+        assert len(result) == 1
+
+    def test_count_missing_raises(self):
+        result = MiningResult("t", 2, 10)
+        with pytest.raises(KeyError):
+            result.count([9])
+
+    def test_false_drop_ratio(self):
+        result = MiningResult("t", 2, 10)
+        result.refine_stats = RefineStats(false_drops=3)
+        assert result.false_drop_ratio == 0.0  # no patterns -> defined as 0
+        result.add_pattern(frozenset([1]), 4, exact=True)
+        result.add_pattern(frozenset([2]), 4, exact=True)
+        assert result.false_drop_ratio == pytest.approx(1.5)
+
+    def test_certified_fraction(self):
+        result = MiningResult("t", 2, 10)
+        assert result.certified_fraction == 0.0
+        result.add_pattern(frozenset([1]), 4, exact=True)
+        result.add_pattern(frozenset([2]), 4, exact=True)
+        result.filter_stats = FilterStats(certified_exact=1)
+        assert result.certified_fraction == pytest.approx(0.5)
+
+    def test_summary_contains_algorithm(self):
+        result = MiningResult("dfp", 2, 10)
+        assert "dfp" in result.summary()

@@ -1,0 +1,103 @@
+"""Tests for association-rule generation."""
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.core.results import MiningResult, PatternCount
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.rules import Rule, generate_rules
+
+
+@pytest.fixture
+def mined():
+    db = TransactionDatabase([
+        ["bread", "butter"], ["bread", "butter"], ["bread", "butter"],
+        ["bread"], ["butter", "milk"], ["bread", "milk"],
+    ])
+    return db, apriori(db, 2)
+
+
+class TestRuleDerivation:
+    def test_confidence_matches_hand_computation(self, mined):
+        db, result = mined
+        rules = generate_rules(result, 0.1)
+        by_pair = {(r.antecedent, r.consequent): r for r in rules}
+        rule = by_pair[(frozenset(["butter"]), frozenset(["bread"]))]
+        # support(bread ∪ butter) = 3, support(butter) = 4.
+        assert rule.support == 3
+        assert rule.confidence == pytest.approx(3 / 4)
+
+    def test_lift(self, mined):
+        db, result = mined
+        rules = generate_rules(result, 0.1)
+        rule = next(
+            r for r in rules
+            if r.antecedent == frozenset(["butter"])
+            and r.consequent == frozenset(["bread"])
+        )
+        # lift = confidence / (support(bread) / |D|) = 0.75 / (5/6).
+        assert rule.lift == pytest.approx(0.75 / (5 / 6))
+
+    def test_confidence_floor_enforced(self, mined):
+        _, result = mined
+        for rule in generate_rules(result, 0.7):
+            assert rule.confidence >= 0.7
+
+    def test_rules_sorted_by_confidence(self, mined):
+        _, result = mined
+        rules = generate_rules(result, 0.1)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_no_rules_from_singletons(self):
+        result = MiningResult("x", 1, 10)
+        result.add_pattern(frozenset(["a"]), 5, exact=True)
+        assert generate_rules(result, 0.1) == []
+
+    def test_multi_item_consequents(self):
+        db = TransactionDatabase([["a", "b", "c"]] * 4)
+        rules = generate_rules(apriori(db, 2), 0.9)
+        consequents = {r.consequent for r in rules}
+        assert frozenset(["b", "c"]) in consequents
+
+    def test_max_consequent_size(self):
+        db = TransactionDatabase([["a", "b", "c"]] * 4)
+        rules = generate_rules(apriori(db, 2), 0.9, max_consequent_size=1)
+        assert all(len(r.consequent) == 1 for r in rules)
+
+    def test_inexact_counts_excluded(self):
+        result = MiningResult("x", 1, 10)
+        result.add_pattern(frozenset(["a"]), 5, exact=True)
+        result.patterns[frozenset(["a", "b"])] = PatternCount(4, exact=False)
+        assert generate_rules(result, 0.1) == []
+
+    def test_determinism(self, mined):
+        _, result = mined
+        assert generate_rules(result, 0.1) == generate_rules(result, 0.1)
+
+    def test_bad_confidence_rejected(self, mined):
+        _, result = mined
+        with pytest.raises(ConfigurationError):
+            generate_rules(result, 0.0)
+        with pytest.raises(ConfigurationError):
+            generate_rules(result, 1.5)
+
+    def test_str_rendering(self):
+        rule = Rule(frozenset(["a"]), frozenset(["b"]), 3, 0.75, 1.5)
+        text = str(rule)
+        assert "{a} -> {b}" in text
+        assert "0.750" in text
+
+
+class TestRulesFromBBSMining:
+    def test_dfp_result_yields_same_rules_as_apriori(self, grocery_db):
+        from repro.core.bbs import BBS
+        from repro.core.mining import mine
+
+        bbs = BBS.from_database(grocery_db, m=256)
+        dfp = mine(grocery_db, bbs, 2, "dfp")
+        ap = apriori(grocery_db, 2)
+        # With a wide index every DFP count is exact, so the rule sets match.
+        if all(p.exact for p in dfp.patterns.values()):
+            assert generate_rules(dfp, 0.6) == generate_rules(ap, 0.6)

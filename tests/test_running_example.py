@@ -1,0 +1,85 @@
+"""Bit-for-bit reproduction of the paper's running example (Tables 1-2).
+
+Table 1's printed vector for TID 500 contains a typo in the published
+paper (see :mod:`repro.data.datasets`); these tests assert against the
+values implied by the item sets — which also match the paper's own
+Example 2 arithmetic.
+"""
+
+from repro.core import bitvec
+from repro.data.datasets import (
+    RUNNING_EXAMPLE_M,
+    RUNNING_EXAMPLE_SLICES,
+    RUNNING_EXAMPLE_TRANSACTIONS,
+    RUNNING_EXAMPLE_VECTORS,
+    running_example,
+)
+
+
+class TestTable1:
+    def test_five_transactions(self, paper_example):
+        db, _ = paper_example
+        assert len(db) == 5
+        assert db.tids() == [100, 200, 300, 400, 500]
+
+    def test_transaction_vectors(self, paper_example):
+        _, bbs = paper_example
+        for tid, items in RUNNING_EXAMPLE_TRANSACTIONS.items():
+            positions = set(
+                int(p) for p in bbs.hash_family.itemset_positions(items)
+            )
+            bits = "".join(
+                "1" if b in positions else "0" for b in range(RUNNING_EXAMPLE_M)
+            )
+            assert bits == RUNNING_EXAMPLE_VECTORS[tid], f"TID {tid}"
+
+    def test_transactions_200_and_500_collide(self, paper_example):
+        """The paper's lossiness observation: two TIDs share one vector."""
+        assert RUNNING_EXAMPLE_VECTORS[200] == RUNNING_EXAMPLE_VECTORS[500]
+
+
+class TestTable2:
+    def test_eight_slices(self, paper_example):
+        _, bbs = paper_example
+        assert bbs.m == 8
+
+    def test_slice_contents(self, paper_example):
+        db, bbs = paper_example
+        for position in range(bbs.m):
+            got = bitvec.to_bitstring(bbs.slice_words(position), len(db))
+            assert got == RUNNING_EXAMPLE_SLICES[position], f"slice {position}"
+
+
+class TestExample2:
+    """The worked CountItemSet runs of the paper's Example 2."""
+
+    def test_itemset_0_1_counts_two_exactly(self, paper_example):
+        db, bbs = paper_example
+        assert bbs.count_itemset([0, 1]) == 2
+        assert db.support([0, 1]) == 2  # the estimate is accurate here
+
+    def test_itemset_0_1_uses_slices_0_and_1(self, paper_example):
+        _, bbs = paper_example
+        assert bbs.signature_positions([0, 1]).tolist() == [0, 1]
+
+    def test_itemset_1_3_overestimates(self, paper_example):
+        db, bbs = paper_example
+        assert bbs.count_itemset([1, 3]) == 3  # the paper's value
+        assert db.support([1, 3]) == 2         # the actual count
+
+    def test_resultant_vector_for_0_1(self, paper_example):
+        db, bbs = paper_example
+        vector = bbs.resultant_vector([0, 1])
+        # 10010 AND 11111 = 10010 -> transactions at positions 0 and 3.
+        assert bitvec.to_bitstring(vector, len(db)) == "10010"
+        assert bbs.candidate_positions([0, 1]).tolist() == [0, 3]
+
+
+class TestFactoryIsFresh:
+    def test_independent_instances(self):
+        db1, bbs1 = running_example()
+        db2, bbs2 = running_example()
+        assert db1 is not db2
+        bbs1.insert([1, 2])
+        assert bbs1.n_transactions == 6
+        assert bbs2.n_transactions == 5

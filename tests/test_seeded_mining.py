@@ -1,0 +1,163 @@
+"""Tests for item-constrained (seeded) mining and DiskBBS compaction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.bbs import BBS
+from repro.core.mining import mine_containing
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.storage.diskbbs import DiskBBS
+from tests.conftest import make_random_database
+
+THRESHOLD = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_random_database(seed=111, n_transactions=150, n_items=22, max_len=6)
+    bbs = BBS.from_database(db, m=128)
+    truth = naive_frequent_patterns(db, THRESHOLD)
+    return db, bbs, truth
+
+
+class TestMineContaining:
+    def test_single_item_seed_matches_truth(self, workload):
+        db, bbs, truth = workload
+        # Pick a frequent item as the seed.
+        seed = next(iter(i for i in truth if len(i) == 1))
+        result = mine_containing(db, bbs, seed, THRESHOLD)
+        expected = {i for i in truth if seed <= i}
+        assert result.itemsets() == expected
+
+    def test_pair_seed_matches_truth(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 2))
+        result = mine_containing(db, bbs, seed, THRESHOLD)
+        expected = {i for i in truth if seed <= i}
+        assert result.itemsets() == expected
+
+    def test_every_frequent_item_seed(self, workload):
+        """Exhaustive: for every frequent item, the seeded result is
+        exactly the global result restricted to its supersets."""
+        db, bbs, truth = workload
+        for seed in (i for i in truth if len(i) == 1):
+            result = mine_containing(db, bbs, seed, THRESHOLD)
+            expected = {i for i in truth if seed <= i}
+            assert result.itemsets() == expected, seed
+
+    def test_counts_match_truth(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 1))
+        result = mine_containing(db, bbs, seed, THRESHOLD)
+        for itemset, pattern in result.patterns.items():
+            if pattern.exact:
+                assert pattern.count == truth[itemset]
+            else:
+                assert pattern.count >= truth[itemset]
+
+    def test_infrequent_seed_yields_empty(self, workload):
+        db, bbs, truth = workload
+        items = db.items()
+        infrequent = next(
+            frozenset(pair)
+            for pair in zip(items, items[1:])
+            if db.support(pair) < THRESHOLD
+        )
+        result = mine_containing(db, bbs, infrequent, THRESHOLD)
+        assert len(result) == 0
+
+    def test_absent_seed_yields_empty(self, workload):
+        db, bbs, _ = workload
+        result = mine_containing(db, bbs, [987654], THRESHOLD)
+        assert len(result) == 0
+
+    def test_empty_seed_rejected(self, workload):
+        db, bbs, _ = workload
+        with pytest.raises(ConfigurationError):
+            mine_containing(db, bbs, [], THRESHOLD)
+
+    def test_max_size_includes_seed(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 1))
+        result = mine_containing(db, bbs, seed, THRESHOLD, max_size=2)
+        assert all(len(i) <= 2 for i in result.itemsets())
+
+    def test_cheaper_than_full_mining(self, workload):
+        """The point of seeding: far fewer CountItemSet calls."""
+        from repro.core.mining import mine_dfp
+
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 2))
+        full = mine_dfp(db, bbs, THRESHOLD)
+        seeded = mine_containing(db, bbs, seed, THRESHOLD)
+        assert (
+            seeded.filter_stats.count_itemset_calls
+            < full.filter_stats.count_itemset_calls
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    transactions=st.lists(
+        st.sets(st.integers(0, 11), min_size=1, max_size=5),
+        min_size=5, max_size=30,
+    ),
+    threshold=st.integers(1, 4),
+    seed_item=st.integers(0, 11),
+)
+def test_property_seeded_equals_filtered_global(transactions, threshold, seed_item):
+    db = TransactionDatabase(transactions)
+    bbs = BBS.from_database(db, m=32)
+    truth = naive_frequent_patterns(db, threshold)
+    result = mine_containing(db, bbs, [seed_item], threshold)
+    expected = {i for i in truth if seed_item in i}
+    assert result.itemsets() == expected
+
+
+class TestDiskBBSCompaction:
+    def test_compact_merges_segments(self, tmp_path, workload):
+        db, bbs, _ = workload
+        disk = DiskBBS.create(tmp_path / "c.bbsd", m=128, flush_threshold=25)
+        for tx in db:
+            disk.insert(tx)
+        assert disk.n_segments > 1
+        before = {i: disk.count_itemset([i]) for i in db.items()}
+        disk.compact()
+        assert disk.n_segments == 1
+        assert disk.tail_size == 0
+        assert disk.n_transactions == len(db)
+        for item, count in before.items():
+            assert disk.count_itemset([item]) == count
+        disk.close()
+
+    def test_compacted_index_reopens(self, tmp_path, workload):
+        db, bbs, _ = workload
+        disk = DiskBBS.create(tmp_path / "r.bbsd", m=128, flush_threshold=25)
+        for tx in db:
+            disk.insert(tx)
+        disk.compact()
+        disk.close()
+        reopened = DiskBBS.open(tmp_path / "r.bbsd")
+        assert reopened.n_transactions == len(db)
+        for item in db.items()[:5]:
+            assert reopened.count_itemset([item]) == bbs.count_itemset([item])
+        reopened.close()
+
+    def test_appends_continue_after_compact(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "a.bbsd", m=32, flush_threshold=2)
+        disk.insert([1])
+        disk.insert([1])
+        disk.insert([1])
+        disk.compact()
+        disk.insert([1])
+        assert disk.count_itemset([1]) == 4
+        disk.close()
+
+    def test_compact_empty_index(self, tmp_path):
+        disk = DiskBBS.create(tmp_path / "e.bbsd", m=32)
+        disk.compact()
+        assert disk.n_transactions == 0
+        disk.close()

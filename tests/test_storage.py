@@ -1,0 +1,318 @@
+"""Tests for the storage substrates: buffer, metrics, slice files, tx files."""
+
+import numpy as np
+import pytest
+
+from repro.core.bbs import BBS
+from repro.core.hashing import ModuloHashFamily
+from repro.errors import ConfigurationError, CorruptFileError, StorageError
+from repro.storage.buffer import PageCache
+from repro.storage.metrics import CostModel, IOStats
+from repro.storage.slicefile import FORMAT_VERSION, load_bbs, save_bbs
+from repro.storage.txfile import (
+    TransactionFileReader,
+    TransactionFileWriter,
+    index_path,
+)
+from tests.conftest import make_random_database
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        stats = IOStats()
+        cache = PageCache(4, stats)
+        cache.get(1)
+        cache.get(1)
+        assert stats.page_reads == 1
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+
+    def test_lru_eviction(self):
+        stats = IOStats()
+        cache = PageCache(2, stats)
+        cache.get(1)
+        cache.get(2)
+        cache.get(3)  # evicts 1
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+        cache.get(1)
+        assert stats.page_reads == 4
+
+    def test_access_refreshes_recency(self):
+        cache = PageCache(2)
+        cache.get(1)
+        cache.get(2)
+        cache.get(1)  # 1 becomes most recent
+        cache.get(3)  # evicts 2, not 1
+        assert 1 in cache and 2 not in cache
+
+    def test_loader_invoked_on_miss_only(self):
+        calls = []
+        cache = PageCache(2)
+        cache.get("p", loader=lambda: calls.append(1) or "payload")
+        value = cache.get("p", loader=lambda: calls.append(2) or "other")
+        assert value == "payload"
+        assert calls == [1]
+
+    def test_invalidate_and_clear(self):
+        cache = PageCache(4)
+        cache.get(1)
+        cache.invalidate(1)
+        assert 1 not in cache
+        cache.get(2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_resize_evicts(self):
+        cache = PageCache(4)
+        for page in range(4):
+            cache.get(page)
+        cache.resize(2)
+        assert len(cache) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageCache(0)
+        with pytest.raises(ConfigurationError):
+            PageCache(4).resize(0)
+
+
+class TestIOStats:
+    def test_reset(self):
+        stats = IOStats(page_reads=5, db_scans=2)
+        stats.reset()
+        assert stats.page_reads == 0 and stats.db_scans == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(page_reads=1)
+        snap = stats.snapshot()
+        stats.page_reads = 9
+        assert snap.page_reads == 1
+
+    def test_subtraction(self):
+        after = IOStats(page_reads=10, tuples_read=7)
+        before = IOStats(page_reads=4, tuples_read=2)
+        delta = after - before
+        assert delta.page_reads == 6 and delta.tuples_read == 5
+
+    def test_merged(self):
+        merged = IOStats(page_reads=1).merged(IOStats(page_reads=2, db_scans=1))
+        assert merged.page_reads == 3 and merged.db_scans == 1
+
+    def test_total_page_ios(self):
+        assert IOStats(page_reads=3, page_writes=4).total_page_ios == 7
+
+
+class TestCostModel:
+    def test_response_time(self):
+        model = CostModel(io_latency_s=0.01, cpu_scale=1.0)
+        stats = IOStats(page_reads=10)
+        assert model.response_time(1.0, stats) == pytest.approx(1.1)
+
+    def test_cpu_scale(self):
+        model = CostModel(io_latency_s=0.0, cpu_scale=2.0)
+        assert model.response_time(1.5, IOStats()) == pytest.approx(3.0)
+
+    def test_pages_for_bytes(self):
+        model = CostModel(page_bytes=1000)
+        assert model.pages_for_bytes(0) == 0
+        assert model.pages_for_bytes(1) == 1
+        assert model.pages_for_bytes(1000) == 1
+        assert model.pages_for_bytes(1001) == 2
+
+
+class TestSliceFile:
+    def test_round_trip_preserves_everything(self, tmp_path, small_db):
+        bbs = BBS.from_database(small_db, m=96)
+        path = tmp_path / "index.bbs"
+        save_bbs(bbs, path)
+        loaded = load_bbs(path)
+        assert loaded.m == bbs.m and loaded.k == bbs.k
+        assert loaded.n_transactions == bbs.n_transactions
+        for item in small_db.items():
+            assert loaded.count_itemset([item]) == bbs.count_itemset([item])
+            assert loaded.item_counts.count(item) == bbs.item_counts.count(item)
+        assert loaded.mean_signature_density == bbs.mean_signature_density
+
+    def test_round_trip_modulo_family(self, tmp_path):
+        bbs = BBS(m=8, hash_family=ModuloHashFamily(8))
+        bbs.insert([1, 2, 11])
+        path = tmp_path / "mod.bbs"
+        save_bbs(bbs, path)
+        loaded = load_bbs(path)
+        assert loaded.count_itemset([11]) == bbs.count_itemset([11])
+
+    def test_loaded_index_accepts_inserts(self, tmp_path, small_db):
+        bbs = BBS.from_database(small_db, m=96)
+        path = tmp_path / "index.bbs"
+        save_bbs(bbs, path)
+        loaded = load_bbs(path)
+        loaded.insert([1, 2, 3])
+        assert loaded.n_transactions == bbs.n_transactions + 1
+
+    def test_string_items_round_trip(self, tmp_path, grocery_db):
+        bbs = BBS.from_database(grocery_db, m=64)
+        path = tmp_path / "str.bbs"
+        save_bbs(bbs, path)
+        loaded = load_bbs(path)
+        assert loaded.item_counts.count("bread") == bbs.item_counts.count("bread")
+
+    def test_crc_detects_corruption(self, tmp_path, small_db):
+        bbs = BBS.from_database(small_db, m=64)
+        path = tmp_path / "corrupt.bbs"
+        save_bbs(bbs, path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptFileError, match="checksum"):
+            load_bbs(path)
+
+    def test_truncation_detected(self, tmp_path, small_db):
+        bbs = BBS.from_database(small_db, m=64)
+        path = tmp_path / "short.bbs"
+        save_bbs(bbs, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CorruptFileError):
+            load_bbs(path)
+
+    def test_wrong_magic_detected(self, tmp_path):
+        path = tmp_path / "notbbs.bin"
+        path.write_bytes(b"JUNK" + b"\x00" * 64)
+        with pytest.raises(CorruptFileError):
+            load_bbs(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_bbs(tmp_path / "absent.bbs")
+
+    def test_version_gate(self, tmp_path, small_db):
+        import struct
+        import zlib
+
+        bbs = BBS.from_database(small_db, m=64)
+        path = tmp_path / "future.bbs"
+        save_bbs(bbs, path)
+        blob = bytearray(path.read_bytes())
+        struct.pack_into("<I", blob, 4, FORMAT_VERSION + 1)
+        # Re-seal the checksum so only the version differs.
+        crc = zlib.crc32(bytes(blob[:-4])) & 0xFFFFFFFF
+        struct.pack_into("<I", blob, len(blob) - 4, crc)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptFileError, match="version"):
+            load_bbs(path)
+
+    def test_float_items_rejected(self, tmp_path):
+        bbs = BBS(m=16)
+        bbs.insert([1.5])
+        with pytest.raises(StorageError):
+            save_bbs(bbs, tmp_path / "bad.bbs")
+
+
+class TestTransactionFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "data.tx"
+        transactions = [(0, (1, 2, 3)), (7, (9,)), (14, (4, 5))]
+        with TransactionFileWriter(path) as writer:
+            for tid, items in transactions:
+                writer.append(items, tid=tid)
+        with TransactionFileReader(path) as reader:
+            assert len(reader) == 3
+            for position, (tid, items) in enumerate(transactions):
+                assert reader.read_at(position) == (tid, items)
+
+    def test_scan_order(self, tmp_path):
+        path = tmp_path / "data.tx"
+        with TransactionFileWriter(path) as writer:
+            for i in range(5):
+                writer.append([i, i + 1])
+        with TransactionFileReader(path) as reader:
+            positions = [pos for pos, _, _ in reader.scan()]
+            assert positions == list(range(5))
+
+    def test_append_mode_extends(self, tmp_path):
+        path = tmp_path / "data.tx"
+        with TransactionFileWriter(path) as writer:
+            writer.append([1])
+        with TransactionFileWriter(path, truncate=False) as writer:
+            writer.append([2])
+        with TransactionFileReader(path) as reader:
+            assert len(reader) == 2
+            assert reader.read_at(1)[1] == (2,)
+
+    def test_items_deduped_and_sorted(self, tmp_path):
+        path = tmp_path / "data.tx"
+        with TransactionFileWriter(path) as writer:
+            writer.append([5, 1, 5, 3])
+        with TransactionFileReader(path) as reader:
+            assert reader.read_at(0)[1] == (1, 3, 5)
+
+    def test_empty_transaction_rejected(self, tmp_path):
+        with TransactionFileWriter(tmp_path / "d.tx") as writer:
+            with pytest.raises(StorageError):
+                writer.append([])
+
+    def test_out_of_range_items_rejected(self, tmp_path):
+        with TransactionFileWriter(tmp_path / "d.tx") as writer:
+            with pytest.raises(StorageError):
+                writer.append([-1])
+            with pytest.raises(StorageError):
+                writer.append([2**32])
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = tmp_path / "d.tx"
+        with TransactionFileWriter(path) as writer:
+            writer.append([1])
+        data = bytearray(path.read_bytes())
+        data[:4] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptFileError):
+            TransactionFileReader(path)
+
+    def test_torn_index_detected(self, tmp_path):
+        path = tmp_path / "d.tx"
+        with TransactionFileWriter(path) as writer:
+            writer.append([1])
+        idx = index_path(path)
+        idx.write_bytes(idx.read_bytes() + b"\x01\x02\x03")  # torn tail
+        with pytest.raises(CorruptFileError):
+            TransactionFileReader(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            TransactionFileReader(tmp_path / "nothing.tx")
+
+    def test_read_out_of_range(self, tmp_path):
+        path = tmp_path / "d.tx"
+        with TransactionFileWriter(path) as writer:
+            writer.append([1])
+        with TransactionFileReader(path) as reader:
+            with pytest.raises(StorageError):
+                reader.read_at(5)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    transactions=st.lists(
+        st.sets(st.integers(0, 30), min_size=1, max_size=6),
+        min_size=1, max_size=40,
+    ),
+    m=st.sampled_from([16, 64, 130]),
+)
+def test_property_slice_file_round_trip(tmp_path_factory, transactions, m):
+    """Arbitrary indexes survive a save/load cycle bit-for-bit."""
+    import numpy as np
+
+    path = tmp_path_factory.mktemp("slices") / "p.bbs"
+    bbs = BBS(m=m)
+    for tx in transactions:
+        bbs.insert(tx)
+    save_bbs(bbs, path)
+    loaded = load_bbs(path)
+    assert loaded.n_transactions == bbs.n_transactions
+    for row in range(m):
+        assert np.array_equal(loaded.slice_words(row), bbs.slice_words(row))

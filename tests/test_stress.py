@@ -1,0 +1,123 @@
+"""Medium-scale randomized stress tests (failure-injection flavoured).
+
+These run a few seconds each and exercise regimes the unit tests avoid:
+heavy hash collisions, long update streams interleaved with queries,
+and storage-level fault injection on larger files.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.fpgrowth import fp_growth
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.data.database import TransactionDatabase
+from repro.errors import CorruptFileError
+from repro.storage.diskbbs import DiskBBS
+
+
+class TestCollisionStress:
+    """Tiny m + many items: the filter must stay correct under chaos."""
+
+    @pytest.mark.parametrize("m", [16, 24, 48])
+    def test_heavy_collisions_still_exact(self, m):
+        rng = random.Random(m)
+        transactions = [
+            rng.sample(range(20), rng.randint(1, 5)) for _ in range(300)
+        ]
+        db = TransactionDatabase(transactions)
+        bbs = BBS.from_database(db, m=m)
+        reference = fp_growth(db, 15)
+        result = mine(db, bbs, 15, "dfp")
+        assert result.itemsets() == reference.itemsets()
+
+
+class TestInterleavedUpdateStream:
+    """Appends, queries, and mining interleaved over a long stream."""
+
+    def test_long_interleaving(self):
+        rng = random.Random(77)
+        db = TransactionDatabase()
+        bbs = BBS(m=96)
+        for step in range(600):
+            tx = rng.sample(range(30), rng.randint(1, 6))
+            db.append(tx)
+            bbs.insert(tx)
+            if step % 97 == 0 and step > 0:
+                item = rng.randrange(30)
+                assert bbs.count_itemset([item]) >= db.support([item])
+            if step % 199 == 0 and step > 0:
+                result = mine(db, bbs, max(2, step // 40), "dfp")
+                reference = fp_growth(db, max(2, step // 40))
+                assert result.itemsets() == reference.itemsets(), step
+
+
+class TestDiskBBSFaultInjection:
+    """Random byte corruption in a segment file must never go unnoticed
+    as long as it changes bits the reader actually consumes."""
+
+    def test_bitflips_in_segment_headers_detected(self, tmp_path):
+        rng = random.Random(3)
+        path = tmp_path / "f.bbsd"
+        disk = DiskBBS.create(path, m=64, flush_threshold=25)
+        for _ in range(100):
+            disk.insert(rng.sample(range(40), rng.randint(1, 5)))
+        disk.close()
+
+        blob = bytearray(path.read_bytes())
+        # Flip the segment magic of the second segment: scanning must fail.
+        second = blob.index(b"SEG1", blob.index(b"SEG1") + 1)
+        blob[second] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptFileError):
+            DiskBBS.open(path)
+
+    def test_truncated_tail_detected(self, tmp_path):
+        rng = random.Random(4)
+        path = tmp_path / "t.bbsd"
+        disk = DiskBBS.create(path, m=64, flush_threshold=25)
+        for _ in range(60):
+            disk.insert(rng.sample(range(40), rng.randint(1, 5)))
+        disk.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-20])
+        with pytest.raises(CorruptFileError):
+            DiskBBS.open(path)
+
+
+class TestNumericEdges:
+    def test_word_boundary_database_sizes(self):
+        """Transaction counts straddling 64-bit word boundaries."""
+        for n in (63, 64, 65, 127, 128, 129):
+            db = TransactionDatabase([[i % 7] for i in range(n)])
+            bbs = BBS.from_database(db, m=32)
+            for item in range(7):
+                assert bbs.count_itemset([item]) >= db.support([item])
+            result = mine(db, bbs, 2, "dfp")
+            reference = fp_growth(db, 2)
+            assert result.itemsets() == reference.itemsets(), n
+
+    def test_single_transaction(self):
+        db = TransactionDatabase([[1, 2, 3]])
+        bbs = BBS.from_database(db, m=32)
+        result = mine(db, bbs, 1, "dfp")
+        assert frozenset([1, 2, 3]) in result.itemsets()
+        assert len(result) == 7
+
+    def test_all_identical_transactions(self):
+        db = TransactionDatabase([[4, 5]] * 200)
+        bbs = BBS.from_database(db, m=32)
+        result = mine(db, bbs, 200, "dfp")
+        assert result.itemsets() == {
+            frozenset([4]), frozenset([5]), frozenset([4, 5])
+        }
+        assert result.count([4, 5]) == 200
+
+    def test_very_wide_index_on_tiny_data(self):
+        db = TransactionDatabase([[1], [2]])
+        bbs = BBS.from_database(db, m=65536)
+        assert mine(db, bbs, 1, "dfp").itemsets() == {
+            frozenset([1]), frozenset([2])
+        }

@@ -1,0 +1,129 @@
+"""Tests for closed/maximal pattern summaries."""
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.baselines.naive import naive_frequent_patterns
+from repro.core.results import MiningResult, PatternCount
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.rules.summarize import (
+    closed_patterns,
+    maximal_patterns,
+    summary_counts,
+)
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def mined():
+    db = make_random_database(seed=61, n_transactions=120, n_items=18, max_len=6)
+    return db, apriori(db, 8)
+
+
+def brute_closed(patterns):
+    return {
+        itemset: support
+        for itemset, support in patterns.items()
+        if not any(
+            itemset < other and patterns[other] == support
+            for other in patterns
+        )
+    }
+
+
+def brute_maximal(patterns):
+    return {
+        itemset: support
+        for itemset, support in patterns.items()
+        if not any(itemset < other for other in patterns)
+    }
+
+
+class TestClosed:
+    def test_matches_brute_force(self, mined):
+        _, result = mined
+        expected = brute_closed(
+            {i: p.count for i, p in result.patterns.items()}
+        )
+        assert closed_patterns(result) == expected
+
+    def test_closed_preserve_all_supports(self, mined):
+        """Every pattern's support is recoverable from its closure."""
+        db, result = mined
+        closed = closed_patterns(result)
+        for itemset, pattern in result.patterns.items():
+            closure_support = max(
+                support for other, support in closed.items()
+                if itemset <= other
+            )
+            assert closure_support == pattern.count
+
+    def test_chain_database(self):
+        # a ⊃ ab ⊃ abc with distinct supports: all three are closed.
+        db = TransactionDatabase(
+            [["a", "b", "c"]] * 2 + [["a", "b"]] * 2 + [["a"]] * 2
+        )
+        closed = closed_patterns(apriori(db, 2))
+        assert closed == {
+            frozenset("a"): 6,
+            frozenset(["a", "b"]): 4,
+            frozenset(["a", "b", "c"]): 2,
+        }
+
+    def test_equal_support_collapses(self):
+        # b never appears without a: {b} is not closed, {a,b} is.
+        db = TransactionDatabase([["a", "b"]] * 3 + [["a"]])
+        closed = closed_patterns(apriori(db, 2))
+        assert frozenset(["b"]) not in closed
+        assert closed[frozenset(["a", "b"])] == 3
+
+
+class TestMaximal:
+    def test_matches_brute_force(self, mined):
+        _, result = mined
+        expected = brute_maximal(
+            {i: p.count for i, p in result.patterns.items()}
+        )
+        assert maximal_patterns(result) == expected
+
+    def test_maximal_subset_of_closed(self, mined):
+        _, result = mined
+        assert set(maximal_patterns(result)) <= set(closed_patterns(result))
+
+    def test_covers_every_pattern(self, mined):
+        _, result = mined
+        maximal = maximal_patterns(result)
+        for itemset in result.patterns:
+            assert any(itemset <= big for big in maximal)
+
+    def test_single_max_pattern(self):
+        db = TransactionDatabase([["a", "b", "c"]] * 3)
+        maximal = maximal_patterns(apriori(db, 2))
+        assert set(maximal) == {frozenset(["a", "b", "c"])}
+
+
+class TestSummaryCounts:
+    def test_ordering_invariant(self, mined):
+        _, result = mined
+        counts = summary_counts(result)
+        assert counts["maximal"] <= counts["closed"] <= counts["all"]
+
+    def test_inexact_counts_rejected(self):
+        result = MiningResult("x", 1, 10)
+        result.patterns[frozenset(["a"])] = PatternCount(5, exact=False)
+        with pytest.raises(ConfigurationError):
+            closed_patterns(result)
+        with pytest.raises(ConfigurationError):
+            maximal_patterns(result)
+
+    def test_from_dfp_result(self):
+        from repro.core.bbs import BBS
+        from repro.core.mining import mine
+
+        db = make_random_database(seed=62, n_transactions=100, n_items=15)
+        bbs = BBS.from_database(db, m=512)
+        result = mine(db, bbs, 6, "dfp")
+        truth = naive_frequent_patterns(db, 6)
+        expected = brute_maximal(truth)
+        assert maximal_patterns(result) == expected

@@ -1,0 +1,81 @@
+"""Tests for the superimposed-coding hash family (footnote 3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.core.bbs import BBS
+from repro.core.hashing import (
+    MD5HashFamily,
+    SuperimposedHashFamily,
+    family_from_description,
+)
+from repro.core.mining import mine
+from tests.conftest import make_random_database
+
+
+class TestWeightBehaviour:
+    def test_weights_vary_around_k(self):
+        family = SuperimposedHashFamily(m=4096, k=4)
+        weights = [family.positions(i).size for i in range(500)]
+        assert min(weights) >= 1
+        assert len(set(weights)) > 2          # no control over the weight
+        mean = sum(weights) / len(weights)
+        assert 2.5 < mean < 5.5               # centred near k
+
+    def test_bloom_weights_are_fixed_by_contrast(self):
+        family = MD5HashFamily(m=4096, k=4)
+        weights = {family.positions(i).size for i in range(200)}
+        assert weights == {4}                 # modulo rare collisions at 4096
+
+    def test_deterministic(self):
+        a = SuperimposedHashFamily(m=512, k=4)
+        b = SuperimposedHashFamily(m=512, k=4)
+        for item in range(50):
+            assert np.array_equal(a.positions(item), b.positions(item))
+
+    def test_positions_in_range(self):
+        family = SuperimposedHashFamily(m=97, k=4)
+        for item in range(100):
+            positions = family.positions(item)
+            assert positions.min() >= 0 and positions.max() < 97
+
+
+class TestMiningStillCorrect:
+    """Variable weights change performance, never correctness."""
+
+    def test_all_schemes_match_apriori(self):
+        db = make_random_database(seed=81, n_transactions=120, n_items=20)
+        bbs = BBS(m=128, hash_family=SuperimposedHashFamily(128, 4))
+        for tx in db:
+            bbs.insert(tx)
+        reference = apriori(db, 7)
+        for algorithm in ("sfs", "sfp", "dfs", "dfp"):
+            result = mine(db, bbs, 7, algorithm)
+            assert result.itemsets() == reference.itemsets(), algorithm
+
+    def test_estimates_dominate_support(self):
+        db = make_random_database(seed=82, n_transactions=80, n_items=15)
+        bbs = BBS(m=64, hash_family=SuperimposedHashFamily(64, 4))
+        for tx in db:
+            bbs.insert(tx)
+        for item in db.items():
+            assert bbs.count_itemset([item]) >= db.support([item])
+
+
+class TestPersistence:
+    def test_describe_round_trip(self):
+        family = SuperimposedHashFamily(m=300, k=5)
+        rebuilt = family_from_description(family.describe())
+        assert isinstance(rebuilt, SuperimposedHashFamily)
+        assert np.array_equal(rebuilt.positions("x"), family.positions("x"))
+
+    def test_slice_file_round_trip(self, tmp_path):
+        db = make_random_database(seed=83, n_transactions=40, n_items=12)
+        bbs = BBS(m=64, hash_family=SuperimposedHashFamily(64, 4))
+        for tx in db:
+            bbs.insert(tx)
+        bbs.save(tmp_path / "s.bbs")
+        loaded = BBS.load(tmp_path / "s.bbs")
+        for item in db.items():
+            assert loaded.count_itemset([item]) == bbs.count_itemset([item])

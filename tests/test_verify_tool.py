@@ -1,0 +1,121 @@
+"""Tests for the result-verification tool."""
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.core.bbs import BBS
+from repro.core.mining import mine
+from repro.core.results import MiningResult, PatternCount
+from repro.tools.verify import verify_result
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def workload():
+    db = make_random_database(seed=101, n_transactions=90, n_items=15, max_len=5)
+    return db, apriori(db, 6)
+
+
+class TestCleanResults:
+    def test_apriori_result_verifies(self, workload):
+        db, result = workload
+        report = verify_result(result, db)
+        assert report.ok, str(report)
+        assert report.completeness_checked
+        assert "OK" in str(report)
+
+    def test_all_bbs_schemes_verify(self, workload):
+        db, _ = workload
+        bbs = BBS.from_database(db, m=64)
+        for algorithm in ("sfs", "sfp", "dfs", "dfp"):
+            result = mine(db, bbs, 6, algorithm)
+            assert verify_result(result, db).ok, algorithm
+
+    def test_skip_completeness(self, workload):
+        db, result = workload
+        report = verify_result(result, db, check_completeness=False)
+        assert report.ok
+        assert not report.completeness_checked
+
+
+class TestDetection:
+    def test_wrong_exact_count_detected(self, workload):
+        db, result = workload
+        itemset = next(iter(result.patterns))
+        result.patterns[itemset] = PatternCount(
+            result.patterns[itemset].count + 1, exact=True
+        )
+        report = verify_result(result, db)
+        assert not report.ok
+        assert any("!=" in issue for issue in report.issues)
+
+    def test_underestimate_detected(self, workload):
+        db, result = workload
+        itemset = next(iter(result.patterns))
+        result.patterns[itemset] = PatternCount(1, exact=False)
+        # Pick a pattern whose support exceeds 1 to trigger the check.
+        report = verify_result(result, db, check_completeness=False)
+        assert any("underestimates" in issue for issue in report.issues)
+
+    def test_infrequent_pattern_detected(self, workload):
+        db, result = workload
+        result.patterns[frozenset([0, 1, 2, 3, 4])] = PatternCount(99)
+        report = verify_result(result, db, check_completeness=False)
+        assert any("reported frequent" in issue for issue in report.issues)
+
+    def test_missing_pattern_detected(self, workload):
+        db, result = workload
+        # Remove a maximal pattern so no closure issue fires first.
+        victim = max(result.patterns, key=len)
+        del result.patterns[victim]
+        report = verify_result(result, db)
+        assert any("missing from the result" in issue for issue in report.issues)
+
+    def test_closure_violation_detected(self, workload):
+        db, result = workload
+        # Remove a 1-subset of some reported 2-pattern.
+        two = next(i for i in result.patterns if len(i) == 2)
+        sub = frozenset([next(iter(two))])
+        del result.patterns[sub]
+        report = verify_result(result, db, check_completeness=False)
+        assert any("subset" in issue for issue in report.issues)
+
+    def test_transaction_count_mismatch(self, workload):
+        db, result = workload
+        result.n_transactions += 5
+        report = verify_result(result, db, check_completeness=False)
+        assert not report.ok
+
+    def test_issue_cap(self, workload):
+        db, result = workload
+        for itemset in list(result.patterns):
+            result.patterns[itemset] = PatternCount(10**6, exact=True)
+        report = verify_result(result, db, max_issues=5)
+        assert len(report.issues) <= 7  # cap + suppression notices
+        assert any("suppressed" in issue for issue in report.issues)
+
+
+class TestSerializationRoundTrip:
+    def test_json_round_trip_verifies(self, workload, tmp_path):
+        db, result = workload
+        result.save_json(tmp_path / "r.json")
+        reloaded = MiningResult.load_json(tmp_path / "r.json")
+        assert reloaded.itemsets() == result.itemsets()
+        assert verify_result(reloaded, db).ok
+
+    def test_round_trip_preserves_counts_and_flags(self, workload, tmp_path):
+        db, result = workload
+        result.patterns[frozenset(["extra"])] = PatternCount(7, exact=False)
+        result.save_json(tmp_path / "r.json")
+        reloaded = MiningResult.load_json(tmp_path / "r.json")
+        assert reloaded.patterns[frozenset(["extra"])] == PatternCount(7, False)
+        assert reloaded.algorithm == result.algorithm
+        assert reloaded.min_support == result.min_support
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError):
+            MiningResult.from_json_dict({"format": "something-else"})
+        with pytest.raises(ValueError):
+            MiningResult.from_json_dict(
+                {"format": "repro-mining-result", "version": 99}
+            )

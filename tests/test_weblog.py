@@ -1,0 +1,101 @@
+"""Tests for the dynamic weblog workload simulator."""
+
+import pytest
+
+from repro.data.weblog import WeblogSimulator, WeblogSpec
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def sim():
+    return WeblogSimulator(WeblogSpec(n_files=200, seed=42))
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_files", 5),
+        ("hot_fraction", 0.0),
+        ("hot_fraction", 1.0),
+        ("rotate_fraction", 1.5),
+        ("hot_access_prob", -0.1),
+        ("avg_session_len", 0),
+    ])
+    def test_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            WeblogSpec(**{field: value})
+
+
+class TestHotColdRotation:
+    def test_hot_set_size(self, sim):
+        assert len(sim.hot_files) == 20  # 10 % of 200
+
+    def test_rotation_replaces_exactly_the_fraction(self, sim):
+        before = set(sim.hot_files)
+        sim.advance_day()
+        after = set(sim.hot_files)
+        assert len(after) == len(before)
+        # 10 % of 20 hot files = 2 replaced.
+        assert len(before - after) == 2
+        assert len(after - before) == 2
+
+    def test_day_counter(self, sim):
+        assert sim.day == 0
+        sim.advance_day()
+        sim.advance_day()
+        assert sim.day == 2
+
+    def test_rotated_files_leave_and_enter_cold(self, sim):
+        before_hot = set(sim.hot_files)
+        sim.advance_day()
+        newly_cold = before_hot - set(sim.hot_files)
+        assert newly_cold <= set(sim._cold)
+
+    def test_no_rotation_when_fraction_zero(self):
+        sim = WeblogSimulator(WeblogSpec(n_files=200, rotate_fraction=0.0, seed=1))
+        before = set(sim.hot_files)
+        sim.advance_day()
+        assert set(sim.hot_files) == before
+
+
+class TestSessions:
+    def test_sessions_are_sorted_unique(self, sim):
+        for tx in sim.day_transactions(100):
+            assert list(tx) == sorted(set(tx))
+            assert len(tx) >= 1
+
+    def test_files_within_universe(self, sim):
+        for tx in sim.day_transactions(100):
+            assert all(0 <= f < 200 for f in tx)
+
+    def test_hot_files_dominate_traffic(self, sim):
+        from collections import Counter
+
+        counter = Counter()
+        for tx in sim.day_transactions(400):
+            counter.update(tx)
+        hot = set(sim.hot_files)
+        hot_hits = sum(c for f, c in counter.items() if f in hot)
+        assert hot_hits > 0.6 * sum(counter.values())
+
+    def test_deterministic(self):
+        a = WeblogSimulator(WeblogSpec(n_files=200, seed=3)).day_transactions(30)
+        b = WeblogSimulator(WeblogSpec(n_files=200, seed=3)).day_transactions(30)
+        assert a == b
+
+    def test_negative_count_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            sim.day_transactions(-1)
+
+    def test_zero_sessions(self, sim):
+        assert sim.day_transactions(0) == []
+
+
+class TestDriftOverDays:
+    def test_traffic_shifts_with_the_hot_set(self):
+        """After many rotations, day-0 hot files lose their dominance."""
+        sim = WeblogSimulator(WeblogSpec(n_files=200, seed=9))
+        day0_hot = set(sim.hot_files)
+        for _ in range(15):
+            sim.advance_day()
+        late_hot = set(sim.hot_files)
+        assert day0_hot != late_hot
