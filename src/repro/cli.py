@@ -12,19 +12,25 @@ The CLI operates on the persistent formats — transaction file pairs
                         --items 3,17 --tid-mod 7
 
 ``repro-mine example`` replays the paper's running example (Tables 1-2).
+
+After a crash, ``repro-mine check <file>`` classifies the damage
+(exit 0 = clean, 3 = torn tail, 4 = corrupt) and ``repro-mine repair
+<file> [--db ...]`` salvages it — both work on DiskBBS segment logs,
+BBS slice files, and transaction-file pairs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.bbs import BBS
 from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
 from repro.core.mining import ALGORITHMS, mine
 from repro.data.diskdb import DiskDatabase
 from repro.data.ibm import QuestSpec, generate_transactions
-from repro.errors import ReproError
+from repro.errors import CorruptFileError, ReproError, StorageError
 from repro.storage.txfile import TransactionFileWriter
 
 
@@ -92,6 +98,27 @@ def _build_parser() -> argparse.ArgumentParser:
     cv = sub.add_parser("import", help="convert a FIMI text file to the binary format")
     cv.add_argument("--fimi", required=True, help="FIMI text file to read")
     cv.add_argument("--out", required=True, help="transaction file to write")
+
+    ck = sub.add_parser(
+        "check",
+        help="integrity-check a persistent file "
+             "(exit 0 = clean, 3 = torn, 4 = corrupt)",
+    )
+    ck.add_argument("index", help="DiskBBS log, slice file, or transaction file")
+    ck.add_argument("--db", default=None,
+                    help="also audit the index's counts against this database")
+
+    rp = sub.add_parser(
+        "repair",
+        help="salvage a damaged DiskBBS log or transaction file in place",
+    )
+    rp.add_argument("index", help="DiskBBS log or transaction file to repair")
+    rp.add_argument("--db", default=None,
+                    help="companion transaction file to rebuild lost "
+                         "segments from")
+    rp.add_argument("--no-quarantine", action="store_true",
+                    help="discard damaged bytes instead of saving them to "
+                         "a .quarantine sibling")
 
     sub.add_parser("example", help="replay the paper's running example")
     return parser
@@ -229,6 +256,120 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _sniff_magic(path: Path) -> bytes:
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(4)
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}", path=path) from exc
+
+
+def _cmd_check(args) -> int:
+    from repro.storage.recovery import (
+        EXIT_CLEAN,
+        EXIT_CORRUPT,
+        EXIT_TORN,
+        inspect_index,
+    )
+    from repro.storage.txfile import DATA_MAGIC, inspect_txfile
+
+    path = Path(args.index)
+    magic = _sniff_magic(path)
+
+    if magic == b"BBSD":
+        report = inspect_index(path)
+        print(report)
+        code = {"clean": EXIT_CLEAN, "torn": EXIT_TORN}.get(
+            report.status, EXIT_CORRUPT
+        )
+        if code == EXIT_CLEAN and args.db:
+            return _audit_index_against_db(path, args.db, diskbbs=True)
+        return code
+
+    if magic == b"BBSF":
+        try:
+            bbs = BBS.load(path)
+        except CorruptFileError as exc:
+            print(f"{path}: corrupt — {exc}")
+            return EXIT_CORRUPT
+        print(f"{path}: clean — slice file, {bbs.n_transactions} "
+              f"transaction(s)")
+        if args.db:
+            return _audit_index_against_db(path, args.db, diskbbs=False)
+        return EXIT_CLEAN
+
+    if magic == DATA_MAGIC:
+        report = inspect_txfile(path)
+        print(report)
+        # Any txfile damage short of a destroyed header is salvageable,
+        # so it is classified torn, never corrupt.
+        return EXIT_CLEAN if report.clean else EXIT_TORN
+
+    raise StorageError(
+        f"{path} is not a recognised repro file (magic {magic!r})",
+        path=path,
+    )
+
+
+def _audit_index_against_db(index_path: Path, db_path: str, *, diskbbs: bool) -> int:
+    from repro.storage.recovery import EXIT_CLEAN, EXIT_CORRUPT
+    from repro.tools.verify import verify_index
+
+    with DiskDatabase(db_path) as db:
+        if diskbbs:
+            from repro.storage.diskbbs import DiskBBS
+
+            with DiskBBS.open(index_path) as index:
+                report = verify_index(index, db)
+        else:
+            report = verify_index(BBS.load(index_path), db)
+    if report.ok:
+        print(f"index audit vs {db_path}: OK "
+              f"({report.checked_patterns} counts checked)")
+        return EXIT_CLEAN
+    print(f"index audit vs {db_path}: {len(report.issues)} issue(s)")
+    for issue in report.issues:
+        print(f"  - {issue}")
+    return EXIT_CORRUPT
+
+
+def _cmd_repair(args) -> int:
+    from repro.storage.recovery import salvage_index
+    from repro.storage.txfile import DATA_MAGIC, salvage_txfile
+
+    path = Path(args.index)
+    magic = _sniff_magic(path)
+
+    if magic == b"BBSD":
+        report = salvage_index(
+            path, db=args.db, quarantine=not args.no_quarantine
+        )
+        print(report)
+        if report.clean and not report.rebuilt_transactions:
+            print("nothing to repair")
+        return 0
+
+    if magic == DATA_MAGIC:
+        report = salvage_txfile(path)
+        print(report)
+        if report.clean:
+            print("nothing to repair")
+        return 0
+
+    if magic == b"BBSF":
+        # Slice files are written atomically; a damaged one has no
+        # salvageable journal — it must be regenerated.
+        raise StorageError(
+            f"{path} is a slice-file snapshot; regenerate it with "
+            f"`repro-mine index` instead of repairing", path=path,
+        )
+
+    raise StorageError(
+        f"{path} is not a recognised repro file (magic {magic!r})",
+        path=path,
+    )
+
+
 def _cmd_import(args) -> int:
     from repro.data.fimi import read_fimi
 
@@ -249,6 +390,8 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "verify": _cmd_verify,
     "import": _cmd_import,
+    "check": _cmd_check,
+    "repair": _cmd_repair,
     "example": _cmd_example,
 }
 

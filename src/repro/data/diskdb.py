@@ -9,7 +9,10 @@ be run fully in memory (fast iteration) or against files (the paper's
 actual setting).
 
 Items are ``uint32`` integers; see :mod:`repro.storage.txfile` for the
-format and its corruption detection.
+format, its corruption detection, and the salvage path.  A database
+whose writer died mid-append can be reopened with
+:meth:`DiskDatabase.recover`, which restores the pair to the last
+complete record before opening.
 """
 
 from __future__ import annotations
@@ -43,6 +46,8 @@ class DiskDatabase:
         self._cache = PageCache(probe_cache_pages, self.stats)
         self._reader = TransactionFileReader(self.path)
         self._item_counts: Counter | None = None
+        #: Salvage report when opened via :meth:`recover`, else ``None``.
+        self.last_recovery = None
 
     # -- construction ------------------------------------------------------
 
@@ -59,10 +64,30 @@ class DiskDatabase:
                 writer.append(tx)
         return cls(path, **kwargs)
 
+    @classmethod
+    def recover(cls, path, **kwargs) -> "DiskDatabase":
+        """Salvage a possibly-torn transaction-file pair, then open it.
+
+        Truncates any torn final record and rebuilds the positional
+        index from the data file (the data file is the ground truth;
+        the index is derived).  The
+        :class:`~repro.storage.txfile.TxSalvageReport` is attached as
+        :attr:`last_recovery`.
+        """
+        from repro.storage.txfile import salvage_txfile
+
+        stats = kwargs.get("stats")
+        report = salvage_txfile(path, stats=stats)
+        db = cls(path, **kwargs)
+        db.last_recovery = report
+        return db
+
     def append(self, items: Iterable[int], tid: int | None = None) -> int:
         """Append one transaction (closing and reopening the reader)."""
         self._reader.close()
-        with TransactionFileWriter(self.path, truncate=False) as writer:
+        with TransactionFileWriter(
+            self.path, truncate=False, stats=self.stats
+        ) as writer:
             writer.append(items, tid=tid)
         self.stats.page_writes += 1
         self._reader = TransactionFileReader(self.path)
@@ -73,7 +98,9 @@ class DiskDatabase:
     def extend(self, transactions: Iterable[Iterable[int]]) -> None:
         """Append many transactions with a single writer session."""
         self._reader.close()
-        with TransactionFileWriter(self.path, truncate=False) as writer:
+        with TransactionFileWriter(
+            self.path, truncate=False, stats=self.stats
+        ) as writer:
             for tx in transactions:
                 writer.append(tx)
                 self.stats.page_writes += 1

@@ -5,6 +5,11 @@ callers can catch one type at an API boundary.  More specific subclasses
 distinguish configuration problems from data-format problems so that a
 caller can, for example, rebuild a corrupt index but surface a bad
 parameter to its own user.
+
+Storage errors carry *structured* context — the offending ``path`` and,
+where known, the byte ``offset`` of the damage — so that tools like
+``repro-mine check``/``repair`` can report and act on the exact failure
+site instead of re-parsing a message string.
 """
 
 from __future__ import annotations
@@ -19,11 +24,39 @@ class ConfigurationError(ReproError, ValueError):
 
 
 class StorageError(ReproError, IOError):
-    """A persistent file (slice file, transaction file) is unreadable."""
+    """A persistent file (slice file, transaction file) is unreadable.
+
+    ``path`` and ``offset`` (byte position of the failure, when known)
+    are attached as attributes for programmatic consumers.
+    """
+
+    def __init__(self, message: str = "", *, path=None, offset: int | None = None):
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.offset = offset
 
 
 class CorruptFileError(StorageError):
     """A persistent file failed its magic/version/checksum validation."""
+
+
+class TornWriteError(CorruptFileError):
+    """An append was interrupted mid-write, leaving an uncommitted tail.
+
+    Distinct from generic corruption: everything up to the last commit
+    record is intact, and :func:`repro.storage.recovery.salvage_index`
+    (or ``repro-mine repair``) can truncate the torn tail and restore a
+    readable index without data loss beyond the uncommitted append.
+    """
+
+
+class RecoveryError(StorageError):
+    """Salvage/repair could not restore a damaged file.
+
+    Raised when the damage reaches state that cannot be reconstructed
+    (e.g. the base header holding the hash-family parameters) and no
+    companion transaction source was supplied to rebuild from.
+    """
 
 
 class DatabaseMismatchError(ReproError):

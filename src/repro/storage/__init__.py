@@ -1,6 +1,12 @@
-"""Persistence, buffering, and I/O accounting substrates."""
+"""Persistence, buffering, durability, and I/O accounting substrates."""
 
 from repro.storage.buffer import PageCache
+from repro.storage.durable import (
+    durable_replace,
+    durable_write_bytes,
+    fsync_dir,
+    fsync_file,
+)
 from repro.storage.metrics import (
     DEFAULT_IO_LATENCY_S,
     DEFAULT_PAGE_BYTES,
@@ -13,16 +19,35 @@ __all__ = [
     "DiskBBS",
     "CostModel",
     "IOStats",
+    "RecoveryReport",
+    "inspect_index",
+    "salvage_index",
+    "durable_replace",
+    "durable_write_bytes",
+    "fsync_dir",
+    "fsync_file",
     "DEFAULT_IO_LATENCY_S",
     "DEFAULT_PAGE_BYTES",
 ]
 
+_LAZY = {
+    # DiskBBS (and the recovery layer on top of it) depends on
+    # repro.core.bbs, which itself imports repro.storage.metrics; lazy
+    # exports break the import cycle.
+    "DiskBBS": ("repro.storage.diskbbs", "DiskBBS"),
+    "RecoveryReport": ("repro.storage.recovery", "RecoveryReport"),
+    "inspect_index": ("repro.storage.recovery", "inspect_index"),
+    "salvage_index": ("repro.storage.recovery", "salvage_index"),
+}
+
 
 def __getattr__(name):
-    # DiskBBS depends on repro.core.bbs, which itself imports
-    # repro.storage.metrics; a lazy export breaks the import cycle.
-    if name == "DiskBBS":
-        from repro.storage.diskbbs import DiskBBS
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
 
-        return DiskBBS
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), attr)

@@ -21,6 +21,16 @@ stream the needed slices segment by segment through a
 :class:`~repro.storage.buffer.PageCache`, charging page reads only on
 misses.  Mining loads the whole index once via :meth:`to_memory`
 (one sequential read — the same cost the adaptive pipeline assumes).
+
+**Crash safety (format version 2).**  :meth:`flush` is a WAL-style
+durable append: the segment bytes are written and fsynced *before* a
+small CRC-sealed commit record is written and fsynced.  The commit
+record is the linearisation point — a crash at any byte of the protocol
+leaves either a fully committed segment or a torn, uncommitted tail
+that :func:`repro.storage.recovery.salvage_index` (or
+:meth:`DiskBBS.recover`, or ``repro-mine repair``) can truncate away
+without touching committed data.  Version-1 files (no commit records)
+are still readable; new appends always use the durable protocol.
 """
 
 from __future__ import annotations
@@ -41,17 +51,41 @@ from repro.errors import (
     CorruptFileError,
     QueryError,
     StorageError,
+    TornWriteError,
 )
 from repro.storage.buffer import PageCache
+from repro.storage.durable import durable_replace, fsync_dir, fsync_file
 from repro.storage.metrics import DEFAULT_PAGE_BYTES, IOStats
 from repro.storage.slicefile import _decode_item, _encode_item
 
 BASE_MAGIC = b"BBSD"
 SEGMENT_MAGIC = b"SEG1"
-FORMAT_VERSION = 1
+COMMIT_MAGIC = b"CMT1"
+FORMAT_VERSION = 2
+#: Format versions this reader understands (1 = pre-commit-record logs).
+READABLE_VERSIONS = (1, 2)
 _BASE_HEAD = struct.Struct("<4sII")      # magic, version, header json len
 _SEG_HEAD = struct.Struct("<4sQII")      # magic, n_tx, n_words, counts len
+_COMMIT = struct.Struct("<4sQQI")        # magic, segment offset, segment len, crc
 _CRC = struct.Struct("<I")
+
+
+def commit_record(segment_offset: int, segment_len: int) -> bytes:
+    """The CRC-sealed commit record that finalises one durable append."""
+    body = COMMIT_MAGIC + struct.pack("<QQ", segment_offset, segment_len)
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def base_header_block(header_json: bytes) -> bytes:
+    """The version-2 file prologue: fixed head, JSON header, CRC seal.
+
+    Version 2 seals the base header with its own CRC so bit rot in the
+    hash-family parameters is detected instead of silently yielding an
+    index that hashes differently than the one that was written.
+    """
+    head = _BASE_HEAD.pack(BASE_MAGIC, FORMAT_VERSION, len(header_json))
+    seal = _CRC.pack(zlib.crc32(head + header_json) & 0xFFFFFFFF)
+    return head + header_json + seal
 
 #: Default number of buffered tail transactions before an automatic flush.
 DEFAULT_FLUSH_THRESHOLD = 4096
@@ -96,6 +130,11 @@ class DiskBBS:
         self._signature_bits = 0
         self.hash_family: HashFamily | None = None
         self._tail: BBS | None = None
+        self._format_version = FORMAT_VERSION
+        #: The :class:`~repro.storage.recovery.RecoveryReport` of the
+        #: salvage pass that opened this store, when :meth:`recover` was
+        #: used; ``None`` for a plain :meth:`open`.
+        self.last_recovery = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -124,38 +163,92 @@ class DiskBBS:
         ).encode("utf-8")
         target = Path(path)
         with open(target, "wb") as fh:
-            fh.write(_BASE_HEAD.pack(BASE_MAGIC, FORMAT_VERSION, len(header)))
-            fh.write(header)
+            fh.write(base_header_block(header))
+            fsync_file(fh)
+        fsync_dir(target.parent)
         return cls.open(target, **kwargs)
 
     @classmethod
     def open(cls, path, **kwargs) -> "DiskBBS":
-        """Open an existing index file, scanning its segment directory."""
+        """Open an existing index file, scanning its segment directory.
+
+        The scan is strict: a torn tail raises
+        :class:`~repro.errors.TornWriteError` and other structural
+        damage raises :class:`~repro.errors.CorruptFileError`.  Use
+        :meth:`recover` to salvage instead of refusing.
+        """
         store = cls(path, **kwargs)
         store._open()
+        return store
+
+    @classmethod
+    def recover(cls, path, db=None, *, quarantine: bool = True, **kwargs) -> "DiskBBS":
+        """Salvage a possibly-damaged index file, then open it.
+
+        Torn (uncommitted) tails are truncated; corrupt committed
+        segments are quarantined and, when a companion transaction
+        source ``db`` is supplied (a path to a transaction file, a
+        :class:`~repro.data.diskdb.DiskDatabase`, or any iterable of
+        transactions), the lost suffix is rebuilt from it.  The
+        :class:`~repro.storage.recovery.RecoveryReport` describing what
+        was done is attached as :attr:`last_recovery`.
+        """
+        from repro.storage.recovery import salvage_index
+
+        store = cls(path, **kwargs)
+        report = salvage_index(
+            path, db=db, quarantine=quarantine, stats=store.stats
+        )
+        store._open()
+        store.last_recovery = report
         return store
 
     def _open(self) -> None:
         try:
             self._file = open(self.path, "r+b")
         except OSError as exc:
-            raise StorageError(f"cannot open index {self.path}: {exc}") from exc
+            raise StorageError(
+                f"cannot open index {self.path}: {exc}", path=self.path
+            ) from exc
         head = self._file.read(_BASE_HEAD.size)
         if len(head) < _BASE_HEAD.size:
-            raise CorruptFileError(f"{self.path} is truncated")
+            raise CorruptFileError(
+                f"{self.path} is truncated at byte {len(head)} "
+                f"(base header needs {_BASE_HEAD.size} bytes)",
+                path=self.path, offset=0,
+            )
         magic, version, header_len = _BASE_HEAD.unpack(head)
         if magic != BASE_MAGIC:
-            raise CorruptFileError(f"{self.path} is not a DiskBBS index")
-        if version != FORMAT_VERSION:
             raise CorruptFileError(
-                f"{self.path} is format version {version}, "
-                f"expected {FORMAT_VERSION}"
+                f"{self.path} is not a DiskBBS index (magic {magic!r} "
+                f"at offset 0)", path=self.path, offset=0,
             )
+        if version not in READABLE_VERSIONS:
+            raise CorruptFileError(
+                f"{self.path} is format version {version}, this library "
+                f"reads versions {READABLE_VERSIONS}",
+                path=self.path, offset=4,
+            )
+        self._format_version = version
+        header_blob = self._file.read(header_len)
+        if version >= 2:
+            seal_offset = _BASE_HEAD.size + header_len
+            seal = self._file.read(_CRC.size)
+            actual = zlib.crc32(head + header_blob) & 0xFFFFFFFF
+            if len(seal) < _CRC.size or _CRC.unpack(seal)[0] != actual:
+                raise CorruptFileError(
+                    f"{self.path}: base header failed its CRC seal at "
+                    f"offset {seal_offset}", path=self.path, offset=seal_offset,
+                )
         try:
-            header = json.loads(self._file.read(header_len))
+            header = json.loads(header_blob)
             self.hash_family = family_from_description(header["hash_family"])
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise CorruptFileError(f"{self.path} base header malformed") from exc
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise CorruptFileError(
+                f"{self.path}: base header JSON at offset {_BASE_HEAD.size} "
+                f"is malformed: {exc}",
+                path=self.path, offset=_BASE_HEAD.size,
+            ) from exc
         self._tail = BBS(self.m, self.k, hash_family=self.hash_family)
         self._scan_segments()
 
@@ -167,17 +260,31 @@ class DiskBBS:
             if not head:
                 break
             if len(head) < _SEG_HEAD.size:
-                raise CorruptFileError(f"{self.path}: torn segment header")
+                raise TornWriteError(
+                    f"{self.path}: torn segment header at offset {offset} "
+                    f"(uncommitted append; run `repro-mine repair` to salvage)",
+                    path=self.path, offset=offset,
+                )
             magic, n_tx, n_words, counts_len = _SEG_HEAD.unpack(head)
             if magic != SEGMENT_MAGIC:
-                raise CorruptFileError(f"{self.path}: bad segment magic")
+                raise CorruptFileError(
+                    f"{self.path}: bad segment magic {magic!r} at offset "
+                    f"{offset}", path=self.path, offset=offset,
+                )
             counts_blob = self._file.read(counts_len)
             matrix_offset = self._file.tell()
             matrix_bytes = self.m * n_words * 8
             self._file.seek(matrix_bytes, 1)
             crc_blob = self._file.read(_CRC.size)
             if len(counts_blob) < counts_len or len(crc_blob) < _CRC.size:
-                raise CorruptFileError(f"{self.path}: torn segment body")
+                raise TornWriteError(
+                    f"{self.path}: torn segment body at offset {offset} "
+                    f"(uncommitted append; run `repro-mine repair` to salvage)",
+                    path=self.path, offset=offset,
+                )
+            segment_end = matrix_offset + matrix_bytes + _CRC.size
+            if self._format_version >= 2:
+                self._read_commit(offset, segment_end)
             try:
                 deltas = json.loads(counts_blob)
                 for tagged, count in deltas["item_counts"]:
@@ -185,14 +292,43 @@ class DiskBBS:
                         ItemCountTable({_decode_item(tagged): int(count)})
                     )
                 self._signature_bits += int(deltas.get("signature_bits", 0))
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
                 raise CorruptFileError(
-                    f"{self.path}: segment counts malformed"
+                    f"{self.path}: segment counts at offset "
+                    f"{offset + _SEG_HEAD.size} malformed: {exc}",
+                    path=self.path, offset=offset + _SEG_HEAD.size,
                 ) from exc
             self._segments.append(
                 _Segment(offset, matrix_offset, int(n_tx), int(n_words), start_tx)
             )
             start_tx += int(n_tx)
+
+    def _read_commit(self, segment_offset: int, segment_end: int) -> None:
+        """Consume and validate the commit record sealing one segment."""
+        blob = self._file.read(_COMMIT.size)
+        if len(blob) < _COMMIT.size:
+            raise TornWriteError(
+                f"{self.path}: segment at offset {segment_offset} has no "
+                f"commit record (uncommitted append; run `repro-mine "
+                f"repair` to salvage)",
+                path=self.path, offset=segment_offset,
+            )
+        magic, offset, seg_len, crc = _COMMIT.unpack(blob)
+        sealed = zlib.crc32(blob[: -_CRC.size]) & 0xFFFFFFFF
+        if magic != COMMIT_MAGIC or sealed != crc:
+            raise TornWriteError(
+                f"{self.path}: torn commit record at offset {segment_end} "
+                f"(uncommitted append; run `repro-mine repair` to salvage)",
+                path=self.path, offset=segment_end,
+            )
+        if offset != segment_offset or seg_len != segment_end - segment_offset:
+            raise CorruptFileError(
+                f"{self.path}: commit record at offset {segment_end} "
+                f"seals offset {offset} (+{seg_len}), but its segment "
+                f"spans offset {segment_offset} "
+                f"(+{segment_end - segment_offset})",
+                path=self.path, offset=segment_end,
+            )
 
     def close(self) -> None:
         """Flush the tail and close the file handle."""
@@ -257,7 +393,7 @@ class DiskBBS:
     def insert(self, items) -> int:
         """Append one transaction; auto-flushes past the threshold."""
         if self._tail is None:
-            raise StorageError("index is closed")
+            raise StorageError("index is closed", path=self.path)
         position = (
             sum(seg.n_tx for seg in self._segments) + self._tail.insert(items)
         )
@@ -266,7 +402,20 @@ class DiskBBS:
         return position
 
     def flush(self) -> None:
-        """Write the in-memory tail as one immutable on-disk segment."""
+        """Durably append the in-memory tail as one immutable segment.
+
+        The append is a two-barrier protocol:
+
+        1. segment bytes (header, counts, matrix, CRC) — then fsync;
+        2. a CRC-sealed commit record — then fsync.
+
+        A crash before the second fsync leaves an uncommitted tail that
+        open-time scanning flags as :class:`~repro.errors.TornWriteError`
+        and :meth:`recover` truncates; committed segments are never at
+        risk.  On an I/O error (``ENOSPC``, ``EIO``) the file is rolled
+        back to its pre-append length and the tail stays buffered in
+        memory, so a later ``flush()`` can retry with no data loss.
+        """
         tail = self._tail
         if tail is None or tail.n_transactions == 0:
             return
@@ -294,9 +443,26 @@ class DiskBBS:
 
         self._file.seek(0, 2)
         offset = self._file.tell()
-        self._file.write(segment)
-        self._file.flush()
-        self.stats.page_writes += _pages(len(segment), self.page_bytes)
+        try:
+            self._file.write(segment)
+            fsync_file(self._file, self.stats)       # barrier 1: payload durable
+            self._file.write(commit_record(offset, len(segment)))
+            fsync_file(self._file, self.stats)       # barrier 2: commit point
+        except OSError as exc:
+            # Roll the log back to its pre-append length so it stays
+            # readable; the tail remains buffered for a retry.
+            try:
+                self._file.truncate(offset)
+                self._file.seek(0, 2)
+            except OSError:
+                pass  # recover()/salvage will drop the torn tail instead
+            raise StorageError(
+                f"durable append to {self.path} failed at offset "
+                f"{offset}: {exc}", path=self.path, offset=offset,
+            ) from exc
+        self.stats.page_writes += _pages(
+            len(segment) + _COMMIT.size, self.page_bytes
+        )
 
         start_tx = sum(seg.n_tx for seg in self._segments)
         matrix_offset = offset + _SEG_HEAD.size + len(counts_blob)
@@ -317,10 +483,15 @@ class DiskBBS:
         def load():
             """Read one slice row from disk (miss path of the cache)."""
             row_bytes = segment.n_words * 8
-            self._file.seek(segment.matrix_offset + position * row_bytes)
+            row_offset = segment.matrix_offset + position * row_bytes
+            self._file.seek(row_offset)
             blob = self._file.read(row_bytes)
             if len(blob) < row_bytes:
-                raise CorruptFileError(f"{self.path}: slice read past EOF")
+                raise CorruptFileError(
+                    f"{self.path}: slice read at offset {row_offset} ran "
+                    f"past EOF ({len(blob)} of {row_bytes} bytes)",
+                    path=self.path, offset=row_offset,
+                )
             # Charge the real page span of one slice row (>= 1 page).
             self.stats.page_reads += max(
                 0, _pages(row_bytes, self.page_bytes) - 1
@@ -394,8 +565,10 @@ class DiskBBS:
 
         The segment log keeps appends cheap, but every query pays one
         slice read per segment; compaction restores single-segment
-        query cost.  The rewrite is atomic: the merged index is written
-        to a sibling temp file and renamed over the original.
+        query cost.  The rewrite is crash-atomic: the merged index is
+        written to a sibling temp file, fsynced, and durably renamed
+        over the original (with a directory fsync), so a crash at any
+        point leaves either the old or the new index — never a ruin.
         """
         merged = self.to_memory()
         header = json.dumps(
@@ -404,8 +577,7 @@ class DiskBBS:
         ).encode("utf-8")
         tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
         with open(tmp_path, "wb") as fh:
-            fh.write(_BASE_HEAD.pack(BASE_MAGIC, FORMAT_VERSION, len(header)))
-            fh.write(header)
+            fh.write(base_header_block(header))
         self._file.close()
 
         rewritten = DiskBBS(
@@ -419,9 +591,10 @@ class DiskBBS:
         if merged.n_transactions:
             rewritten._tail = merged
             rewritten.flush()
+        fsync_file(rewritten._file, self.stats)
         rewritten._file.close()
 
-        tmp_path.replace(self.path)
+        durable_replace(tmp_path, self.path, self.stats)
         self._segments = []
         self._counts = ItemCountTable()
         self._signature_bits = 0
@@ -441,7 +614,15 @@ class DiskBBS:
         bit_offset = 0
         for segment in self._segments:
             self._file.seek(segment.matrix_offset)
-            blob = self._file.read(self.m * segment.n_words * 8)
+            matrix_bytes = self.m * segment.n_words * 8
+            blob = self._file.read(matrix_bytes)
+            if len(blob) < matrix_bytes:
+                raise CorruptFileError(
+                    f"{self.path}: segment matrix at offset "
+                    f"{segment.matrix_offset} ran past EOF "
+                    f"({len(blob)} of {matrix_bytes} bytes)",
+                    path=self.path, offset=segment.matrix_offset,
+                )
             seg_matrix = np.frombuffer(blob, dtype="<u8").reshape(
                 self.m, segment.n_words
             )

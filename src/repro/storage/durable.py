@@ -1,0 +1,122 @@
+"""Durability primitives: fsync barriers and crash-atomic file replacement.
+
+``write(); flush()`` only hands bytes to the OS — after a power cut or
+``kill -9`` the data may be partially on disk or not at all.  The
+crash-safety layer (see :mod:`repro.storage.diskbbs` and
+:mod:`repro.storage.recovery`) builds on three primitives:
+
+* :func:`fsync_file` — a write barrier on an open handle: everything
+  written before the call is durable before anything written after it;
+* :func:`durable_replace` — the full write-temp-then-rename ritual.
+  ``os.replace`` alone is atomic against *observers* but not against
+  crashes: the temp file's bytes and the directory entry both need
+  their own fsync before the rename is durable;
+* :func:`durable_write_bytes` — whole-file atomic publish built on the
+  other two (used by the slice-file saver and the index rebuilder).
+
+Directory fsync is not supported on some platforms (notably Windows);
+:func:`fsync_dir` degrades to a no-op there rather than failing, which
+matches the best guarantee the platform offers.
+
+Every barrier is counted in an optional
+:class:`~repro.storage.metrics.IOStats` (``stats.fsyncs``) so the cost
+model and tests can observe exactly how many durability points a
+protocol pays.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.metrics import IOStats
+
+
+def fsync_file(fh, stats: IOStats | None = None) -> None:
+    """Flush ``fh``'s userspace buffer and fsync its file descriptor."""
+    fh.flush()
+    os.fsync(fh.fileno())
+    if stats is not None:
+        stats.fsyncs += 1
+
+
+def fsync_path(path, stats: IOStats | None = None) -> None:
+    """fsync a closed file by path (opens read-only just for the barrier)."""
+    fd = os.open(os.fspath(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    if stats is not None:
+        stats.fsyncs += 1
+
+
+def fsync_dir(path, stats: IOStats | None = None) -> None:
+    """fsync a directory so a rename/creat inside it is durable.
+
+    Platforms that cannot open a directory for fsync (Windows) are
+    silently skipped — there is no stronger primitive available there.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+        if stats is not None:
+            stats.fsyncs += 1
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(tmp_path, target_path, stats: IOStats | None = None) -> None:
+    """Atomically and durably rename ``tmp_path`` over ``target_path``.
+
+    The temp file's contents are fsynced first (so the rename can never
+    expose a file whose bytes are still in flight), then the parent
+    directory entry is fsynced after the rename.
+    """
+    tmp = Path(tmp_path)
+    target = Path(target_path)
+    try:
+        fsync_path(tmp, stats)
+        os.replace(tmp, target)
+    except OSError as exc:
+        raise StorageError(
+            f"atomic replace of {target} failed: {exc}", path=target
+        ) from exc
+    fsync_dir(target.parent, stats)
+
+
+def durable_write_bytes(path, blob: bytes, stats: IOStats | None = None) -> None:
+    """Write ``blob`` to ``path`` crash-atomically.
+
+    Either the old contents or the new contents survive a crash at any
+    instant — never a mixture, never a torn file.  The temp sibling is
+    cleaned up if the write itself fails (e.g. ``ENOSPC``).
+    """
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fsync_file(fh, stats)
+    except OSError as exc:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise StorageError(
+            f"cannot write {target}: {exc}", path=target
+        ) from exc
+    # The temp file is already synced; rename and seal the directory entry.
+    try:
+        os.replace(tmp, target)
+    except OSError as exc:
+        raise StorageError(
+            f"atomic replace of {target} failed: {exc}", path=target
+        ) from exc
+    fsync_dir(target.parent, stats)

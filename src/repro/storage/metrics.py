@@ -36,6 +36,12 @@ class IOStats:
     probe_fetches: int = 0    # positional-index tuple fetches
     cache_hits: int = 0
     cache_misses: int = 0
+    # Durability / recovery counters (crash-safety layer).
+    fsyncs: int = 0              # fsync barriers issued by durable appends
+    salvage_events: int = 0      # recovery passes that had to repair a file
+    torn_bytes_truncated: int = 0  # uncommitted tail bytes dropped by salvage
+    quarantined_segments: int = 0  # corrupt segments set aside by salvage
+    rebuilt_transactions: int = 0  # transactions re-inserted from a companion db
 
     def reset(self) -> None:
         """Zero every counter in place."""

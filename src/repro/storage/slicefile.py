@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.hashing import family_from_description
 from repro.errors import CorruptFileError, StorageError
+from repro.storage.durable import durable_write_bytes
 from repro.storage.metrics import IOStats
 
 MAGIC = b"BBSF"
@@ -58,7 +59,14 @@ def _decode_item(tagged: list):
 
 
 def save_bbs(bbs, path) -> None:
-    """Write ``bbs`` to ``path`` atomically (write-temp-then-rename)."""
+    """Write ``bbs`` to ``path`` crash-atomically.
+
+    The payload goes to a temp sibling which is fsynced, renamed over
+    the target, and sealed with a directory fsync — so a crash at any
+    byte leaves either the complete old file or the complete new one
+    (write-temp-then-rename alone is atomic only against concurrent
+    readers, not against power loss).
+    """
     slices, n_tx, counts, sig_bits = bbs._raw_state()
     header = {
         "hash_family": bbs.hash_family.describe(),
@@ -80,10 +88,7 @@ def save_bbs(bbs, path) -> None:
     payload += np.ascontiguousarray(slices, dtype="<u8").tobytes()
     payload += _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
 
-    target = Path(path)
-    tmp = target.with_suffix(target.suffix + ".tmp")
-    tmp.write_bytes(payload)
-    tmp.replace(target)
+    durable_write_bytes(Path(path), bytes(payload), bbs.stats)
     bbs.stats.page_writes += _pages(len(payload))
 
 
@@ -99,28 +104,48 @@ def load_bbs(path, *, stats: IOStats | None = None):
     try:
         blob = target.read_bytes()
     except OSError as exc:
-        raise StorageError(f"cannot read slice file {target}: {exc}") from exc
+        raise StorageError(
+            f"cannot read slice file {target}: {exc}", path=target
+        ) from exc
     if len(blob) < _HEAD.size + _CRC.size:
-        raise CorruptFileError(f"slice file {target} is truncated")
+        raise CorruptFileError(
+            f"slice file {target} is truncated at byte {len(blob)} "
+            f"(needs at least {_HEAD.size + _CRC.size})",
+            path=target, offset=len(blob),
+        )
     stored_crc, = _CRC.unpack_from(blob, len(blob) - _CRC.size)
     if zlib.crc32(blob[: -_CRC.size]) & 0xFFFFFFFF != stored_crc:
-        raise CorruptFileError(f"slice file {target} failed its checksum")
+        raise CorruptFileError(
+            f"slice file {target} failed its checksum over "
+            f"{len(blob) - _CRC.size} bytes", path=target, offset=0,
+        )
     magic, version, header_len = _HEAD.unpack_from(blob, 0)
     if magic != MAGIC:
-        raise CorruptFileError(f"{target} is not a BBS slice file")
+        raise CorruptFileError(
+            f"{target} is not a BBS slice file (magic {magic!r} at "
+            f"offset 0)", path=target, offset=0,
+        )
     if version != FORMAT_VERSION:
         raise CorruptFileError(
             f"slice file {target} has version {version}, "
-            f"this library reads version {FORMAT_VERSION}"
+            f"this library reads version {FORMAT_VERSION}",
+            path=target, offset=4,
         )
     header_start = _HEAD.size
     header_end = header_start + header_len
     if header_end > len(blob) - _CRC.size:
-        raise CorruptFileError(f"slice file {target} header overruns the file")
+        raise CorruptFileError(
+            f"slice file {target} header overruns the file "
+            f"(claims {header_len} bytes at offset {header_start})",
+            path=target, offset=header_start,
+        )
     try:
         header = json.loads(blob[header_start:header_end])
     except json.JSONDecodeError as exc:
-        raise CorruptFileError(f"slice file {target} header is not JSON") from exc
+        raise CorruptFileError(
+            f"slice file {target} header at offset {header_start} is not "
+            f"JSON: {exc}", path=target, offset=header_start,
+        ) from exc
 
     try:
         m = int(header["m"])
@@ -132,14 +157,19 @@ def load_bbs(path, *, stats: IOStats | None = None):
             _decode_item(tagged): int(count)
             for tagged, count in header["item_counts"]
         }
-    except (KeyError, TypeError, ValueError) as exc:
-        raise CorruptFileError(f"slice file {target} header is malformed") from exc
+    except (KeyError, TypeError, ValueError, CorruptFileError) as exc:
+        raise CorruptFileError(
+            f"slice file {target} header is malformed: {exc}",
+            path=target, offset=header_start,
+        ) from exc
 
     body = blob[header_end: -_CRC.size]
     expected = m * n_words * 8
     if len(body) != expected:
         raise CorruptFileError(
-            f"slice file {target} body is {len(body)} bytes, expected {expected}"
+            f"slice file {target} body at offset {header_end} is "
+            f"{len(body)} bytes, expected {expected}",
+            path=target, offset=header_end,
         )
     matrix = np.frombuffer(body, dtype="<u8").astype(np.uint64).reshape(m, n_words)
     bbs = BBS._from_raw_state(family, matrix, n_tx, counts, sig_bits, stats=stats)

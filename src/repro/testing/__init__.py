@@ -1,0 +1,29 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is a deterministic fault-injection harness
+for exercising the crash-safety guarantees of the storage layer; it is
+importable by downstream users who want to run the same torn-write
+drills against their own deployments.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultyFile,
+    SimulatedCrash,
+    arm_diskbbs,
+    arm_txwriter,
+    faulty_open,
+    flip_bit,
+    truncate_to,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyFile",
+    "SimulatedCrash",
+    "arm_diskbbs",
+    "arm_txwriter",
+    "faulty_open",
+    "flip_bit",
+    "truncate_to",
+]

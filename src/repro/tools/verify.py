@@ -15,6 +15,13 @@ re-derives the truth with the dumbest possible counting and audits a
   subset of a reported pattern is reported), which any correct frequent
   pattern set must satisfy.
 
+:func:`verify_index` applies the same philosophy to a *persistent
+index*: after a crash recovery (or any time at all), audit a BBS/DiskBBS
+against its companion database — transaction counts must match, the
+exact 1-item counts must agree, and every signature-based estimate must
+upper-bound the true support (a superimposed code can over-estimate but
+never under-estimate; an undercount means lost or corrupted slices).
+
 The same checks power several integration tests; exposing them as a
 tool lets downstream users audit results on their own data.
 """
@@ -112,5 +119,76 @@ def verify_result(
             report.add(
                 f"frequent pattern {sorted(map(str, itemset))} "
                 f"(support {truth[itemset]}) is missing from the result"
+            )
+    return report
+
+
+def verify_index(
+    index,
+    database,
+    *,
+    max_issues: int = 25,
+    pair_sample: int = 20,
+) -> VerificationReport:
+    """Audit a persistent index (BBS or DiskBBS) against its database.
+
+    Checks, in increasing strictness:
+
+    * the index and database cover the same number of transactions;
+    * the exact per-item counts the index maintains match the database;
+    * single-item and (sampled) pair estimates never *under*-estimate
+      true support — the one direction a healthy superimposed-coding
+      index can never err in, so an undercount always means damage.
+
+    ``database`` may be any object with ``__len__``, iteration over
+    transactions, ``items()`` and ``support()`` (both
+    :class:`~repro.data.database.TransactionDatabase` and
+    :class:`~repro.data.diskdb.DiskDatabase` qualify).
+    """
+    report = VerificationReport()
+    if index.n_transactions != len(database):
+        report.add(
+            f"index covers {index.n_transactions} transactions, "
+            f"database has {len(database)}"
+        )
+
+    db_counts = (
+        database.item_counts()
+        if callable(getattr(database, "item_counts", None))
+        else {item: database.support([item]) for item in database.items()}
+    )
+    index_counts = index.item_counts
+    for item in sorted(db_counts, key=repr):
+        if len(report.issues) >= max_issues:
+            report.add("... (further issues suppressed)")
+            return report
+        report.checked_patterns += 1
+        true_count = db_counts[item]
+        if index_counts.count(item) != true_count:
+            report.add(
+                f"item {item!r}: index count {index_counts.count(item)} "
+                f"!= database count {true_count}"
+            )
+        estimate = index.count_itemset([item])
+        if estimate < true_count:
+            report.add(
+                f"item {item!r}: estimate {estimate} underestimates "
+                f"true support {true_count} (damaged slices?)"
+            )
+
+    items = sorted(db_counts, key=repr)
+    for a, b in zip(items, items[1:]):
+        if report.checked_patterns - len(db_counts) >= pair_sample:
+            break
+        if len(report.issues) >= max_issues:
+            report.add("... (further issues suppressed)")
+            return report
+        report.checked_patterns += 1
+        true_pair = database.support([a, b])
+        estimate = index.count_itemset([a, b])
+        if estimate < true_pair:
+            report.add(
+                f"pair [{a!r}, {b!r}]: estimate {estimate} underestimates "
+                f"true support {true_pair}"
             )
     return report
