@@ -1,0 +1,184 @@
+"""Extension: shared-memory parallel mining speedup curves.
+
+Sweeps ``mine(..., workers=w)`` for w in {1, 2, 4} over the default
+workload and records both observable speedups:
+
+* **wall** — end-to-end elapsed time of the parallel run vs serial;
+* **modeled** — the subtree phase's speedup under the largest-first
+  (LPT) schedule actually used, computed from the measured per-subtree
+  task times: ``sum(task_seconds) / makespan(workers)``.
+
+On a machine with fewer cores than workers, wall time cannot improve
+(the processes time-share one core, and pool startup adds overhead), so
+the machine-readable summary ``BENCH_parallel.json`` records the CPU
+count and picks the headline ``speedup_at_4`` from the modeled basis
+when ``cpu_count < 4`` and from wall time otherwise — the same honesty
+rule as the simulated CostModel elsewhere in this repo (DESIGN.md).
+
+Every parallel run is also checked pattern-for-pattern against the
+serial result: a speedup for different answers would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, register_table
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    bench_scale,
+    default_m,
+    default_min_support,
+    default_spec,
+    get_workload,
+)
+from repro.core.mining import mine
+
+WORKER_SWEEP = [1, 2, 4]
+ALGORITHM = "dfp"
+
+#: Output path for the machine-readable summary (CI overrides this).
+OUTPUT_ENV = "REPRO_BENCH_PARALLEL_OUT"
+
+_points: dict[int, dict] = {}
+_serial: dict = {}
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _lpt_makespan(tasks: list[float], bins: int) -> float:
+    """Makespan of the largest-first list schedule over ``bins`` workers."""
+    loads = [0.0] * max(1, bins)
+    for task in sorted(tasks, reverse=True):
+        loads[loads.index(min(loads))] += task
+    return max(loads)
+
+
+def _pattern_surface(result):
+    return [
+        (itemset, p.count, p.exact) for itemset, p in result.patterns.items()
+    ]
+
+
+def _run_point(workers: int) -> dict:
+    workload = get_workload(default_spec(), default_m())
+    min_support = default_min_support()
+    started = time.perf_counter()
+    result = mine(
+        workload.database, workload.bbs, min_support, ALGORITHM,
+        workers=workers,
+    )
+    wall = time.perf_counter() - started
+    point = {
+        "workers": workers,
+        "wall_seconds": wall,
+        "patterns": len(result.patterns),
+        "surface": _pattern_surface(result),
+    }
+    if workers == 1:
+        point["tasks"] = []
+    else:
+        info = result.parallel_info
+        point["tasks"] = list(info["subtree_seconds"]) + list(
+            info["scan_seconds"]
+        )
+        point["start_method"] = info.get("start_method")
+    return point
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_ext_parallel_speedup(benchmark, workers):
+    point = benchmark.pedantic(
+        _run_point, args=(workers,), rounds=1, iterations=1
+    )
+    if workers == 1:
+        _serial.update(point)
+    _points[workers] = point
+    benchmark.extra_info["wall_seconds"] = round(point["wall_seconds"], 4)
+
+
+def test_ext_parallel_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_points) < len(WORKER_SWEEP):
+        return
+    serial_wall = _serial["wall_seconds"]
+    serial_surface = _serial["surface"]
+    identical = all(
+        _points[w]["surface"] == serial_surface for w in WORKER_SWEEP
+    )
+    assert identical, "parallel patterns diverged from serial"
+
+    cpu_count = _cpu_count()
+    rows, points_out = [], []
+    for workers in WORKER_SWEEP:
+        point = _points[workers]
+        wall = point["wall_seconds"]
+        wall_speedup = serial_wall / wall if wall else 0.0
+        tasks = point["tasks"]
+        if tasks:
+            makespan = _lpt_makespan(tasks, workers)
+            modeled_speedup = sum(tasks) / makespan if makespan else 1.0
+            modeled_seconds = makespan
+        else:
+            modeled_speedup, modeled_seconds = 1.0, wall
+        rows.append([
+            workers, round(wall, 4), round(wall_speedup, 2),
+            round(modeled_seconds, 4), round(modeled_speedup, 2),
+            len(tasks),
+        ])
+        points_out.append({
+            "workers": workers,
+            "wall_seconds": round(wall, 6),
+            "wall_speedup": round(wall_speedup, 4),
+            "modeled_seconds": round(modeled_seconds, 6),
+            "modeled_speedup": round(modeled_speedup, 4),
+            "tasks": len(tasks),
+        })
+
+    basis = "modeled" if cpu_count < max(WORKER_SWEEP) else "wall"
+    at_4 = next(p for p in points_out if p["workers"] == 4)
+    speedup_at_4 = at_4[f"{basis}_speedup"]
+    workload = get_workload(default_spec(), default_m())
+    summary = {
+        "format": "repro-bench-parallel",
+        "version": 1,
+        "scale": bench_scale(),
+        "workload": workload.name,
+        "min_support": default_min_support(),
+        "algorithm": ALGORITHM,
+        "cpu_count": cpu_count,
+        "serial_seconds": round(serial_wall, 6),
+        "points": points_out,
+        "speedup_at_4": speedup_at_4,
+        "speedup_basis": basis,
+        "identical_patterns": identical,
+    }
+    out_path = Path(
+        os.environ.get(OUTPUT_ENV, RESULTS_DIR / "BENCH_parallel.json")
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+
+    register_table(
+        "ext_parallel",
+        format_table(
+            f"Extension: parallel mining speedup ({workload.name}, "
+            f"{cpu_count} cores)",
+            ["workers", "wall s", "wall x", "modeled s", "modeled x",
+             "tasks"],
+            rows,
+            note=f"headline speedup_at_4={speedup_at_4:.2f} "
+                 f"(basis={basis}); patterns identical to serial at "
+                 f"every point",
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Micro-benchmarks for the packed bit-vector kernels.
+
+The four kernels below are the inner loops of every filter pass:
+``popcount`` and ``and_reduce`` implement CountItemSet, the filters'
+vectorised ``_row_popcount`` scores whole candidate batches at once,
+and ``indices_of_set_bits`` turns a resultant vector into the probe
+list handed to the refinement phase.  ``indices_of_set_bits`` is
+benchmarked at both ends of its density split: the sparse fast path
+(selective patterns: a handful of non-zero words) and the dense path
+(depth-1 vectors on a saturated index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.bench.reporting import format_table
+from repro.core import bitvec
+from repro.core.filters import _row_popcount
+
+#: One depth-1 resultant vector at paper scale: 10K transactions.
+N_WORDS = 160
+#: A candidate batch: 256 patterns x N_WORDS resultant words.
+N_ROWS = 256
+
+_rng = np.random.default_rng(2002)
+
+_timings: dict[str, float] = {}
+
+
+def _dense_words(n_words: int) -> np.ndarray:
+    return _rng.integers(0, 2**64, size=n_words, dtype=np.uint64)
+
+
+def _sparse_words(n_words: int, n_set: int) -> np.ndarray:
+    words = np.zeros(n_words, dtype=np.uint64)
+    positions = _rng.choice(n_words * 64, size=n_set, replace=False)
+    for position in positions:
+        words[position // 64] |= np.uint64(1) << np.uint64(position % 64)
+    return words
+
+
+CASES = {
+    "popcount": lambda: bitvec.popcount(_dense_words(N_WORDS)),
+    "and_reduce_8": lambda: bitvec.and_reduce(
+        np.vstack([_dense_words(N_WORDS) for _ in range(8)])
+    ),
+    "row_popcount_256": lambda: _row_popcount(
+        np.vstack([_dense_words(N_WORDS) for _ in range(N_ROWS)])
+    ),
+    "indices_sparse": lambda: bitvec.indices_of_set_bits(
+        _sparse_words(N_WORDS, 12)
+    ),
+    "indices_dense": lambda: bitvec.indices_of_set_bits(
+        _dense_words(N_WORDS)
+    ),
+}
+
+
+@pytest.mark.parametrize("kernel", list(CASES))
+def test_kernel(benchmark, kernel):
+    case = CASES[kernel]
+    benchmark.pedantic(case, rounds=30, iterations=5, warmup_rounds=2)
+    _timings[kernel] = benchmark.stats["mean"]
+
+
+def test_kernels_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_timings) < len(CASES):
+        return
+    rows = [
+        [kernel, round(_timings[kernel] * 1e6, 2)]
+        for kernel in CASES
+    ]
+    register_table(
+        "kernels",
+        format_table(
+            f"Bit-vector kernel micro-benchmarks ({N_WORDS} words "
+            f"= {N_WORDS * 64} transactions)",
+            ["kernel", "mean us"],
+            rows,
+            note="indices_sparse exercises the non-zero-word fast path; "
+                 "indices_dense the full unpackbits expansion",
+        ),
+    )

@@ -60,6 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--out", required=True, help="slice file to write")
     idx.add_argument("--m", type=int, default=1600, help="signature width (bits)")
     idx.add_argument("--k", type=int, default=4, help="hash functions per item")
+    idx.add_argument("--workers", type=int, default=1,
+                     help="worker processes for a partitioned parallel build")
 
     mn = sub.add_parser("mine", help="mine frequent patterns")
     mn.add_argument("--db", required=True)
@@ -74,6 +76,9 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print only the N highest-support patterns (0 = all)")
     mn.add_argument("--out", default=None,
                     help="write the full result as JSON for `rules`/`verify`")
+    mn.add_argument("--workers", type=int, default=1,
+                    help="worker processes for the filter/refinement phases "
+                         "(1 = serial; any value yields identical patterns)")
 
     cnt = sub.add_parser("count", help="ad-hoc count of one pattern")
     cnt.add_argument("--db", required=True)
@@ -142,7 +147,12 @@ def _cmd_generate(args) -> int:
 
 def _cmd_index(args) -> int:
     with DiskDatabase(args.db) as db:
-        bbs = BBS.from_database(db, m=args.m, k=args.k)
+        if args.workers > 1:
+            from repro.core.parallel import build_partitioned
+
+            bbs = build_partitioned(db, args.m, args.k, workers=args.workers)
+        else:
+            bbs = BBS.from_database(db, m=args.m, k=args.k)
     bbs.save(args.out)
     print(
         f"indexed {bbs.n_transactions} transactions into {args.out} "
@@ -158,11 +168,11 @@ def _cmd_mine(args) -> int:
             from repro.core.planner import mine_auto
 
             result = mine_auto(db, bbs, args.min_support,
-                               memory_bytes=args.memory)
+                               memory_bytes=args.memory, workers=args.workers)
         else:
             result = mine(
                 db, bbs, args.min_support, args.algorithm,
-                memory_bytes=args.memory,
+                memory_bytes=args.memory, workers=args.workers,
             )
     if args.out:
         result.save_json(args.out)

@@ -12,6 +12,7 @@ from repro.core.mining import (
     mine_sfp,
     mine_sfs,
 )
+from repro.core.parallel import build_partitioned, mine_parallel
 from repro.core.planner import mine_auto, plan_refinement
 from repro.core.refine import probe, resolve_threshold, sequential_scan
 from repro.core.results import (
@@ -37,6 +38,8 @@ __all__ = [
     "mine_auto",
     "mine_containing",
     "plan_refinement",
+    "build_partitioned",
+    "mine_parallel",
     "probe",
     "resolve_threshold",
     "sequential_scan",

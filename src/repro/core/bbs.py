@@ -281,16 +281,17 @@ class BBS:
         folded.stats = IOStats()
         folded._n_tx = self._n_tx
         folded._item_counts = self._item_counts  # exact counts are m-independent
-        # Folding merges positions; the true density can only be measured
-        # on the folded matrix, but the pre-fold total is a usable bound.
-        folded._signature_bits_total = min(
-            self._signature_bits_total, self._n_tx * k_slices
-        )
         words = max(self._slices.shape[1], _INITIAL_CAPACITY_WORDS)
         matrix = np.zeros((k_slices, words), dtype=np.uint64)
         for row in range(self.m):
             matrix[row % k_slices, : self._slices.shape[1]] |= self._slices[row]
         folded._slices = matrix
+        # Column t of the matrix *is* transaction t's folded signature, so
+        # the exact post-fold bit total is one popcount — positions that
+        # collide under ``mod k_slices`` merge instead of double-counting,
+        # keeping mean_signature_density (and the saturation warning)
+        # honest on folded indexes.
+        folded._signature_bits_total = bitvec.popcount(matrix)
         return folded
 
     # -- partitioned building ------------------------------------------------------
@@ -400,7 +401,11 @@ class _FoldedHashFamily(HashFamily):
         base_positions = self._base._cache.get(key)
         if base_positions is None:
             base_positions = self._base._raw_positions(key)
-        return [int(p) % self.m for p in base_positions]
+        # Distinct base positions frequently collide once reduced
+        # ``mod k_slices``; deduplicate here so every consumer of the
+        # raw list (arity checks, weight accounting) sees the true
+        # per-item signature weight.
+        return sorted({int(p) % self.m for p in base_positions})
 
     def describe(self) -> dict:
         """Persistence descriptor including the wrapped base family."""

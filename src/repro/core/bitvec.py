@@ -99,17 +99,37 @@ def get_bit(words: np.ndarray, index: int) -> bool:
     return bool((word >> (index % WORD_BITS)) & 1)
 
 
+#: Above this fraction of non-zero words, expanding the whole vector
+#: with one ``unpackbits`` beats per-word extraction.
+_SPARSE_WORD_FRACTION = 0.25
+
+
 def indices_of_set_bits(words: np.ndarray, limit: int | None = None) -> np.ndarray:
     """Transaction indices whose bits are set, in increasing order.
 
     ``limit`` truncates the logical length: indices ``>= limit`` are
     dropped (used when a packed vector has spare capacity beyond the
     current number of transactions).
+
+    The resultant vector of a selective pattern is overwhelmingly zero
+    words, so the kernel first locates the non-zero words and, when they
+    are a small fraction of the vector, unpacks only those words instead
+    of materialising the full 8x expansion of the packed array.
     """
     if words.size == 0:
         return np.empty(0, dtype=np.int64)
-    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-    idx = np.nonzero(bits)[0].astype(np.int64)
+    nonzero_words = np.nonzero(words)[0]
+    if nonzero_words.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if nonzero_words.size >= words.size * _SPARSE_WORD_FRACTION:
+        dense = np.ascontiguousarray(words)
+        bits = np.unpackbits(dense.view(np.uint8), bitorder="little")
+        idx = np.nonzero(bits)[0].astype(np.int64)
+    else:
+        packed = np.ascontiguousarray(words[nonzero_words])
+        bits = np.unpackbits(packed.view(np.uint8), bitorder="little")
+        rows, cols = np.nonzero(bits.reshape(nonzero_words.size, WORD_BITS))
+        idx = nonzero_words[rows] * WORD_BITS + cols
     if limit is not None:
         idx = idx[idx < limit]
     return idx

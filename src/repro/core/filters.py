@@ -122,11 +122,16 @@ class FilterEngine:
         if self.seed:
             self._universe = [i for i in self._universe if i not in self.seed]
         self.output = FilterOutput()
-        # Populated by run(): the est-frequent items, their AND-reduced
+        # Populated by prepare(): the est-frequent items, their AND-reduced
         # slice masks, their root estimates, and their ExtensionItem views.
         self._items: list = []
         self._masks: np.ndarray | None = None
         self._extensions: list[ExtensionItem] = []
+        self._root_indices: np.ndarray | None = None
+        self._root_candidates: np.ndarray | None = None
+        self._root_estimates: np.ndarray | None = None
+        self._prefix: tuple = ()
+        self._root_state = None
 
     # -- strategy hooks -------------------------------------------------------
 
@@ -145,11 +150,19 @@ class FilterEngine:
 
     # -- the enumeration -------------------------------------------------------
 
-    def run(self) -> FilterOutput:
-        """Execute the filter and return its output."""
+    def prepare(self) -> bool:
+        """Run the depth-1 pass and stage the surviving root subtrees.
+
+        Computes the per-item masks, the top-level estimates, and the
+        pruned extension arrays the recursion works from.  Returns True
+        when at least one top-level subtree survives the threshold.
+        Idempotent inputs aside, this is the part of :meth:`run` that is
+        *shared* work: the parallel layer runs it once per process and
+        then walks disjoint subtree subsets via :meth:`run_roots`.
+        """
         stats = self.output.stats
         if self.bbs.n_transactions == 0 or not self._universe:
-            return self.output
+            return False
         n_words = self.bbs.n_words
         masks = np.empty((len(self._universe), n_words), dtype=np.uint64)
         ones = self.bbs.fresh_accumulator()
@@ -176,35 +189,68 @@ class FilterEngine:
             np.minimum(item_estimates, root_estimates) >= self.threshold
         )[0]
         if passing.size == 0:
-            return self.output
+            return False
         self._items = [self._universe[i] for i in passing]
         self._masks = np.ascontiguousarray(masks[passing])
         self._extensions = [
             ExtensionItem(self._universe[i], int(item_estimates[i]))
             for i in passing
         ]
-        root_indices = np.arange(len(self._items), dtype=np.int64)
-        self._walk(
-            root_indices,
-            np.ascontiguousarray(root_candidates[passing]),
-            root_estimates[passing],
-            prefix,
-            state,
-            counted=True,
-        )
+        self._root_indices = np.arange(len(self._items), dtype=np.int64)
+        self._root_candidates = np.ascontiguousarray(root_candidates[passing])
+        self._root_estimates = root_estimates[passing]
+        self._prefix = prefix
+        self._root_state = state
+        return True
+
+    def run(self) -> FilterOutput:
+        """Execute the filter and return its output."""
+        if not self.prepare():
+            return self.output
+        return self.run_roots(range(len(self._extensions)))
+
+    def run_roots(self, offsets) -> FilterOutput:
+        """Walk only the top-level subtrees at ``offsets``.
+
+        ``offsets`` index into the staged post-pruning extension order
+        (the order :meth:`run` visits roots).  Requires a prior
+        successful :meth:`prepare`.  Walking every offset in order is
+        exactly :meth:`run`; walking a partition of the offsets across
+        engines (or processes) and concatenating the outputs in offset
+        order reproduces the serial output — each root's subtree only
+        ever extends with items *after* it, so subtrees are disjoint.
+        """
+        for raw in offsets:
+            offset = int(raw)
+            est = int(self._root_estimates[offset])
+            if est < self.threshold:  # pragma: no cover - pruned by prepare()
+                continue
+            ext = self._extensions[offset]
+            itemset = self._prefix + (ext.item,)
+            explore, child_state = self.visit(
+                itemset, est, self._root_candidates[offset],
+                self._root_state, ext,
+            )
+            too_deep = (
+                self.max_size is not None and len(itemset) >= self.max_size
+            )
+            if explore and not too_deep and offset + 1 < len(self._extensions):
+                self._descend(
+                    self._root_indices[offset + 1:],
+                    self._root_candidates[offset],
+                    itemset, child_state,
+                )
         return self.output
 
     def _descend(self, ext_indices: np.ndarray, acc: np.ndarray, prefix, state):
         """Evaluate all extensions of one node in a single vector pass."""
         candidates = self._masks[ext_indices] & acc
         estimates = _row_popcount(candidates)
-        self._walk(ext_indices, candidates, estimates, prefix, state,
-                   counted=False)
+        self._walk(ext_indices, candidates, estimates, prefix, state)
 
-    def _walk(self, ext_indices, candidates, estimates, prefix, state, counted):
+    def _walk(self, ext_indices, candidates, estimates, prefix, state):
         stats = self.output.stats
-        if not counted:
-            stats.count_itemset_calls += int(ext_indices.size)
+        stats.count_itemset_calls += int(ext_indices.size)
         threshold = self.threshold
         for offset in range(int(ext_indices.size)):
             est = int(estimates[offset])

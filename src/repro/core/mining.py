@@ -43,6 +43,7 @@ def mine(
     *,
     memory_bytes: int | None = None,
     max_size: int | None = None,
+    workers: int = 1,
 ) -> MiningResult:
     """Mine frequent patterns with one of the four BBS schemes.
 
@@ -64,6 +65,11 @@ def mine(
         bounds the candidate batches of SequentialScan.
     max_size:
         Optional cap on pattern length.
+    workers:
+        Number of worker processes for the filter and refinement phases
+        (see :mod:`repro.core.parallel`).  The default 1 is the exact
+        serial path; any value returns identical ``patterns``.  The
+        adaptive (memory-constrained) pipeline always runs serially.
     """
     name = algorithm.lower()
     if name == "auto":
@@ -71,7 +77,7 @@ def mine(
 
         return mine_auto(
             database, bbs, min_support,
-            memory_bytes=memory_bytes, max_size=max_size,
+            memory_bytes=memory_bytes, max_size=max_size, workers=workers,
         )
     if name not in ALGORITHMS:
         raise ConfigurationError(
@@ -85,6 +91,13 @@ def mine(
         return mine_adaptive(
             database, bbs, min_support, name,
             memory_bytes=memory_bytes, max_size=max_size,
+        )
+    if workers != 1:
+        from repro.core.parallel import mine_parallel
+
+        return mine_parallel(
+            database, bbs, min_support, name,
+            workers=workers, memory_bytes=memory_bytes, max_size=max_size,
         )
     runner = {
         "sfs": mine_sfs, "sfp": mine_sfp, "dfs": mine_dfs, "dfp": mine_dfp,
@@ -221,6 +234,7 @@ def mine_containing(
     min_support,
     *,
     max_size: int | None = None,
+    workers: int = 1,
 ) -> MiningResult:
     """Mine only the frequent patterns that **contain** ``seed``.
 
@@ -254,11 +268,25 @@ def mine_containing(
     result.add_pattern(seed_set, actual, exact=True)
     result.filter_stats.candidates += 1
 
+    seed_state = DualState(count=actual, flag=Certainty.EXACT, est=est)
+    if workers != 1:
+        from repro.core.parallel import _mine_into, _validate_workers
+
+        _validate_workers(workers)
+        worker_io = _mine_into(
+            result, database, bbs, threshold, "dfp",
+            workers=workers, max_size=max_size,
+            seed_pack={"items": tuple(sorted(seed_set, key=repr)),
+                       "state": seed_state},
+        )
+        _finish(result, database, bbs, io_before, started)
+        result.io = result.io.merged(worker_io)
+        return result
     flt = _ProbingDualFilter(
         bbs, threshold, database, result,
         max_size=max_size,
         seed=seed_set,
-        seed_state=DualState(count=actual, flag=Certainty.EXACT, est=est),
+        seed_state=seed_state,
     )
     output = flt.run()
     # Merge the subtree's filter counters into the result's.

@@ -1,0 +1,572 @@
+"""Shared-memory parallel execution layer (partitioned build + subtree mining).
+
+The pipeline is embarrassingly parallel at three seams, and this module
+exploits all three with ordinary worker processes:
+
+* **Partitioned index builds** — :func:`build_partitioned` shards the
+  transaction range into contiguous partitions, builds one BBS per
+  partition in a worker process, and merges them with
+  :meth:`~repro.core.bbs.BBS.concat` in partition order.  Because a BBS
+  is position-aligned with its database, the merged index is
+  bit-identical to a serial :meth:`BBS.from_database` build.
+* **Subtree-parallel filtering** — :func:`mine_parallel` runs the
+  depth-1 pass once, places the ``(m, n_words)`` slice matrix in
+  :mod:`multiprocessing.shared_memory` so every worker maps it
+  zero-copy, and fans the surviving top-level extension subtrees out
+  across a process pool.  The depth-first enumeration only ever extends
+  a pattern with items *after* its first item, so the top-level
+  subtrees are disjoint: per-subtree outputs concatenated in subtree
+  order reproduce the serial discovery order exactly.
+* **Parallel SequentialScan** — the SFS/DFS refinement phase splits the
+  candidate list into contiguous chunks, one scan pipeline per worker.
+
+Determinism rules (also in DESIGN.md): subtree outputs are merged in
+ascending subtree offset, scan chunks in ascending chunk index, and
+counter bundles (:class:`FilterStats`, :class:`RefineStats`,
+:class:`IOStats`) are summed field-wise in that same order — so two
+runs with the same ``workers`` produce identical results *and*
+identical statistics, and ``patterns`` is byte-identical to the serial
+run for any ``workers``.
+
+Work is scheduled largest-first: subtree cost is estimated as the root
+estimate times the remaining extension count, so the heavy left-most
+subtrees start before the cheap tail and the pool drains evenly.
+
+Workers are seeded once per process (pool initializer): they attach the
+shared slice matrix, rebuild the hash family from its descriptor, and
+materialise a private in-memory copy of the transaction database for
+probing and scanning.  A worker that dies mid-task surfaces as a typed
+:class:`~repro.errors.ParallelExecutionError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.core.bbs import BBS, DEFAULT_K
+from repro.core.counts import ItemCountTable
+from repro.core.filters import FilterOutput
+from repro.core.hashing import HashFamily, MD5HashFamily, family_from_description
+from repro.core.refine import resolve_threshold, sequential_scan
+from repro.core.results import MiningResult, PatternCount, RefineStats
+from repro.data.database import TransactionDatabase
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    ReproError,
+)
+from repro.storage.metrics import IOStats
+
+#: Environment hook used by the fault-injection tests: a worker that is
+#: handed the subtree at this offset exits hard, simulating a crash.
+CRASH_OFFSET_ENV = "REPRO_PARALLEL_CRASH_OFFSET"
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def _mp_context():
+    import multiprocessing
+
+    method = os.environ.get(START_METHOD_ENV)
+    if method is None:
+        available = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in available else "spawn"
+    return multiprocessing.get_context(method)
+
+
+def _validate_workers(workers) -> int:
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigurationError(
+            f"workers must be an int >= 1, got {workers!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _check_family_roundtrip(family: HashFamily) -> dict:
+    """The family descriptor workers rebuild the hash family from."""
+    desc = family.describe()
+    try:
+        rebuilt = family_from_description(desc)
+    except ReproError as exc:
+        raise ParallelExecutionError(
+            f"hash family {desc!r} cannot be reconstructed in worker "
+            f"processes; mine with workers=1 or use a registered family"
+        ) from exc
+    if rebuilt.m != family.m or rebuilt.k != family.k:
+        raise ParallelExecutionError(
+            f"hash family {desc!r} does not round-trip through its "
+            f"descriptor (got m={rebuilt.m}, k={rebuilt.k})"
+        )
+    return desc
+
+
+# --------------------------------------------------------------------------
+# Shared-memory slice matrix
+# --------------------------------------------------------------------------
+
+
+def _export_shared_index(bbs: BBS):
+    """Copy the live slice matrix into a shared-memory block.
+
+    Returns ``(shm, meta)``: the owning handle (caller must ``close`` +
+    ``unlink``) and the picklable descriptor workers attach from.
+    """
+    from multiprocessing import shared_memory
+
+    n_words = bbs.n_words
+    n_bytes = max(1, bbs.m * n_words * np.dtype(np.uint64).itemsize)
+    shm = shared_memory.SharedMemory(create=True, size=n_bytes)
+    if n_words:
+        view = np.ndarray((bbs.m, n_words), dtype=np.uint64, buffer=shm.buf)
+        np.copyto(view, bbs._slices[:, :n_words])
+    meta = {
+        "name": shm.name,
+        "m": bbs.m,
+        "n_words": n_words,
+        "n_tx": bbs.n_transactions,
+        "family": _check_family_roundtrip(bbs.hash_family),
+        "item_counts": bbs.item_counts.as_dict(),
+        "signature_bits_total": bbs._signature_bits_total,
+    }
+    return shm, meta
+
+
+def _attach_shared_index(meta: dict):
+    """Map the shared slice matrix and wrap it in a zero-copy BBS view."""
+    from multiprocessing import shared_memory
+
+    # Pool workers share the parent's resource tracker, so the attach
+    # here only re-adds the name the parent registered at create time;
+    # the parent's unlink() retires it exactly once at the end.
+    shm = shared_memory.SharedMemory(name=meta["name"])
+    slices = np.ndarray(
+        (meta["m"], meta["n_words"]), dtype=np.uint64, buffer=shm.buf
+    )
+    slices.setflags(write=False)
+    family = family_from_description(meta["family"])
+    bbs = BBS.__new__(BBS)
+    bbs.hash_family = family
+    bbs.m = family.m
+    bbs.k = family.k
+    bbs.stats = IOStats()
+    bbs._slices = slices
+    bbs._n_tx = meta["n_tx"]
+    bbs._item_counts = ItemCountTable(meta["item_counts"])
+    bbs._signature_bits_total = meta["signature_bits_total"]
+    return shm, bbs
+
+
+def _database_payload(database) -> dict:
+    """A picklable snapshot workers rebuild a private database from."""
+    return {
+        "transactions": list(database),
+        "page_bytes": getattr(database, "page_bytes", None),
+    }
+
+
+def _database_from_payload(payload: dict) -> TransactionDatabase:
+    kwargs = {}
+    if payload["page_bytes"]:
+        kwargs["page_bytes"] = payload["page_bytes"]
+    return TransactionDatabase(payload["transactions"], **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Worker process state
+# --------------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _make_engine(algorithm, bbs, threshold, database, result, max_size, seed_pack):
+    """Instantiate the filter engine a subtree task runs."""
+    from repro.core.filters import DualFilter, SingleFilter
+    from repro.core.mining import _ProbingDualFilter, _ProbingSingleFilter
+
+    seed = seed_pack["items"] if seed_pack else None
+    seed_state = seed_pack["state"] if seed_pack else None
+    if seed_pack and algorithm != "dfp":
+        raise ConfigurationError(
+            f"seeded parallel mining only supports dfp, got {algorithm!r}"
+        )
+    if algorithm == "sfs":
+        return SingleFilter(bbs, threshold, max_size=max_size)
+    if algorithm == "dfs":
+        return DualFilter(bbs, threshold, max_size=max_size)
+    if algorithm == "sfp":
+        return _ProbingSingleFilter(
+            bbs, threshold, database, result, max_size=max_size
+        )
+    if algorithm == "dfp":
+        return _ProbingDualFilter(
+            bbs, threshold, database, result, max_size=max_size,
+            seed=seed, seed_state=seed_state,
+        )
+    raise ConfigurationError(f"unknown parallel algorithm {algorithm!r}")
+
+
+def _init_mine_worker(meta, db_payload, algorithm, threshold, max_size, seed_pack):
+    shm, bbs = _attach_shared_index(meta)
+    database = _database_from_payload(db_payload)
+    shell = MiningResult(algorithm, threshold, bbs.n_transactions)
+    engine = _make_engine(
+        algorithm, bbs, threshold, database, shell, max_size, seed_pack
+    )
+    prepared = engine.prepare()
+    _WORKER.clear()
+    _WORKER.update(
+        shm=shm,  # keep the mapping alive for the worker's lifetime
+        bbs=bbs,
+        database=database,
+        engine=engine,
+        prepared=prepared,
+        algorithm=algorithm,
+        threshold=threshold,
+    )
+
+
+def _run_subtree(offset: int) -> dict:
+    """Mine one top-level subtree; returns its serialized output."""
+    crash_at = os.environ.get(CRASH_OFFSET_ENV)
+    if crash_at is not None and int(crash_at) == offset:
+        os._exit(17)  # simulate a hard worker crash (fault injection)
+    if not _WORKER.get("prepared"):
+        raise ParallelExecutionError(
+            "worker received a subtree but its depth-1 pass found no "
+            "surviving roots — parent/worker index views diverge"
+        )
+    engine = _WORKER["engine"]
+    database = _WORKER["database"]
+    bbs = _WORKER["bbs"]
+    db_before = database.stats.snapshot()
+    bbs_before = bbs.stats.snapshot()
+    shell = MiningResult(
+        _WORKER["algorithm"], _WORKER["threshold"], bbs.n_transactions
+    )
+    engine.output = FilterOutput()
+    if hasattr(engine, "_result"):
+        engine._result = shell  # probing engines stream into the shell
+    started = time.perf_counter()
+    engine.run_roots([offset])
+    seconds = time.perf_counter() - started
+    output = engine.output
+    return {
+        "offset": offset,
+        "seconds": seconds,
+        "patterns": [
+            (itemset, pattern.count, pattern.exact)
+            for itemset, pattern in shell.patterns.items()
+        ],
+        "certain": [
+            (itemset, pattern.count, pattern.exact)
+            for itemset, pattern in output.certain.items()
+        ],
+        "candidates": list(output.candidates),
+        "filter_stats": dict(vars(output.stats)),
+        "refine_stats": dict(vars(shell.refine_stats)),
+        "io": (database.stats - db_before).merged(bbs.stats - bbs_before),
+    }
+
+
+def _run_scan_chunk(candidates, threshold, memory_bytes) -> dict:
+    """SequentialScan one contiguous chunk of the candidate list."""
+    database = _WORKER["database"]
+    db_before = database.stats.snapshot()
+    stats = RefineStats()
+    started = time.perf_counter()
+    confirmed = sequential_scan(
+        database, candidates, threshold,
+        memory_bytes=memory_bytes, stats=stats,
+    )
+    return {
+        "seconds": time.perf_counter() - started,
+        "confirmed": confirmed,
+        "refine_stats": dict(vars(stats)),
+        "io": database.stats - db_before,
+    }
+
+
+def _build_partition(transactions, family_desc) -> tuple:
+    """Worker side of :func:`build_partitioned`: index one shard."""
+    family = family_from_description(family_desc)
+    bbs = BBS(family.m, family.k, hash_family=family)
+    for itemset in transactions:
+        bbs.insert(itemset)
+    return bbs._raw_state()
+
+
+def _collect(futures: dict) -> dict:
+    """Gather ``{future: key}`` results, surfacing crashes as typed errors."""
+    payloads = {}
+    try:
+        for future in as_completed(futures):
+            payloads[futures[future]] = future.result()
+    except BrokenProcessPool as exc:
+        raise ParallelExecutionError(
+            "a parallel worker process died mid-run (crash or kill); "
+            "partial results were discarded"
+        ) from exc
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ParallelExecutionError(
+            f"a parallel worker task failed: {exc}"
+        ) from exc
+    return payloads
+
+
+# --------------------------------------------------------------------------
+# Parallel partitioned build
+# --------------------------------------------------------------------------
+
+
+def build_partitioned(
+    database,
+    m: int,
+    k: int = DEFAULT_K,
+    *,
+    workers: int = 1,
+    partitions: int | None = None,
+    hash_family: HashFamily | None = None,
+    stats: IOStats | None = None,
+) -> BBS:
+    """Build a BBS over ``database`` from per-partition worker builds.
+
+    The transaction range is split into ``partitions`` contiguous shards
+    (default: one per worker), each shard is indexed independently in a
+    worker process, and the shard indexes are merged with
+    :meth:`BBS.concat` in partition order — producing an index
+    bit-identical to a serial :meth:`BBS.from_database` build.
+
+    ``workers=1`` is exactly the serial build.
+    """
+    _validate_workers(workers)
+    if partitions is not None and partitions < 1:
+        raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
+    family = hash_family if hash_family is not None else MD5HashFamily(m, k)
+    if family.m != m:
+        raise ConfigurationError(
+            f"hash family width {family.m} does not match m={m}"
+        )
+    if workers == 1 and partitions is None:
+        return BBS.from_database(
+            database, m, k, hash_family=family, stats=stats
+        )
+    family_desc = _check_family_roundtrip(family)
+    transactions = [itemset for _, itemset in database.scan()]
+    n_parts = min(partitions or workers, max(1, len(transactions)))
+    if not transactions:
+        return BBS(m, family.k, hash_family=family, stats=stats)
+    chunks = _split_chunks(transactions, n_parts)
+    if workers == 1:
+        raw_states = [_build_partition(chunk, family_desc) for chunk in chunks]
+    else:
+        ctx = _mp_context()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, n_parts), mp_context=ctx
+        ) as pool:
+            futures = {
+                pool.submit(_build_partition, chunk, family_desc): index
+                for index, chunk in enumerate(chunks)
+            }
+            payloads = _collect(futures)
+        raw_states = [payloads[index] for index in range(len(chunks))]
+    parts = [
+        BBS._from_raw_state(family, slices, n_tx, counts, bits)
+        for slices, n_tx, counts, bits in raw_states
+    ]
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = combined.concat(part)
+    if stats is not None:
+        combined.stats = stats
+    return combined
+
+
+def _split_chunks(sequence, n_chunks: int) -> list:
+    """Split into ``n_chunks`` contiguous near-even chunks (all non-empty)."""
+    n = len(sequence)
+    base, extra = divmod(n, n_chunks)
+    chunks, start = [], 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        if size:
+            chunks.append(sequence[start:start + size])
+        start += size
+    return chunks
+
+
+# --------------------------------------------------------------------------
+# Subtree-parallel mining
+# --------------------------------------------------------------------------
+
+
+def mine_parallel(
+    database,
+    bbs: BBS,
+    min_support,
+    algorithm: str = "dfp",
+    *,
+    workers: int,
+    memory_bytes: int | None = None,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine with ``workers`` processes; exact-equal to the serial miner.
+
+    The driver behind ``mine(..., workers=N)``: runs the depth-1 pass in
+    the parent, shares the slice matrix, fans the top-level subtrees out
+    largest-first, and merges per-worker outputs deterministically.  The
+    result's ``patterns`` (contents *and* insertion order), counts, and
+    exactness flags are identical to ``workers=1``.
+    """
+    from repro.core.mining import _check_alignment, _finish, _start
+
+    _validate_workers(workers)
+    _check_alignment(database, bbs)
+    threshold = resolve_threshold(min_support, len(database))
+    result = MiningResult(algorithm, threshold, len(database))
+    io_before, started = _start(database, bbs)
+    worker_io = _mine_into(
+        result, database, bbs, threshold, algorithm,
+        workers=workers, memory_bytes=memory_bytes, max_size=max_size,
+    )
+    _finish(result, database, bbs, io_before, started)
+    result.io = result.io.merged(worker_io)
+    return result
+
+
+def _mine_into(
+    result: MiningResult,
+    database,
+    bbs: BBS,
+    threshold: int,
+    algorithm: str,
+    *,
+    workers: int,
+    memory_bytes: int | None = None,
+    max_size: int | None = None,
+    seed_pack: dict | None = None,
+) -> IOStats:
+    """Run the parallel filter+refine phases, merging into ``result``.
+
+    Returns the summed worker-side :class:`IOStats` (the caller owns
+    parent-side accounting).  ``seed_pack`` roots the enumeration at a
+    seed pattern (see :func:`repro.core.mining.mine_containing`).
+    """
+    worker_io = IOStats()
+    info = {
+        "workers": workers,
+        "algorithm": algorithm,
+        "subtrees": 0,
+        "subtree_seconds": [],
+        "scan_chunks": 0,
+        "scan_seconds": [],
+    }
+    result.parallel_info = info
+
+    # Parent-side depth-1 pass: identical to the serial prepare(), and
+    # the source of both the schedule and the depth-1 stats.
+    proto = _make_engine(
+        algorithm, bbs, threshold, database,
+        MiningResult(algorithm, threshold, bbs.n_transactions),
+        max_size, seed_pack,
+    )
+    prepared = proto.prepare()
+    _add_stats(result.filter_stats, dict(vars(proto.output.stats)))
+    if not prepared:
+        return worker_io
+
+    root_estimates = proto._root_estimates
+    n_roots = len(proto._extensions)
+    info["subtrees"] = n_roots
+    # Largest-first schedule: estimated subtree cost ~ root support x
+    # remaining extensions.  Ties (and the final merge) break by offset.
+    order = sorted(
+        range(n_roots),
+        key=lambda o: (-int(root_estimates[o]) * max(1, n_roots - o - 1), o),
+    )
+
+    effective_workers = max(1, min(workers, n_roots))
+    shm, meta = _export_shared_index(bbs)
+    try:
+        ctx = _mp_context()
+        info["start_method"] = ctx.get_start_method()
+        with ProcessPoolExecutor(
+            max_workers=effective_workers,
+            mp_context=ctx,
+            initializer=_init_mine_worker,
+            initargs=(
+                meta, _database_payload(database), algorithm,
+                threshold, max_size, seed_pack,
+            ),
+        ) as pool:
+            futures = {
+                pool.submit(_run_subtree, offset): offset for offset in order
+            }
+            payloads = _collect(futures)
+            candidates = _merge_subtree_payloads(
+                result, algorithm, payloads, worker_io, info
+            )
+            if algorithm in ("sfs", "dfs") and candidates:
+                _parallel_scan(
+                    result, pool, candidates, threshold,
+                    memory_bytes, effective_workers, worker_io, info,
+                )
+    finally:
+        shm.close()
+        shm.unlink()
+    return worker_io
+
+
+def _merge_subtree_payloads(result, algorithm, payloads, worker_io, info):
+    """Fold per-subtree outputs into ``result`` in subtree order."""
+    candidates = []
+    for offset in sorted(payloads):
+        payload = payloads[offset]
+        info["subtree_seconds"].append(payload["seconds"])
+        _add_stats(result.filter_stats, payload["filter_stats"])
+        _add_stats(result.refine_stats, payload["refine_stats"])
+        _add_stats(worker_io, dict(vars(payload["io"])))
+        if algorithm == "dfs":
+            for itemset, count, exact in payload["certain"]:
+                result.patterns[itemset] = PatternCount(count, exact)
+        if algorithm in ("sfp", "dfp"):
+            for itemset, count, exact in payload["patterns"]:
+                result.add_pattern(itemset, count, exact)
+        candidates.extend(payload["candidates"])
+    return candidates
+
+
+def _parallel_scan(
+    result, pool, candidates, threshold, memory_bytes, n_chunks, worker_io, info
+):
+    """SFS/DFS refinement: scan contiguous candidate chunks in parallel."""
+    itemsets = [itemset for itemset, _est in candidates]
+    chunks = _split_chunks(itemsets, min(n_chunks, len(itemsets)))
+    info["scan_chunks"] = len(chunks)
+    futures = {
+        pool.submit(_run_scan_chunk, chunk, threshold, memory_bytes): index
+        for index, chunk in enumerate(chunks)
+    }
+    payloads = _collect(futures)
+    for index in range(len(chunks)):
+        payload = payloads[index]
+        info["scan_seconds"].append(payload["seconds"])
+        _add_stats(result.refine_stats, payload["refine_stats"])
+        _add_stats(worker_io, dict(vars(payload["io"])))
+        for itemset, count in payload["confirmed"].items():
+            result.add_pattern(itemset, count, exact=True)
+
+
+def _add_stats(target, fields: dict) -> None:
+    """Sum a counter-bundle dict into a stats dataclass, field-wise."""
+    for name, value in fields.items():
+        setattr(target, name, getattr(target, name) + value)

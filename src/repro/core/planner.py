@@ -81,12 +81,15 @@ def mine_auto(
     *,
     memory_bytes: int | None = None,
     max_size: int | None = None,
+    workers: int = 1,
     probe_fraction_cutoff: float = PROBE_FRACTION_CUTOFF,
 ) -> MiningResult:
     """Mine with the planner-selected dual-filter scheme.
 
     The returned result's ``algorithm`` field records the decision, e.g.
-    ``"auto:dfp"``.
+    ``"auto:dfp"``.  ``workers`` parallelises the chosen scheme (the
+    pilot itself is one cheap vector pass and stays serial); the
+    adaptive memory-constrained pipeline always runs serially.
     """
     threshold = resolve_threshold(min_support, max(len(database), 1))
     plan = plan_refinement(
@@ -101,10 +104,18 @@ def mine_auto(
         )
         result.algorithm = f"auto:{result.algorithm}"
         return result
-    runner = mine_dfp if plan.algorithm == "dfp" else mine_dfs
-    result = runner(
-        database, bbs, threshold,
-        memory_bytes=memory_bytes, max_size=max_size,
-    )
+    if workers != 1:
+        from repro.core.parallel import mine_parallel
+
+        result = mine_parallel(
+            database, bbs, threshold, plan.algorithm,
+            workers=workers, memory_bytes=memory_bytes, max_size=max_size,
+        )
+    else:
+        runner = mine_dfp if plan.algorithm == "dfp" else mine_dfs
+        result = runner(
+            database, bbs, threshold,
+            memory_bytes=memory_bytes, max_size=max_size,
+        )
     result.algorithm = f"auto:{plan.algorithm}"
     return result

@@ -63,5 +63,16 @@ class DatabaseMismatchError(ReproError):
     """An index and a database disagree (e.g. differing transaction counts)."""
 
 
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel worker pool failed mid-run.
+
+    Raised when a worker process dies (crash, OOM kill, ``os._exit``)
+    or raises an unexpected non-library exception, so that callers of
+    ``mine(..., workers=N)`` and ``build_partitioned`` see one typed
+    error instead of a hung pool or a raw
+    :class:`concurrent.futures.process.BrokenProcessPool`.
+    """
+
+
 class QueryError(ReproError, ValueError):
     """An ad-hoc query was malformed (empty itemset, bad constraint, ...)."""

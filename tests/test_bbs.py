@@ -320,3 +320,46 @@ class TestConcat:
         combined.insert([1, 2])
         assert combined.n_transactions == 3
         assert combined.count_itemset([1]) >= 2
+
+
+class TestSignatureAccounting:
+    """``_signature_bits_total`` must equal the live popcount of the matrix."""
+
+    def test_append_only_build_matches_popcount(self, small_bbs):
+        live = bitvec.popcount(small_bbs._slices)
+        assert small_bbs._signature_bits_total == live
+
+    def test_fold_density_is_exact(self, small_bbs):
+        """Folding merges colliding positions; the total must not be inflated."""
+        for k_slices in (8, 16, 32):
+            folded = small_bbs.fold(k_slices)
+            assert folded._signature_bits_total == bitvec.popcount(
+                folded._slices
+            )
+
+    def test_fold_density_never_exceeds_original(self, small_bbs):
+        folded = small_bbs.fold(16)
+        assert folded._signature_bits_total <= small_bbs._signature_bits_total
+
+    def test_identity_fold_density_unchanged(self, small_bbs):
+        folded = small_bbs.fold(small_bbs.m)
+        assert folded._signature_bits_total == small_bbs._signature_bits_total
+        assert (
+            folded.mean_signature_density == small_bbs.mean_signature_density
+        )
+
+    def test_folded_raw_positions_sorted_unique(self, small_bbs):
+        """A folded family reports each collapsed position exactly once."""
+        family = small_bbs.fold(2).hash_family
+        for item in range(20):
+            positions = family.positions(family._canonical(item))
+            assert list(positions) == sorted(set(positions))
+            assert all(0 <= p < 2 for p in positions)
+            assert len(positions) <= small_bbs.k
+
+    def test_hand_folded_collision(self):
+        bbs = BBS(m=8, hash_family=ModuloHashFamily(8))
+        bbs.insert([1, 5])  # positions 1 and 5 collide under mod 4 -> bit 1
+        folded = bbs.fold(4)
+        assert folded._signature_bits_total == 1
+        assert folded.mean_signature_density == pytest.approx(1 / 4)

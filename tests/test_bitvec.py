@@ -163,3 +163,60 @@ class TestBitstrings:
     def test_bitstring_round_trip(self, text):
         words = bitvec.from_bitstring(text)
         assert bitvec.to_bitstring(words, len(text)) == text
+
+
+class TestIndicesSparsePath:
+    """The sparse fast path must agree with a full unpack bit-for-bit."""
+
+    @staticmethod
+    def reference(words, limit=None):
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        idx = np.nonzero(bits)[0].astype(np.int64)
+        return idx if limit is None else idx[idx < limit]
+
+    def test_very_sparse_large_array(self):
+        words = np.zeros(1000, dtype=np.uint64)
+        for index, bit in ((0, 0), (512, 63), (999, 17)):
+            words[index] = np.uint64(1) << np.uint64(bit)
+        expected = [0, 512 * 64 + 63, 999 * 64 + 17]
+        assert bitvec.indices_of_set_bits(words).tolist() == expected
+
+    def test_sparse_with_limit(self):
+        words = np.zeros(100, dtype=np.uint64)
+        words[0] = np.uint64(1)
+        words[50] = np.uint64(1) << np.uint64(10)
+        got = bitvec.indices_of_set_bits(words, limit=50 * 64 + 10)
+        assert got.tolist() == [0]
+
+    def test_all_zero_words(self):
+        words = np.zeros(64, dtype=np.uint64)
+        assert bitvec.indices_of_set_bits(words).size == 0
+
+    def test_noncontiguous_input(self):
+        matrix = np.zeros((4, 32), dtype=np.uint64)
+        matrix[1, 3] = np.uint64(1) << np.uint64(5)
+        column = matrix[:, 3]  # strided view
+        got = bitvec.indices_of_set_bits(column)
+        assert got.tolist() == [1 * 64 + 5]
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=40),
+        st.one_of(st.none(), st.integers(0, 40 * 64)),
+    )
+    def test_matches_dense_reference(self, values, limit):
+        words = np.array(values, dtype=np.uint64)
+        got = bitvec.indices_of_set_bits(words, limit=limit)
+        assert got.tolist() == self.reference(words, limit).tolist()
+
+    @given(st.integers(1, 400), st.data())
+    def test_density_sweep(self, n_words, data):
+        n_set = data.draw(st.integers(0, min(5, n_words * 64)))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, n_words * 64 - 1),
+                min_size=n_set, max_size=n_set, unique=True,
+            )
+        )
+        words = bitvec.pack_indices(sorted(positions), n_words * 64)
+        got = bitvec.indices_of_set_bits(words)
+        assert got.tolist() == sorted(positions)
