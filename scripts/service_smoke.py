@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for the pattern query service.
+
+Generates a fixture database + index, starts ``repro-mine serve`` as a
+real subprocess, exercises count / append / mine through
+:class:`repro.service.client.ServiceClient`, then sends SIGTERM and
+asserts the server drains gracefully and exits 0.
+
+Exits non-zero (with a diagnostic on stderr) on any failure, so it can
+gate a CI job directly:
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.service.client import ServiceClient
+
+SERVE_STARTUP_TIMEOUT_S = 30
+DRAIN_TIMEOUT_S = 30
+
+
+def fail(message: str) -> None:
+    print(f"service smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def build_fixture(workdir: Path) -> tuple[str, str]:
+    db_path = str(workdir / "smoke.tx")
+    idx_path = str(workdir / "smoke.bbs")
+    if cli_main(["generate", "--out", db_path, "--transactions", "400",
+                 "--items", "80", "--patterns", "30", "--seed", "13"]) != 0:
+        fail("fixture generation failed")
+    if cli_main(["index", "--db", db_path, "--out", idx_path,
+                 "--m", "256"]) != 0:
+        fail("fixture indexing failed")
+    return db_path, idx_path
+
+
+def wait_for_port(proc: subprocess.Popen) -> int:
+    deadline = time.monotonic() + SERVE_STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            fail(f"server exited early with code {proc.returncode}")
+        print(f"  server: {line.rstrip()}")
+        if line.startswith("serving on "):
+            return int(line.rsplit(":", 1)[1])
+    fail("server never announced its port")
+
+
+def exercise(port: int) -> None:
+    with ServiceClient("127.0.0.1", port) as client:
+        if not client.health()["ok"]:
+            fail("health check did not return ok")
+
+        counted = client.count([3, 17], exact=True)
+        if counted["estimate"] < counted["exact"]:
+            fail(f"estimate {counted['estimate']} underestimates "
+                 f"exact {counted['exact']}")
+        print(f"  count [3, 17]: estimate={counted['estimate']} "
+              f"exact={counted['exact']} epoch={counted['epoch']}")
+
+        appended = client.append([3, 17, 99])
+        if appended["epoch"] != counted["epoch"] + 1:
+            fail("append did not bump the epoch by one")
+        recount = client.count([3, 17], exact=True)
+        if recount["exact"] != counted["exact"] + 1:
+            fail("append did not reach the resident database")
+        if recount["cached"]:
+            fail("count after append was served from a stale cache entry")
+        print(f"  append bumped epoch to {appended['epoch']}; "
+              f"recount exact={recount['exact']}")
+
+        job_id = client.mine(0.08, algorithm="dfp")
+        done = client.wait_for_job(job_id, timeout=120, top=5)
+        n_patterns = done["result"]["n_patterns"]
+        if done["state"] != "done":
+            fail(f"mine job ended {done['state']}")
+        print(f"  mine job {job_id}: {n_patterns} pattern(s) in "
+              f"{done['elapsed_seconds']:.3f}s")
+
+        metrics = client.metrics()
+        for key in ("io", "io_delta", "latency", "cache", "batch"):
+            if key not in metrics:
+                fail(f"metrics payload is missing {key!r}")
+        print(f"  metrics: {sum(metrics['requests'].values())} requests, "
+              f"{metrics['io']['slice_reads']} slice reads")
+
+
+def smoke() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        db_path, idx_path = build_fixture(Path(tmp))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--db", db_path, "--index", idx_path, "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            port = wait_for_port(proc)
+            exercise(port)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
+        except Exception:
+            proc.kill()
+            proc.communicate()
+            raise
+        print(f"  server: {out.rstrip()}")
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode} after SIGTERM "
+                 f"(expected a graceful drain): {out}")
+        if "drained after" not in out:
+            fail(f"server exited without reporting a drain: {out}")
+    print("service smoke OK")
+
+
+if __name__ == "__main__":
+    smoke()

@@ -17,6 +17,15 @@ After a crash, ``repro-mine check <file>`` classifies the damage
 (exit 0 = clean, 3 = torn tail, 4 = corrupt) and ``repro-mine repair
 <file> [--db ...]`` salvages it — both work on DiskBBS segment logs,
 BBS slice files, and transaction-file pairs.
+
+``repro-mine serve`` keeps an index resident and answers concurrent
+clients over TCP (see :mod:`repro.service`); ``repro-mine query``
+talks to a running server::
+
+    repro-mine serve --db /tmp/demo.tx --index /tmp/demo.bbs --port 7707
+    repro-mine query --port 7707 count --items 3,17 --exact
+    repro-mine query --port 7707 append --items 3,17,42
+    repro-mine query --port 7707 mine --min-support 0.01 --wait
 """
 
 from __future__ import annotations
@@ -30,7 +39,13 @@ from repro.core.constraints import AdHocQueryEngine, ConstraintSlice
 from repro.core.mining import ALGORITHMS, mine
 from repro.data.diskdb import DiskDatabase
 from repro.data.ibm import QuestSpec, generate_transactions
-from repro.errors import CorruptFileError, ReproError, StorageError
+from repro.errors import (
+    ConfigurationError,
+    CorruptFileError,
+    ReproError,
+    StorageError,
+)
+from repro.storage.metrics import IOStats
 from repro.storage.txfile import TransactionFileWriter
 
 
@@ -125,6 +140,65 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="discard damaged bytes instead of saving them to "
                          "a .quarantine sibling")
 
+    sv = sub.add_parser(
+        "serve",
+        help="serve a resident index over TCP (see `query`)",
+    )
+    sv.add_argument("--db", required=True, help="transaction file")
+    sv.add_argument("--index", default=None,
+                    help="BBS slice file or DiskBBS segment log to hold "
+                         "resident (omitted: build in memory with --m/--k)")
+    sv.add_argument("--m", type=int, default=1600,
+                    help="signature width for an in-memory build")
+    sv.add_argument("--k", type=int, default=4,
+                    help="hash functions for an in-memory build")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = pick one and announce it)")
+    sv.add_argument("--max-connections", type=int, default=64,
+                    help="admission limit on concurrent connections")
+    sv.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request timeout in seconds")
+    sv.add_argument("--cache-entries", type=int, default=4096,
+                    help="LRU result-cache capacity")
+    sv.add_argument("--track", type=int, default=None,
+                    help="maintain the frequent patterns at this absolute "
+                         "min support incrementally (enables `query patterns`)")
+
+    qr = sub.add_parser("query", help="query a running `serve` instance")
+    qr.add_argument("--host", default="127.0.0.1")
+    qr.add_argument("--port", type=int, required=True)
+    qr.add_argument("--timeout", type=float, default=30.0)
+    qsub = qr.add_subparsers(dest="query_op", required=True)
+    qc = qsub.add_parser("count", help="estimated support of one itemset")
+    qc.add_argument("--items", required=True,
+                    help="comma-separated integer items, e.g. 3,17")
+    qc.add_argument("--exact", action="store_true",
+                    help="also probe the database for the exact support")
+    qa = qsub.add_parser("append", help="insert one transaction")
+    qa.add_argument("--items", required=True)
+    qm = qsub.add_parser("mine", help="submit a background mining job")
+    qm.add_argument("--min-support", type=_parse_min_support, default=0.003)
+    qm.add_argument("--algorithm", choices=ALGORITHMS + ("auto",),
+                    default="dfp")
+    qm.add_argument("--max-size", type=int, default=None)
+    qm.add_argument("--workers", type=int, default=1)
+    qm.add_argument("--wait", action="store_true",
+                    help="poll until the job finishes and print the result")
+    qm.add_argument("--top", type=int, default=20,
+                    help="patterns to include when waiting (0 = all)")
+    qj = qsub.add_parser("job", help="poll a mining job")
+    qj.add_argument("--id", required=True, dest="job_id")
+    qj.add_argument("--top", type=int, default=20)
+    qx = qsub.add_parser("cancel", help="cancel a mining job")
+    qx.add_argument("--id", required=True, dest="job_id")
+    qp = qsub.add_parser("patterns", help="the tracked frequent patterns")
+    qp.add_argument("--top", type=int, default=20)
+    qsub.add_parser("status", help="server status")
+    qsub.add_parser("metrics", help="latency histograms + IOStats")
+    qsub.add_parser("health", help="liveness check")
+    qsub.add_parser("shutdown", help="ask the server to drain and exit")
+
     sub.add_parser("example", help="replay the paper's running example")
     return parser
 
@@ -190,8 +264,12 @@ def _cmd_mine(args) -> int:
     return 0
 
 
+def _parse_items(text: str) -> list[int]:
+    return [int(piece) for piece in text.split(",") if piece.strip()]
+
+
 def _cmd_count(args) -> int:
-    itemset = [int(piece) for piece in args.items.split(",") if piece.strip()]
+    itemset = _parse_items(args.items)
     with DiskDatabase(args.db) as db:
         bbs = BBS.load(args.index)
         engine = AdHocQueryEngine(db, bbs)
@@ -266,6 +344,124 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.data.database import TransactionDatabase
+    from repro.service import PatternService
+    from repro.service.server import PatternServer
+
+    stats = IOStats()
+    with DiskDatabase(args.db) as disk:
+        database = TransactionDatabase(list(disk), stats=stats)
+
+    close_index = None
+    if args.index is None:
+        index = BBS.from_database(database, m=args.m, k=args.k, stats=stats)
+    else:
+        index_path = Path(args.index)
+        magic = _sniff_magic(index_path)
+        if magic == b"BBSD":
+            from repro.storage.diskbbs import DiskBBS
+
+            index = DiskBBS.open(index_path, stats=stats)
+            close_index = index.close
+        elif magic == b"BBSF":
+            index = BBS.load(index_path, stats=stats)
+        else:
+            raise StorageError(
+                f"{index_path} is neither a DiskBBS log nor a slice file "
+                f"(magic {magic!r})", path=index_path,
+            )
+
+    miner = None
+    if args.track is not None:
+        if not isinstance(index, BBS):
+            raise ConfigurationError(
+                "--track needs an in-memory index (a slice file or an "
+                "--m build); a DiskBBS log cannot drive the filter recursion"
+            )
+        from repro.core.incremental import IncrementalMiner
+
+        miner = IncrementalMiner(database, index, args.track)
+
+    try:
+        service = PatternService(
+            database, index, miner=miner, cache_entries=args.cache_entries
+        )
+        server = PatternServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            request_timeout=args.timeout,
+        )
+        print(
+            f"resident index: {type(index).__name__} m={index.m} k={index.k} "
+            f"over {len(database)} transactions"
+            + (f", tracking min_support={args.track}" if miner else ""),
+            flush=True,
+        )
+        asyncio.run(server.run(announce=lambda msg: print(msg, flush=True)))
+        print(
+            f"drained after {sum(service.request_counts.values())} request(s)",
+            flush=True,
+        )
+    finally:
+        if close_index is not None:
+            close_index()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(
+            f"error: cannot connect to {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    op = args.query_op
+    with client:
+        if op == "count":
+            payload = client.count(_parse_items(args.items), exact=args.exact)
+        elif op == "append":
+            payload = client.append(_parse_items(args.items))
+        elif op == "mine":
+            job_id = client.mine(
+                args.min_support,
+                algorithm=args.algorithm,
+                max_size=args.max_size,
+                workers=args.workers,
+            )
+            if args.wait:
+                payload = client.wait_for_job(job_id, top=args.top)
+            else:
+                payload = {"job_id": job_id}
+        elif op == "job":
+            payload = client.job(args.job_id, top=args.top)
+        elif op == "cancel":
+            payload = client.cancel(args.job_id)
+        elif op == "patterns":
+            payload = client.patterns(top=args.top)
+        else:  # status / metrics / health / shutdown
+            payload = client.request(op)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _durability_line(stats: IOStats) -> str:
+    counters = stats.durability_dict()
+    return "durability: " + " ".join(
+        f"{name}={value}" for name, value in counters.items()
+    )
+
+
 def _sniff_magic(path: Path) -> bytes:
     try:
         with open(path, "rb") as fh:
@@ -287,8 +483,10 @@ def _cmd_check(args) -> int:
     magic = _sniff_magic(path)
 
     if magic == b"BBSD":
-        report = inspect_index(path)
+        stats = IOStats()
+        report = inspect_index(path, stats=stats)
         print(report)
+        print(_durability_line(stats))
         code = {"clean": EXIT_CLEAN, "torn": EXIT_TORN}.get(
             report.status, EXIT_CORRUPT
         )
@@ -309,8 +507,10 @@ def _cmd_check(args) -> int:
         return EXIT_CLEAN
 
     if magic == DATA_MAGIC:
-        report = inspect_txfile(path)
+        stats = IOStats()
+        report = inspect_txfile(path, stats=stats)
         print(report)
+        print(_durability_line(stats))
         # Any txfile damage short of a destroyed header is salvageable,
         # so it is classified torn, never corrupt.
         return EXIT_CLEAN if report.clean else EXIT_TORN
@@ -351,17 +551,21 @@ def _cmd_repair(args) -> int:
     magic = _sniff_magic(path)
 
     if magic == b"BBSD":
+        stats = IOStats()
         report = salvage_index(
-            path, db=args.db, quarantine=not args.no_quarantine
+            path, db=args.db, quarantine=not args.no_quarantine, stats=stats
         )
         print(report)
+        print(_durability_line(stats))
         if report.clean and not report.rebuilt_transactions:
             print("nothing to repair")
         return 0
 
     if magic == DATA_MAGIC:
-        report = salvage_txfile(path)
+        stats = IOStats()
+        report = salvage_txfile(path, stats=stats)
         print(report)
+        print(_durability_line(stats))
         if report.clean:
             print("nothing to repair")
         return 0
@@ -402,6 +606,8 @@ _COMMANDS = {
     "import": _cmd_import,
     "check": _cmd_check,
     "repair": _cmd_repair,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "example": _cmd_example,
 }
 

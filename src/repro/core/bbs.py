@@ -80,6 +80,7 @@ class BBS:
         self._n_tx = 0
         self._item_counts = ItemCountTable()
         self._signature_bits_total = 0
+        self._epoch = 0
 
     # -- construction --------------------------------------------------------
 
@@ -116,6 +117,7 @@ class BBS:
         self._n_tx += 1
         self._item_counts.record(itemset)
         self._signature_bits_total += int(positions.size)
+        self._epoch += 1
         return self._n_tx - 1
 
     def _ensure_capacity(self, n_tx: int) -> None:
@@ -134,6 +136,20 @@ class BBS:
     def n_transactions(self) -> int:
         """Number of transactions the index covers."""
         return self._n_tx
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version counter, bumped once per :meth:`insert`.
+
+        Two reads of the index are guaranteed to see identical contents
+        when their epochs match, so any derived value (a cached count, a
+        mined pattern set) can be tagged with the epoch it was computed
+        at and invalidated by comparison instead of by sweeping.  The
+        epoch is *session-local*: it starts at 0 whenever an index
+        becomes resident (constructed, loaded, folded, or concatenated)
+        and is never persisted.
+        """
+        return self._epoch
 
     def __len__(self) -> int:
         return self._n_tx
@@ -280,6 +296,7 @@ class BBS:
         folded.k = self.k
         folded.stats = IOStats()
         folded._n_tx = self._n_tx
+        folded._epoch = self._epoch  # same contents, same version
         folded._item_counts = self._item_counts  # exact counts are m-independent
         words = max(self._slices.shape[1], _INITIAL_CAPACITY_WORDS)
         matrix = np.zeros((k_slices, words), dtype=np.uint64)
@@ -381,6 +398,7 @@ class BBS:
         bbs._n_tx = n_tx
         bbs._item_counts = ItemCountTable(counts)
         bbs._signature_bits_total = signature_bits_total
+        bbs._epoch = 0  # session-local: a freshly resident index
         return bbs
 
 

@@ -139,6 +139,17 @@ class IncrementalMiner:
         """Number of tracked minimal-infrequent patterns (size >= 2)."""
         return len(self._border)
 
+    @property
+    def epoch(self) -> int:
+        """The underlying index's version counter (see :attr:`BBS.epoch`).
+
+        Every :meth:`insert` routes through ``self.bbs.insert``, so the
+        miner's pattern set is exactly as fresh as this number: a result
+        tagged with the epoch it was computed at is current iff the tags
+        still match.
+        """
+        return self.bbs.epoch
+
     # -- internals -----------------------------------------------------------
 
     def _bucket(self, pattern: frozenset) -> None:

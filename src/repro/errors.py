@@ -76,3 +76,29 @@ class ParallelExecutionError(ReproError, RuntimeError):
 
 class QueryError(ReproError, ValueError):
     """An ad-hoc query was malformed (empty itemset, bad constraint, ...)."""
+
+
+class ServiceError(ReproError):
+    """A pattern-query service request failed.
+
+    Raised client-side when the server returns an error frame (the
+    frame's ``type`` and ``message`` are preserved) or when the
+    connection drops mid-request.
+
+    Attributes
+    ----------
+    error_type:
+        The wire-level error type (``"bad_request"``, ``"timeout"``,
+        ``"overloaded"``, ``"shutting_down"``, ``"internal"``, ...).
+    """
+
+    def __init__(self, message: str, *, error_type: str = "internal"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class ServiceProtocolError(ServiceError):
+    """A wire frame violated the protocol (bad length, not JSON, ...)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, error_type="protocol")

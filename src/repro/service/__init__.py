@@ -1,0 +1,37 @@
+"""The pattern query service: a long-lived serving layer over BBS.
+
+The paper's index is *dynamic and persistent* (§3.4) — it absorbs
+appends without a rebuild — yet a batch CLI re-opens it for every
+query.  This package keeps the index resident instead and serves
+concurrent clients over a tiny length-prefixed JSON protocol:
+
+* :mod:`repro.service.protocol` — wire frames (requests, responses,
+  typed errors) plus sync and asyncio codecs;
+* :mod:`repro.service.cache` — the epoch-keyed LRU result cache and
+  the micro-batcher that coalesces concurrent ``count`` requests into
+  one shared-prefix AND pass;
+* :mod:`repro.service.handlers` — the operations (``count``,
+  ``append``, ``mine`` jobs, ``status``/``metrics``/``health``) bound
+  to a resident database + index;
+* :mod:`repro.service.server` — the asyncio TCP server: admission
+  limits, per-request timeouts, graceful drain on SIGTERM;
+* :mod:`repro.service.client` — the blocking client used by the CLI,
+  the tests, and the CI smoke script.
+
+See DESIGN.md ("Service layer") and docs/wire_protocol.md.
+"""
+
+from repro.service.cache import CountCache, MicroBatcher, canonical_itemset
+from repro.service.client import ServiceClient
+from repro.service.handlers import PatternService
+from repro.service.server import PatternServer, start_server_thread
+
+__all__ = [
+    "CountCache",
+    "MicroBatcher",
+    "PatternServer",
+    "PatternService",
+    "ServiceClient",
+    "canonical_itemset",
+    "start_server_thread",
+]

@@ -1,0 +1,222 @@
+"""Result caching and request coalescing for the serving layer.
+
+Two mechanisms keep a hot ``count`` workload off the index:
+
+* :class:`CountCache` — an LRU keyed by ``(canonical itemset, epoch,
+  exact)``.  Because the index's :attr:`~repro.core.bbs.BBS.epoch` is
+  bumped on every insert, an append invalidates *every* cached entry by
+  construction: stale entries simply stop being addressable and age out
+  of the LRU.  No sweep, no per-entry dirty bit, no lock ordering
+  against the writer.
+
+* :class:`MicroBatcher` — coalesces ``count`` requests that arrive in
+  the same event-loop window into one drain pass.  Duplicate itemsets
+  collapse to a single computation, and distinct itemsets are evaluated
+  in sorted signature-position order so that consecutive queries
+  sharing a slice-position prefix reuse the partially-ANDed
+  accumulator (the same incremental-AND trick the filter recursion
+  uses, see DESIGN.md).  Under concurrent load this turns k slice ANDs
+  per request into roughly one AND per *distinct new slice*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core import bitvec
+from repro.errors import ConfigurationError, QueryError
+
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+def _sort_key(item):
+    """Stable ordering across mixed item types (ints before strings)."""
+    return (type(item).__name__, item)
+
+
+def canonical_itemset(items) -> tuple:
+    """The canonical cache/wire form of an itemset: a sorted tuple.
+
+    Deduplicates, rejects the empty itemset, and orders items with the
+    same mixed-type key the database layer uses, so the same itemset
+    always maps to the same cache key and the same JSON list.
+    """
+    canonical = tuple(sorted(set(items), key=_sort_key))
+    if not canonical:
+        raise QueryError("the empty itemset has no support")
+    return canonical
+
+
+class CountCache:
+    """LRU cache of support counts keyed by ``(itemset, epoch, exact)``.
+
+    ``get``/``put`` are O(1); eviction is least-recently-used.  The
+    epoch in the key is the whole invalidation story: callers tag every
+    entry with the index epoch it was computed at, and a lookup under a
+    newer epoch is a miss by definition.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, itemset: tuple, epoch: int, *, exact: bool = False) -> int | None:
+        """The cached count, or ``None``; refreshes LRU order on hit."""
+        key = (itemset, epoch, exact)
+        count = self._entries.get(key)
+        if count is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return count
+
+    def put(self, itemset: tuple, epoch: int, count: int, *, exact: bool = False) -> None:
+        """Insert (or refresh) one entry, evicting the LRU tail if full."""
+        key = (itemset, epoch, exact)
+        self._entries[key] = count
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def as_dict(self) -> dict:
+        """Counter snapshot for the ``metrics`` endpoint."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``count`` requests into shared AND passes.
+
+    Callers ``await count(itemset)``; the first request in an idle
+    window schedules a drain on the next event-loop tick, and every
+    request that lands before the drain runs joins the same batch.  The
+    drain then:
+
+    1. collapses duplicate itemsets (each distinct itemset is computed
+       once, all waiters share the result), and
+    2. orders distinct itemsets by their signature-position tuples and
+       walks them with a prefix stack, so two itemsets whose sorted
+       slice positions share a prefix reuse the accumulator up to the
+       divergence point instead of re-ANDing from all-ones.
+
+    The prefix pass needs the in-memory index's zero-copy hooks
+    (:meth:`~repro.core.bbs.BBS.and_positions_into`); a
+    :class:`~repro.storage.diskbbs.DiskBBS` resident index falls back
+    to per-itemset ``count_itemset`` while keeping the dedup benefit.
+    """
+
+    def __init__(self, index):
+        self.index = index
+        self._pending: dict[tuple, list[asyncio.Future]] = {}
+        self._drain_scheduled = False
+        # -- metrics ---------------------------------------------------
+        self.batches = 0
+        self.requests = 0
+        self.coalesced = 0       # requests answered by another request's work
+        self.slice_ands = 0      # slice ANDs actually performed
+        self.slice_ands_saved = 0  # ANDs avoided via shared prefixes
+
+    async def count(self, itemset: tuple) -> int:
+        """Estimated support of ``itemset`` (joins the current batch)."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.requests += 1
+        waiters = self._pending.setdefault(itemset, [])
+        if waiters:
+            self.coalesced += 1
+        waiters.append(future)
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop.call_soon(self._drain)
+        return await future
+
+    # -- internals ---------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Compute every pending itemset in one pass and resolve waiters."""
+        self._drain_scheduled = False
+        pending, self._pending = self._pending, {}
+        if not pending:
+            return
+        self.batches += 1
+        try:
+            results = self._count_batch(sorted(pending))
+        except Exception as exc:  # propagate to every waiter, once each
+            for waiters in pending.values():
+                for future in waiters:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        for itemset, waiters in pending.items():
+            count = results[itemset]
+            for future in waiters:
+                if not future.done():
+                    future.set_result(count)
+
+    def _count_batch(self, itemsets: list[tuple]) -> dict[tuple, int]:
+        index = self.index
+        if not hasattr(index, "and_positions_into"):
+            # DiskBBS path: no zero-copy accumulator hooks; dedup only.
+            return {itemset: index.count_itemset(itemset) for itemset in itemsets}
+        entries = sorted(
+            (tuple(int(p) for p in index.signature_positions(itemset)), itemset)
+            for itemset in itemsets
+        )
+        results: dict[tuple, int] = {}
+        # stack[d] = (position, accumulator after ANDing positions[:d+1]);
+        # consecutive entries share accumulators up to their common prefix.
+        stack: list[tuple[int, np.ndarray]] = []
+        for positions, itemset in entries:
+            depth = 0
+            while (
+                depth < len(stack)
+                and depth < len(positions)
+                and stack[depth][0] == positions[depth]
+            ):
+                depth += 1
+            del stack[depth:]
+            self.slice_ands_saved += depth
+            accumulator = stack[-1][1] if stack else None
+            for position in positions[depth:]:
+                pos_array = np.array([position], dtype=np.int64)
+                if accumulator is None:
+                    accumulator = index.fresh_accumulator()
+                    index.and_positions_into(accumulator, pos_array, accumulator)
+                else:
+                    extended = np.empty_like(accumulator)
+                    index.and_positions_into(accumulator, pos_array, extended)
+                    accumulator = extended
+                self.slice_ands += 1
+                stack.append((position, accumulator))
+            results[itemset] = bitvec.popcount(accumulator)
+        return results
+
+    def as_dict(self) -> dict:
+        """Counter snapshot for the ``metrics`` endpoint."""
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "slice_ands": self.slice_ands,
+            "slice_ands_saved": self.slice_ands_saved,
+        }

@@ -1,0 +1,178 @@
+"""The blocking client for the pattern query service.
+
+One :class:`ServiceClient` owns one TCP connection and issues one
+request at a time (the protocol answers every request with exactly one
+frame, so a blocking request/response loop needs no multiplexing).
+Used by ``repro-mine query``, the test suite, and the CI smoke script;
+it is also the reference implementation of the wire protocol for any
+other client.
+
+Error frames surface as :class:`~repro.errors.ServiceError` with the
+wire-level ``error_type`` preserved, so callers can distinguish a
+malformed request from an overloaded or draining server.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.errors import ServiceError, ServiceProtocolError
+from repro.service.protocol import read_frame_sock, write_frame_sock
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceClient:
+    """Blocking request/response client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = port
+        self._next_id = 1
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request core ------------------------------------------------------
+
+    def request(self, op: str, args: dict | None = None) -> dict:
+        """Send one request and return the ``result`` payload.
+
+        Raises :class:`ServiceError` for error frames and
+        :class:`ServiceProtocolError` for wire-level violations.
+        """
+        if self._sock is None:
+            raise ServiceError("client is closed", error_type="protocol")
+        request_id = self._next_id
+        self._next_id += 1
+        write_frame_sock(
+            self._sock, {"id": request_id, "op": op, "args": args or {}}
+        )
+        payload = read_frame_sock(self._sock)
+        frame_id = payload.get("id")
+        if frame_id not in (request_id, -1):
+            raise ServiceProtocolError(
+                f"response id {frame_id!r} does not match request {request_id}"
+            )
+        if payload.get("ok"):
+            result = payload.get("result")
+            if not isinstance(result, dict):
+                raise ServiceProtocolError("success frame carries no result object")
+            return result
+        error = payload.get("error") or {}
+        raise ServiceError(
+            error.get("message", "unspecified server error"),
+            error_type=error.get("type", "internal"),
+        )
+
+    # -- operations ------------------------------------------------------------
+
+    def count(self, items, *, exact: bool = False) -> dict:
+        """Estimated (and optionally exact) support of ``items``."""
+        return self.request("count", {"items": list(items), "exact": exact})
+
+    def append(self, items) -> dict:
+        """Insert one transaction; returns position and the new epoch."""
+        return self.request("append", {"items": list(items)})
+
+    def mine(
+        self,
+        min_support,
+        *,
+        algorithm: str = "dfp",
+        max_size: int | None = None,
+        workers: int = 1,
+    ) -> str:
+        """Submit a background mining job; returns its job id."""
+        result = self.request(
+            "mine",
+            {
+                "min_support": min_support,
+                "algorithm": algorithm,
+                "max_size": max_size,
+                "workers": workers,
+            },
+        )
+        return result["job_id"]
+
+    def job(self, job_id: str, *, top: int = 0) -> dict:
+        """Poll one job's state (includes the result once done)."""
+        return self.request("job", {"job_id": job_id, "top": top})
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+        top: int = 0,
+    ) -> dict:
+        """Poll until the job leaves pending/running; return the final poll.
+
+        Raises :class:`ServiceError` if the job errored or was
+        cancelled, and on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id, top=top)
+            state = payload["state"]
+            if state == "done":
+                return payload
+            if state in ("error", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} finished as {state}: "
+                    f"{payload.get('error', 'no result')}",
+                    error_type="query",
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state} after {timeout}s",
+                    error_type="timeout",
+                )
+            time.sleep(poll_interval)
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation of one job."""
+        return self.request("cancel", {"job_id": job_id})
+
+    def patterns(self, *, top: int = 0) -> dict:
+        """The tracked frequent-pattern set (tracking servers only)."""
+        return self.request("patterns", {"top": top})
+
+    def status(self) -> dict:
+        """Server status: transactions, epoch, jobs, uptime."""
+        return self.request("status")
+
+    def metrics(self) -> dict:
+        """Latency histograms, IOStats totals/deltas, cache counters."""
+        return self.request("metrics")
+
+    def health(self) -> dict:
+        """Liveness check."""
+        return self.request("health")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain gracefully (same path as SIGTERM)."""
+        return self.request("shutdown")

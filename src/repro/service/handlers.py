@@ -1,0 +1,493 @@
+"""The service operations bound to a resident database + index.
+
+:class:`PatternService` owns the long-lived state — the transaction
+database, the BBS (or DiskBBS) index, the optional
+:class:`~repro.core.incremental.IncrementalMiner`, the epoch-keyed
+result cache, and the background mining jobs — and exposes one
+``handle(op, args)`` coroutine the server dispatches requests into.
+
+Concurrency model (the reason there are no locks here): all index
+reads and writes happen on the event loop, so ``count`` and ``append``
+handlers are serialised by construction; the only worker threads are
+background ``mine`` jobs, and those run on *snapshots* taken
+synchronously at submission — a job never observes a half-applied
+insert, and an insert never waits on a running job.  Cache freshness
+rides entirely on the index epoch (see :mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.bbs import BBS
+from repro.core.mining import ALGORITHMS, mine
+from repro.core.refine import probe
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.service.cache import (
+    DEFAULT_CACHE_ENTRIES,
+    CountCache,
+    MicroBatcher,
+    canonical_itemset,
+)
+from repro.service.protocol import ERR_BAD_REQUEST, ERR_QUERY
+from repro.storage.metrics import IOStats
+
+#: Finished jobs retained for polling before the oldest are dropped.
+MAX_RETAINED_JOBS = 64
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram (milliseconds)."""
+
+    #: Upper bucket bounds in ms; one overflow bucket is appended.
+    BOUNDS_MS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0)
+
+    def __init__(self):
+        self.counts = [0] * (len(self.BOUNDS_MS) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Account one request that took ``seconds``."""
+        ms = seconds * 1000.0
+        bucket = 0
+        for bound in self.BOUNDS_MS:
+            if ms <= bound:
+                break
+            bucket += 1
+        self.counts[bucket] += 1
+        self.total += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot: cumulative ``le`` buckets plus summary."""
+        cumulative = 0
+        buckets = []
+        for bound, count in zip(self.BOUNDS_MS, self.counts):
+            cumulative += count
+            buckets.append({"le_ms": bound, "count": cumulative})
+        buckets.append({"le_ms": None, "count": self.total})  # +Inf
+        mean = self.sum_ms / self.total if self.total else 0.0
+        return {
+            "count": self.total,
+            "mean_ms": mean,
+            "max_ms": self.max_ms,
+            "buckets": buckets,
+        }
+
+
+@dataclass
+class MineJob:
+    """One background mining job and its lifecycle state."""
+
+    id: str
+    params: dict
+    submitted_epoch: int
+    submitted_at: float
+    state: str = "pending"  # pending -> running -> done|error|cancelled
+    cancel_requested: bool = False
+    result: object = None
+    error: str | None = None
+    elapsed_seconds: float | None = None
+    future: object = field(default=None, repr=False)
+
+
+def _itemset_arg(args: dict) -> tuple:
+    """Validate and canonicalise the ``items`` argument of a request."""
+    items = args.get("items")
+    if not isinstance(items, list) or not items:
+        raise ServiceError(
+            "'items' must be a non-empty JSON list",
+            error_type=ERR_BAD_REQUEST,
+        )
+    for item in items:
+        if not isinstance(item, (int, str)) or isinstance(item, bool):
+            raise ServiceError(
+                f"items must be integers or strings, got {item!r}",
+                error_type=ERR_BAD_REQUEST,
+            )
+    return canonical_itemset(items)
+
+
+class PatternService:
+    """The resident serving state and its request handlers.
+
+    Parameters
+    ----------
+    database:
+        The positional :class:`TransactionDatabase` backing Probe
+        refinement and appends.
+    index:
+        The resident index — an in-memory :class:`BBS` or a
+        :class:`~repro.storage.diskbbs.DiskBBS` whose ``IOStats`` feed
+        the ``metrics`` endpoint.  Must be position-aligned with
+        ``database``.
+    miner:
+        Optional :class:`~repro.core.incremental.IncrementalMiner`
+        wrapping the same database + index; when present, appends route
+        through it and the ``patterns`` op serves its always-current
+        frequent set.
+    cache_entries / mine_threads:
+        Result-cache capacity and background mining thread count.
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        index,
+        *,
+        miner=None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        mine_threads: int = 2,
+    ):
+        if index.n_transactions != len(database):
+            raise ConfigurationError(
+                f"index covers {index.n_transactions} transactions, "
+                f"database has {len(database)}"
+            )
+        if miner is not None and (miner.bbs is not index or miner.database is not database):
+            raise ConfigurationError(
+                "the incremental miner must wrap the served database and index"
+            )
+        self.database = database
+        self.index = index
+        self.miner = miner
+        self.cache = CountCache(cache_entries)
+        self.batcher = MicroBatcher(index)
+        self.histograms: dict[str, LatencyHistogram] = {}
+        self.request_counts: Counter = Counter()
+        self.started_monotonic = time.monotonic()
+        self._jobs: dict[str, MineJob] = {}
+        self._job_ids = itertools.count(1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=mine_threads, thread_name_prefix="repro-mine-job"
+        )
+        self._io_last = self._io_totals()
+        #: Set by the server so the ``shutdown`` op can trigger a drain.
+        self.shutdown_callback = None
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def handle(self, op: str, args: dict) -> dict:
+        """Run one operation; raises :class:`ServiceError` on bad input."""
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise ServiceError(
+                f"unknown op {op!r}; expected one of {sorted(self._OPS)}",
+                error_type=ERR_BAD_REQUEST,
+            )
+        started = time.perf_counter()
+        try:
+            return await handler(self, args)
+        finally:
+            histogram = self.histograms.get(op)
+            if histogram is None:
+                histogram = self.histograms[op] = LatencyHistogram()
+            histogram.record(time.perf_counter() - started)
+            self.request_counts[op] += 1
+
+    def close(self) -> None:
+        """Stop the job executor (running jobs finish, pending are kept)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- count -------------------------------------------------------------
+
+    async def _op_count(self, args: dict) -> dict:
+        """``CountItemSet`` with optional Probe-based exact refinement."""
+        key = _itemset_arg(args)
+        want_exact = bool(args.get("exact", False))
+        epoch = self.index.epoch
+        estimate = self.cache.get(key, epoch)
+        cached = estimate is not None
+        if estimate is None:
+            estimate = await self.batcher.count(key)
+            # An append may have interleaved with the batched AND pass;
+            # only cache when the value is provably from this epoch.
+            if self.index.epoch == epoch:
+                self.cache.put(key, epoch, estimate)
+        result = {
+            "items": list(key),
+            "estimate": estimate,
+            "epoch": epoch,
+            "cached": cached,
+        }
+        if want_exact:
+            # The probe path is fully synchronous, so the epoch read and
+            # the probe are atomic with respect to appends.
+            exact_epoch = self.index.epoch
+            exact = self.cache.get(key, exact_epoch, exact=True)
+            if exact is None:
+                positions = self.index.candidate_positions(key)
+                exact = probe(self.database, frozenset(key), positions)
+                self.cache.put(key, exact_epoch, exact, exact=True)
+            result["exact"] = exact
+            result["epoch"] = exact_epoch
+        return result
+
+    # -- append ------------------------------------------------------------
+
+    async def _op_append(self, args: dict) -> dict:
+        """Dynamic insert: one scattered write, no rebuild (§3.4)."""
+        key = _itemset_arg(args)
+        if self.miner is not None:
+            self.miner.insert(key)
+            position = len(self.database) - 1
+        else:
+            position = self.database.append(key)
+            self.index.insert(key)
+        return {
+            "position": position,
+            "epoch": self.index.epoch,
+            "n_transactions": len(self.database),
+        }
+
+    # -- mining jobs ---------------------------------------------------------
+
+    async def _op_mine(self, args: dict) -> dict:
+        """Submit a background mining job over a consistent snapshot."""
+        min_support = args.get("min_support")
+        if not isinstance(min_support, (int, float)) or isinstance(min_support, bool):
+            raise ServiceError(
+                "'min_support' must be a number (absolute count or fraction)",
+                error_type=ERR_BAD_REQUEST,
+            )
+        algorithm = args.get("algorithm", "dfp")
+        if algorithm not in ALGORITHMS + ("auto",):
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}", error_type=ERR_BAD_REQUEST
+            )
+        max_size = args.get("max_size")
+        workers = args.get("workers", 1)
+        params = {
+            "min_support": min_support,
+            "algorithm": algorithm,
+            "max_size": max_size,
+            "workers": workers,
+        }
+        # Snapshot synchronously: no await between here and submit, so
+        # the copies are consistent with each other and with the epoch.
+        job = MineJob(
+            id=f"job-{next(self._job_ids)}",
+            params=params,
+            submitted_epoch=self.index.epoch,
+            submitted_at=time.monotonic(),
+        )
+        db_snapshot = TransactionDatabase(iter(self.database))
+        index_snapshot = self._index_snapshot()
+        self._jobs[job.id] = job
+        self._evict_finished_jobs()
+        job.future = self._executor.submit(
+            self._run_job, job, db_snapshot, index_snapshot
+        )
+        return {"job_id": job.id, "epoch": job.submitted_epoch}
+
+    def _index_snapshot(self) -> BBS:
+        if isinstance(self.index, BBS):
+            return BBS._from_raw_state(
+                self.index.hash_family, *self.index._raw_state()
+            )
+        return self.index.to_memory()
+
+    def _run_job(self, job: MineJob, database, index) -> None:
+        job.state = "running"
+        started = time.perf_counter()
+        try:
+            result = mine(
+                database,
+                index,
+                job.params["min_support"],
+                job.params["algorithm"],
+                max_size=job.params["max_size"],
+                workers=job.params["workers"],
+            )
+        except Exception as exc:  # surfaces via the job poll, not a crash
+            job.elapsed_seconds = time.perf_counter() - started
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "cancelled" if job.cancel_requested else "error"
+            return
+        job.elapsed_seconds = time.perf_counter() - started
+        if job.cancel_requested:
+            job.state = "cancelled"  # result discarded, as promised
+            return
+        job.result = result
+        job.state = "done"
+
+    def _evict_finished_jobs(self) -> None:
+        finished = [
+            job_id for job_id, job in self._jobs.items()
+            if job.state in ("done", "error", "cancelled")
+        ]
+        excess = len(self._jobs) - MAX_RETAINED_JOBS
+        for job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    def _get_job(self, args: dict) -> MineJob:
+        job_id = args.get("job_id")
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise ServiceError(
+                f"unknown job id {job_id!r}", error_type=ERR_QUERY
+            )
+        return job
+
+    async def _op_job(self, args: dict) -> dict:
+        """Poll one job; includes the serialised result once done."""
+        job = self._get_job(args)
+        payload = {
+            "job_id": job.id,
+            "state": job.state,
+            "params": job.params,
+            "epoch": job.submitted_epoch,
+            "elapsed_seconds": job.elapsed_seconds,
+        }
+        if job.state == "error":
+            payload["error"] = job.error
+        if job.state == "done":
+            top = args.get("top", 0)
+            payload["result"] = _serialise_result(job.result, top)
+            payload["stale"] = job.submitted_epoch != self.index.epoch
+        return payload
+
+    async def _op_cancel(self, args: dict) -> dict:
+        """Cancel a job: immediate if pending, cooperative if running."""
+        job = self._get_job(args)
+        if job.state == "pending" and job.future is not None and job.future.cancel():
+            job.state = "cancelled"
+        elif job.state in ("pending", "running"):
+            # The worker checks the flag after mining; the result is
+            # discarded even though the CPU work may run to completion.
+            job.cancel_requested = True
+        return {"job_id": job.id, "state": job.state,
+                "cancel_requested": job.cancel_requested}
+
+    # -- tracked patterns ----------------------------------------------------
+
+    async def _op_patterns(self, args: dict) -> dict:
+        """The incremental miner's always-current frequent set."""
+        if self.miner is None:
+            raise ServiceError(
+                "server is not tracking patterns (start it with --track)",
+                error_type=ERR_QUERY,
+            )
+        top = args.get("top", 0)
+        current = self.miner.patterns()
+        ranked = sorted(
+            ((canonical_itemset(items), count) for items, count in current.items()),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        if top:
+            ranked = ranked[:top]
+        return {
+            "epoch": self.miner.epoch,
+            "min_support": self.miner.threshold,
+            "n_patterns": len(current),
+            "border_size": self.miner.border_size,
+            "promotions": self.miner.promotions,
+            "patterns": [
+                {"items": list(items), "count": count}
+                for items, count in ranked
+            ],
+        }
+
+    # -- observability -------------------------------------------------------
+
+    async def _op_status(self, args: dict) -> dict:
+        states = Counter(job.state for job in self._jobs.values())
+        return {
+            "n_transactions": len(self.database),
+            "epoch": self.index.epoch,
+            "index": type(self.index).__name__,
+            "m": self.index.m,
+            "k": self.index.k,
+            "tracking": self.miner is not None,
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "jobs": dict(states),
+        }
+
+    async def _op_metrics(self, args: dict) -> dict:
+        io_now = self._io_totals()
+        io_delta = io_now - self._io_last
+        self._io_last = io_now
+        return {
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "requests": dict(self.request_counts),
+            "latency": {
+                op: histogram.as_dict()
+                for op, histogram in sorted(self.histograms.items())
+            },
+            "io": io_now.as_dict(),
+            "io_delta": io_delta.as_dict(),
+            "cache": self.cache.as_dict(),
+            "batch": self.batcher.as_dict(),
+        }
+
+    def _io_totals(self) -> IOStats:
+        merged = self.database.stats.snapshot()
+        if self.index.stats is not self.database.stats:
+            merged = merged.merged(self.index.stats)
+        return merged
+
+    async def _op_health(self, args: dict) -> dict:
+        return {"ok": True, "epoch": self.index.epoch}
+
+    async def _op_shutdown(self, args: dict) -> dict:
+        """Request a graceful drain (same path as SIGTERM)."""
+        if self.shutdown_callback is not None:
+            self.shutdown_callback()
+        return {"draining": True}
+
+    _OPS = {
+        "count": _op_count,
+        "append": _op_append,
+        "mine": _op_mine,
+        "job": _op_job,
+        "cancel": _op_cancel,
+        "patterns": _op_patterns,
+        "status": _op_status,
+        "metrics": _op_metrics,
+        "health": _op_health,
+        "shutdown": _op_shutdown,
+    }
+
+
+def _serialise_result(result, top: int = 0) -> dict:
+    """A :class:`MiningResult` as a JSON-able payload (ranked patterns)."""
+    ranked = sorted(
+        (
+            (canonical_itemset(items), pattern)
+            for items, pattern in result.patterns.items()
+        ),
+        key=lambda kv: (-kv[1].count, kv[0]),
+    )
+    shown = ranked if not top else ranked[:top]
+    return {
+        "algorithm": result.algorithm,
+        "min_support": result.min_support,
+        "n_transactions": result.n_transactions,
+        "n_patterns": len(ranked),
+        "elapsed_seconds": result.elapsed_seconds,
+        "patterns": [
+            {
+                "items": list(items),
+                "count": pattern.count,
+                "exact": pattern.exact,
+            }
+            for items, pattern in shown
+        ],
+    }
+
+
+# Re-exported so a caller composing errors sees one module.
+__all__ = [
+    "LatencyHistogram",
+    "MineJob",
+    "PatternService",
+    "ReproError",
+]

@@ -1,0 +1,181 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message — request, response, or error — is one *frame*::
+
+    +----------------+----------------------------------+
+    | 4 bytes        | N bytes                          |
+    | N (big-endian) | UTF-8 JSON object                |
+    +----------------+----------------------------------+
+
+Requests carry ``{"id", "op", "args"}``; the server answers every
+request with exactly one frame echoing the ``id``: either
+``{"id", "ok": true, "result": {...}}`` or
+``{"id", "ok": false, "error": {"type", "message"}}``.
+
+The protocol is deliberately boring: stdlib-only, one frame per
+request, no streaming, no negotiation.  Long-running work (mining)
+returns a job id immediately and is polled with further requests, so a
+connection is never held hostage by a slow operation.  The full spec,
+including every error type and the epoch semantics, lives in
+docs/wire_protocol.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ServiceProtocolError
+
+#: Hard cap on one frame's JSON payload.  Large enough for a mined
+#: result set, small enough that a garbage length prefix cannot make
+#: the server allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+# -- error types (the closed vocabulary of the ``error.type`` field) -------
+
+#: The request frame was malformed (bad JSON shape, unknown op, ...).
+ERR_BAD_REQUEST = "bad_request"
+#: The operation itself failed (empty itemset, unknown job id, ...).
+ERR_QUERY = "query"
+#: The request exceeded the server's per-request timeout.
+ERR_TIMEOUT = "timeout"
+#: The server refused the connection: admission limit reached.
+ERR_OVERLOADED = "overloaded"
+#: The server is draining and no longer accepts new requests.
+ERR_SHUTTING_DOWN = "shutting_down"
+#: Anything unexpected server-side; the message carries the details.
+ERR_INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed request frame."""
+
+    id: int
+    op: str
+    args: dict
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one message into its wire bytes (length prefix + JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse one frame body; always a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_request(payload: dict) -> Request:
+    """Validate a decoded payload as a request frame."""
+    request_id = payload.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ServiceProtocolError("request 'id' must be an integer")
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ServiceProtocolError("request 'op' must be a non-empty string")
+    args = payload.get("args", {})
+    if not isinstance(args, dict):
+        raise ServiceProtocolError("request 'args' must be an object")
+    return Request(id=request_id, op=op, args=args)
+
+
+def ok_frame(request_id: int, result: dict) -> dict:
+    """A success response payload for ``request_id``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(request_id: int, error_type: str, message: str) -> dict:
+    """An error response payload for ``request_id``."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"incoming frame announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+
+
+# -- asyncio codec (server side) -------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a length prefix."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ServiceProtocolError(
+            f"connection closed mid-length-prefix ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(prefix)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServiceProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_payload(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one frame and flush it to the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking codec (client side) ------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ServiceProtocolError(
+                f"connection closed with {remaining}/{n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(sock: socket.socket) -> dict:
+    """Blocking read of one frame from a connected socket."""
+    (length,) = _LEN.unpack(_recv_exactly(sock, _LEN.size))
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def write_frame_sock(sock: socket.socket, payload: dict) -> None:
+    """Blocking write of one frame to a connected socket."""
+    sock.sendall(encode_frame(payload))

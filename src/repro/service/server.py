@@ -1,0 +1,303 @@
+"""The asyncio TCP server: admission, timeouts, graceful drain.
+
+One :class:`PatternServer` wraps one
+:class:`~repro.service.handlers.PatternService` and speaks the frame
+protocol of :mod:`repro.service.protocol` to any number of clients.
+The contract it adds on top of the handlers:
+
+* **Admission limit** — at most ``max_connections`` concurrent
+  connections; a connection past the limit receives one
+  ``overloaded`` error frame and is closed, so a stampede degrades
+  into fast rejections instead of unbounded queueing.
+* **Per-request timeout** — a handler that exceeds
+  ``request_timeout`` is cancelled and answered with a ``timeout``
+  error; the connection survives.
+* **Graceful drain** — SIGTERM/SIGINT (or the ``shutdown`` op) stops
+  the listener, lets every in-flight request finish and be answered,
+  closes idle connections, and only then resolves
+  :meth:`wait_drained`.  The CLI exits 0 on this path.
+
+:func:`start_server_thread` runs a server on a background thread with
+its own event loop — the harness used by the test suite and the CI
+smoke script to serve a fixture index in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+
+from repro.errors import ReproError, ServiceError, ServiceProtocolError
+from repro.service.handlers import PatternService
+from repro.service.protocol import (
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_QUERY,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    error_frame,
+    ok_frame,
+    parse_request,
+    read_frame,
+    write_frame,
+)
+
+DEFAULT_MAX_CONNECTIONS = 64
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+
+class PatternServer:
+    """Serve one :class:`PatternService` over TCP."""
+
+    def __init__(
+        self,
+        service: PatternService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._drain_event: asyncio.Event | None = None
+        self._drained = False
+        self._connections: set[asyncio.Task] = set()
+        self.active_connections = 0
+        service.shutdown_callback = self.request_shutdown
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``self.port``."""
+        self._drain_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; idempotent, callable from the loop."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    async def wait_drained(self) -> None:
+        """Resolve once a drain was requested and every request finished."""
+        await self._drain_event.wait()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        if self._server is not None:
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        self.service.close()
+        self._drained = True
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT (loop-native, falls back to signal())."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(
+                    signum,
+                    lambda *_: loop.call_soon_threadsafe(self.request_shutdown),
+                )
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if self._draining:
+            await self._refuse(writer, ERR_SHUTTING_DOWN, "server is draining")
+            return
+        if self.active_connections >= self.max_connections:
+            await self._refuse(
+                writer,
+                ERR_OVERLOADED,
+                f"connection limit of {self.max_connections} reached",
+            )
+            return
+        self.active_connections += 1
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self.active_connections -= 1
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _refuse(self, writer, error_type: str, message: str) -> None:
+        with contextlib.suppress(Exception):
+            await write_frame(writer, error_frame(-1, error_type, message))
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One request/response loop; exits on EOF, drain, or bad frame."""
+        while True:
+            read_task = asyncio.ensure_future(read_frame(reader))
+            drain_task = asyncio.ensure_future(self._drain_event.wait())
+            done, _ = await asyncio.wait(
+                {read_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if read_task not in done:
+                # Drain began while this connection sat idle: close it.
+                read_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await read_task
+                return
+            drain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await drain_task
+            try:
+                payload = read_task.result()
+            except ServiceProtocolError as exc:
+                with contextlib.suppress(Exception):
+                    await write_frame(
+                        writer, error_frame(-1, "protocol", str(exc))
+                    )
+                return
+            except (ConnectionError, OSError):
+                return
+            if payload is None:  # clean EOF between frames
+                return
+            try:
+                await self._answer(writer, payload)
+            except (ConnectionError, OSError):
+                return
+            if self._draining:
+                # The in-flight request was answered; now close.
+                return
+
+    async def _answer(self, writer, payload: dict) -> None:
+        """Dispatch one decoded payload and write exactly one frame."""
+        try:
+            request = parse_request(payload)
+        except ServiceProtocolError as exc:
+            await write_frame(writer, error_frame(-1, "protocol", str(exc)))
+            return
+        try:
+            result = await asyncio.wait_for(
+                self.service.handle(request.op, request.args),
+                timeout=self.request_timeout,
+            )
+            response = ok_frame(request.id, result)
+        except asyncio.TimeoutError:
+            response = error_frame(
+                request.id,
+                ERR_TIMEOUT,
+                f"request exceeded the {self.request_timeout}s limit",
+            )
+        except ServiceError as exc:
+            response = error_frame(request.id, exc.error_type, str(exc))
+        except ReproError as exc:
+            response = error_frame(request.id, ERR_QUERY, str(exc))
+        except Exception as exc:  # never let a handler bug kill the server
+            response = error_frame(
+                request.id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        await write_frame(writer, response)
+
+    # -- blocking entry point ---------------------------------------------------
+
+    async def run(self, *, announce=print) -> None:
+        """Start, announce, install signal handlers, serve until drained."""
+        await self.start()
+        self.install_signal_handlers()
+        if announce is not None:
+            announce(f"serving on {self.host}:{self.port}")
+        await self.wait_drained()
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, smoke scripts)."""
+
+    def __init__(self, server: PatternServer, loop, thread: threading.Thread):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request_shutdown(self) -> None:
+        """Trigger the drain from any thread."""
+        self.loop.call_soon_threadsafe(self.server.request_shutdown)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and join; raises if the server thread will not die."""
+        self.request_shutdown()
+        self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - diagnostic path
+            raise RuntimeError("server thread did not exit within the timeout")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    service: PatternService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start_timeout: float = 10.0,
+    **server_kwargs,
+) -> ServerHandle:
+    """Run a :class:`PatternServer` on a dedicated thread + event loop.
+
+    Returns once the listener is bound (so ``handle.port`` is real).
+    The thread exits after a drain completes; use ``handle.stop()`` or
+    the context-manager form to shut it down.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    def _runner() -> None:
+        async def _main() -> None:
+            server = PatternServer(service, host=host, port=port, **server_kwargs)
+            try:
+                await server.start()
+            except Exception as exc:
+                holder["error"] = exc
+                started.set()
+                return
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.wait_drained()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(
+        target=_runner, name="repro-pattern-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(start_timeout):  # pragma: no cover - diagnostic path
+        raise RuntimeError("server failed to start within the timeout")
+    if "error" in holder:
+        raise holder["error"]
+    return ServerHandle(holder["server"], holder["loop"], thread)

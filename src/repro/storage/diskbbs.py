@@ -130,6 +130,7 @@ class DiskBBS:
         self._signature_bits = 0
         self.hash_family: HashFamily | None = None
         self._tail: BBS | None = None
+        self._epoch = 0
         self._format_version = FORMAT_VERSION
         #: The :class:`~repro.storage.recovery.RecoveryReport` of the
         #: salvage pass that opened this store, when :meth:`recover` was
@@ -363,6 +364,19 @@ class DiskBBS:
         on_disk = sum(seg.n_tx for seg in self._segments)
         return on_disk + (self._tail.n_transactions if self._tail else 0)
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic version counter, bumped once per :meth:`insert`.
+
+        Session-local (starts at 0 on open, never persisted) with the
+        same contract as :attr:`repro.core.bbs.BBS.epoch`: equal epochs
+        imply identical index contents, so epoch-tagged derived values
+        can be invalidated by comparison.  Tracked on the store itself —
+        not the in-memory tail, which is replaced wholesale on every
+        :meth:`flush`.
+        """
+        return self._epoch
+
     def __len__(self) -> int:
         return self.n_transactions
 
@@ -397,6 +411,7 @@ class DiskBBS:
         position = (
             sum(seg.n_tx for seg in self._segments) + self._tail.insert(items)
         )
+        self._epoch += 1
         if self._tail.n_transactions >= self.flush_threshold:
             self.flush()
         return position

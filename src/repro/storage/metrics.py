@@ -48,6 +48,32 @@ class IOStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
+    def as_dict(self) -> dict[str, int]:
+        """Every counter as a plain ``{name: value}`` dict.
+
+        The canonical export format: the service ``metrics`` endpoint
+        ships these dicts over the wire, and the CLI ``check`` command
+        prints the durability subset from one.  Field order follows the
+        dataclass declaration, so serialised output is stable.
+        """
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+    #: Counters that describe durability and recovery work rather than
+    #: query I/O; surfaced separately by CLI ``check`` and ``repair``.
+    DURABILITY_FIELDS = (
+        "fsyncs",
+        "salvage_events",
+        "torn_bytes_truncated",
+        "quarantined_segments",
+        "rebuilt_transactions",
+    )
+
+    def durability_dict(self) -> dict[str, int]:
+        """The durability/recovery counters only (a sub-view of as_dict)."""
+        return {name: getattr(self, name) for name in self.DURABILITY_FIELDS}
+
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counter values."""
         return IOStats(**{

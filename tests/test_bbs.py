@@ -363,3 +363,25 @@ class TestSignatureAccounting:
         folded = bbs.fold(4)
         assert folded._signature_bits_total == 1
         assert folded.mean_signature_density == pytest.approx(1 / 4)
+
+
+class TestEpoch:
+    def test_starts_at_zero(self, small_bbs):
+        assert BBS(64).epoch == 0
+        # from_database builds via insert but a freshly loaded/constructed
+        # index still reports its session-local insert count.
+        assert small_bbs.epoch == small_bbs.n_transactions
+
+    def test_bumps_once_per_insert(self):
+        bbs = BBS(64)
+        for expected in range(1, 6):
+            bbs.insert([expected, expected + 1])
+            assert bbs.epoch == expected
+
+    def test_load_resets_epoch(self, small_bbs, tmp_path):
+        path = tmp_path / "idx.bbs"
+        small_bbs.save(path)
+        assert BBS.load(path).epoch == 0
+
+    def test_fold_carries_epoch(self, small_bbs):
+        assert small_bbs.fold(16).epoch == small_bbs.epoch

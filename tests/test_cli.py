@@ -229,3 +229,122 @@ class TestImportCommand:
 
         with DiskDatabase(out) as db:
             assert len(db) == 3
+
+
+class TestCheckDurabilityLine:
+    def test_txfile_check_prints_durability_counters(
+        self, generated, capsys_run
+    ):
+        db_path, _ = generated
+        code, out, _ = capsys_run("check", db_path)
+        assert code == 0
+        assert "durability:" in out
+        for counter in ("fsyncs=", "salvage_events=",
+                        "torn_bytes_truncated="):
+            assert counter in out
+
+    def test_diskbbs_check_prints_durability_counters(
+        self, tmp_path, capsys_run
+    ):
+        from repro.storage.diskbbs import DiskBBS
+
+        path = tmp_path / "d.bbsd"
+        with DiskBBS.create(path, m=64) as disk:
+            disk.insert([1, 2])
+            disk.insert([2, 3])
+        code, out, _ = capsys_run("check", str(path))
+        assert code == 0
+        assert "durability:" in out and "fsyncs=" in out
+
+    def test_repair_prints_durability_counters(self, generated, capsys_run):
+        db_path, _ = generated
+        code, out, _ = capsys_run("repair", db_path)
+        assert code == 0
+        assert "durability:" in out
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def serving(self, generated):
+        """The generated fixture index served on a background thread."""
+        import json as _json
+
+        from repro.core.bbs import BBS
+        from repro.data.database import TransactionDatabase
+        from repro.data.diskdb import DiskDatabase
+        from repro.service.handlers import PatternService
+        from repro.service.server import start_server_thread
+        from repro.storage.metrics import IOStats
+
+        db_path, idx_path = generated
+        stats = IOStats()
+        with DiskDatabase(db_path) as disk:
+            database = TransactionDatabase(list(disk), stats=stats)
+        index = BBS.load(idx_path, stats=stats)
+        service = PatternService(database, index)
+        with start_server_thread(service) as handle:
+            yield database, index, handle, _json
+
+    def test_count_round_trip(self, serving, capsys_run):
+        database, index, handle, json = serving
+        code, out, _ = capsys_run(
+            "query", "--port", str(handle.port),
+            "count", "--items", "3,17", "--exact",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["estimate"] == index.count_itemset([3, 17])
+        assert payload["exact"] == database.support([3, 17])
+
+    def test_append_and_status(self, serving, capsys_run):
+        database, index, handle, json = serving
+        n_before = len(database)
+        code, out, _ = capsys_run(
+            "query", "--port", str(handle.port), "append", "--items", "1,2,3"
+        )
+        assert code == 0
+        assert json.loads(out)["n_transactions"] == n_before + 1
+        code, out, _ = capsys_run(
+            "query", "--port", str(handle.port), "status"
+        )
+        assert code == 0
+        status = json.loads(out)
+        assert status["n_transactions"] == n_before + 1
+        assert status["epoch"] == index.epoch
+
+    def test_mine_wait_prints_result(self, serving, capsys_run):
+        _, _, handle, json = serving
+        code, out, _ = capsys_run(
+            "query", "--port", str(handle.port),
+            "mine", "--min-support", "0.05", "--wait", "--top", "5",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["state"] == "done"
+        assert payload["result"]["n_patterns"] >= 0
+        assert len(payload["result"]["patterns"]) <= 5
+
+    def test_metrics_round_trip(self, serving, capsys_run):
+        _, _, handle, json = serving
+        capsys_run("query", "--port", str(handle.port),
+                   "count", "--items", "3")
+        code, out, _ = capsys_run(
+            "query", "--port", str(handle.port), "metrics"
+        )
+        assert code == 0
+        metrics = json.loads(out)
+        assert "io" in metrics and "latency" in metrics
+
+    def test_connection_refused_is_exit_one(self, capsys_run):
+        import socket
+
+        # Grab a port that is definitely closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, _, err = capsys_run(
+            "query", "--port", str(port), "health"
+        )
+        assert code == 1
+        assert "connect" in err.lower() or "refused" in err.lower()

@@ -255,3 +255,25 @@ def test_property_segmentation_invisible_to_queries(
             materialised.slice_words(row), memory.slice_words(row)
         )
     disk.close()
+
+
+class TestEpoch:
+    def test_epoch_survives_tail_flushes(self, tmp_path, db):
+        disk = DiskBBS.create(tmp_path / "e.bbsd", m=96, flush_threshold=40)
+        assert disk.epoch == 0
+        for n, tx in enumerate(db, start=1):
+            disk.insert(tx)
+            assert disk.epoch == n  # flushes replace the tail, not the count
+        disk.close()
+
+    def test_reopen_resets_epoch(self, tmp_path, db):
+        path = tmp_path / "e.bbsd"
+        disk = DiskBBS.create(path, m=96)
+        for tx in db:
+            disk.insert(tx)
+        disk.close()
+        reopened = DiskBBS.open(path)
+        assert reopened.epoch == 0  # session-local, never persisted
+        reopened.insert([1, 2])
+        assert reopened.epoch == 1
+        reopened.close()

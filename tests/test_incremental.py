@@ -136,3 +136,16 @@ def test_property_incremental_equals_batch(base, stream, threshold):
     for tx in stream:
         miner.insert(tx)
     assert miner.patterns() == naive_frequent_patterns(db, threshold)
+
+
+class TestEpoch:
+    def test_miner_epoch_mirrors_index(self):
+        db = TransactionDatabase([{1, 2}, {2, 3}, {1, 3}] * 3)
+        bbs = BBS.from_database(db, m=64)
+        miner = IncrementalMiner(db, bbs, 3)
+        start = miner.epoch
+        assert start == bbs.epoch
+        for bump in range(1, 4):
+            miner.insert({1, 2})
+            assert miner.epoch == start + bump
+        assert miner.epoch == bbs.epoch

@@ -85,6 +85,48 @@ class TestMineContaining:
         result = mine_containing(db, bbs, seed, THRESHOLD, max_size=2)
         assert all(len(i) <= 2 for i in result.itemsets())
 
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_truth(self, workload, workers):
+        """Seeded mining under workers>1 equals the serial result."""
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 1))
+        expected = {i for i in truth if seed <= i}
+        result = mine_containing(db, bbs, seed, THRESHOLD, workers=workers)
+        assert result.itemsets() == expected
+        for itemset, pattern in result.patterns.items():
+            if pattern.exact:
+                assert pattern.count == truth[itemset]
+            else:
+                assert pattern.count >= truth[itemset]
+
+    def test_parallel_pair_seed_matches_serial(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 2))
+        serial = mine_containing(db, bbs, seed, THRESHOLD)
+        parallel = mine_containing(db, bbs, seed, THRESHOLD, workers=3)
+        assert parallel.itemsets() == serial.itemsets()
+
+    def test_parallel_infrequent_seed_yields_empty(self, workload):
+        db, bbs, truth = workload
+        result = mine_containing(db, bbs, [987654], THRESHOLD, workers=2)
+        assert len(result) == 0
+
+    def test_parallel_max_size_respected(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 1))
+        result = mine_containing(
+            db, bbs, seed, THRESHOLD, max_size=2, workers=2
+        )
+        assert all(len(i) <= 2 for i in result.itemsets())
+        expected = {i for i in truth if seed <= i and len(i) <= 2}
+        assert result.itemsets() == expected
+
+    def test_parallel_invalid_workers_rejected(self, workload):
+        db, bbs, truth = workload
+        seed = next(iter(i for i in truth if len(i) == 1))
+        with pytest.raises(ConfigurationError):
+            mine_containing(db, bbs, seed, THRESHOLD, workers=0)
+
     def test_cheaper_than_full_mining(self, workload):
         """The point of seeding: far fewer CountItemSet calls."""
         from repro.core.mining import mine_dfp

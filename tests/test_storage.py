@@ -102,6 +102,24 @@ class TestIOStats:
     def test_total_page_ios(self):
         assert IOStats(page_reads=3, page_writes=4).total_page_ios == 7
 
+    def test_as_dict_covers_every_counter(self):
+        stats = IOStats(page_reads=3, fsyncs=2)
+        snapshot = stats.as_dict()
+        assert set(snapshot) == set(IOStats.__dataclass_fields__)
+        assert snapshot["page_reads"] == 3 and snapshot["fsyncs"] == 2
+        assert all(isinstance(value, int) for value in snapshot.values())
+        # A plain dict, detached from the live counters.
+        stats.page_reads = 99
+        assert snapshot["page_reads"] == 3
+
+    def test_durability_dict_is_the_durability_subset(self):
+        stats = IOStats(fsyncs=4, salvage_events=1, torn_bytes_truncated=16)
+        durability = stats.durability_dict()
+        assert set(durability) == set(IOStats.DURABILITY_FIELDS)
+        assert durability["fsyncs"] == 4
+        assert durability["salvage_events"] == 1
+        assert set(durability) <= set(stats.as_dict())
+
 
 class TestCostModel:
     def test_response_time(self):
