@@ -3,8 +3,10 @@
 
 Generates a fixture database + index, starts ``repro-mine serve`` as a
 real subprocess, exercises count / append / mine through
-:class:`repro.service.client.ServiceClient`, then sends SIGTERM and
-asserts the server drains gracefully and exits 0.
+:class:`repro.service.client.ServiceClient`, runs one network
+fault-injection round (a dropped append ACK through the chaos proxy
+must apply exactly once), then sends SIGTERM and asserts the server
+drains gracefully and exits 0.
 
 Exits non-zero (with a diagnostic on stderr) on any failure, so it can
 gate a CI job directly:
@@ -23,6 +25,8 @@ from pathlib import Path
 
 from repro.cli import main as cli_main
 from repro.service.client import ServiceClient
+from repro.service.resilience import RetryingClient, RetryPolicy
+from repro.testing.netfaults import ChaosProxy, DropResponse
 
 SERVE_STARTUP_TIMEOUT_S = 30
 DRAIN_TIMEOUT_S = 30
@@ -96,6 +100,36 @@ def exercise(port: int) -> None:
               f"{metrics['io']['slice_reads']} slice reads")
 
 
+def chaos_round(port: int) -> None:
+    """Reset an append's ACK mid-flight; the retry must dedupe."""
+    policy = RetryPolicy(
+        max_attempts=6, base_delay=0.05, op_deadline=30.0,
+        request_timeout=5.0, connect_timeout=5.0,
+    )
+    with ChaosProxy("127.0.0.1", port).start() as proxy:
+        with RetryingClient(
+            "127.0.0.1", proxy.port, policy=policy, seed=13
+        ) as client:
+            before = client.status()["n_transactions"]
+            client.close()  # the next dial meets the scheduled fault
+            proxy.schedule(DropResponse())
+            appended = client.append([4242])
+            if client.retries < 1:
+                fail("the chaos proxy never forced a retry")
+            if not appended["deduped"]:
+                fail("the retried append was not answered from the "
+                     "idempotency window")
+            after = client.status()["n_transactions"]
+            if after != before + 1:
+                fail(f"lost-ACK append applied {after - before} times "
+                     f"(want exactly once)")
+            exact = client.count([4242], exact=True)["exact"]
+            if exact != 1:
+                fail(f"marker transaction counted {exact} times")
+    print(f"  chaos: dropped ACK retried ({client.retries} retry/ies), "
+          f"applied exactly once")
+
+
 def smoke() -> None:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         db_path, idx_path = build_fixture(Path(tmp))
@@ -107,6 +141,7 @@ def smoke() -> None:
         try:
             port = wait_for_port(proc)
             exercise(port)
+            chaos_round(port)
             proc.send_signal(signal.SIGTERM)
             out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
         except Exception:

@@ -164,11 +164,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--track", type=int, default=None,
                     help="maintain the frequent patterns at this absolute "
                          "min support incrementally (enables `query patterns`)")
+    sv.add_argument("--durable", action="store_true",
+                    help="journal every append to the transaction file "
+                         "(fsynced before the ACK) and flush the index per "
+                         "append, so ACKed appends survive kill -9")
+    sv.add_argument("--scrub-interval", type=float, default=0.25,
+                    help="seconds between background scrub ticks "
+                         "(0 disables the scrubber)")
+    sv.add_argument("--supervise", action="store_true",
+                    help="run the server as a supervised child: restart it "
+                         "after a crash, salvaging the on-disk state first")
+    sv.add_argument("--max-restarts", type=int, default=16,
+                    help="abnormal worker exits tolerated before the "
+                         "supervisor gives up")
 
     qr = sub.add_parser("query", help="query a running `serve` instance")
     qr.add_argument("--host", default="127.0.0.1")
     qr.add_argument("--port", type=int, required=True)
-    qr.add_argument("--timeout", type=float, default=30.0)
+    qr.add_argument("--timeout", type=float, default=30.0,
+                    help="overall per-operation deadline in seconds")
+    qr.add_argument("--retries", type=int, default=0,
+                    help="retry idempotent requests up to this many times "
+                         "with backoff (uses the resilient client)")
     qsub = qr.add_subparsers(dest="query_op", required=True)
     qc = qsub.add_parser("count", help="estimated support of one itemset")
     qc.add_argument("--items", required=True,
@@ -197,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
     qsub.add_parser("status", help="server status")
     qsub.add_parser("metrics", help="latency histograms + IOStats")
     qsub.add_parser("health", help="liveness check")
+    qsub.add_parser("recover", help="heal a degraded server's write path")
     qsub.add_parser("shutdown", help="ask the server to drain and exit")
 
     sub.add_parser("example", help="replay the paper's running example")
@@ -351,7 +369,21 @@ def _cmd_serve(args) -> int:
     from repro.service import PatternService
     from repro.service.server import PatternServer
 
+    if args.supervise:
+        from repro.service.supervisor import run_supervised
+
+        return run_supervised(args)
+
     stats = IOStats()
+    if args.durable:
+        # A durable server re-opens its own journal for writing; heal a
+        # torn tail from a previous crash before anything reads it.
+        from repro.storage.txfile import salvage_txfile
+
+        tx_report = salvage_txfile(args.db, stats=stats)
+        if tx_report.repaired:
+            print(f"salvaged {args.db}: {'; '.join(tx_report.actions)}",
+                  flush=True)
     with DiskDatabase(args.db) as disk:
         database = TransactionDatabase(list(disk), stats=stats)
 
@@ -364,7 +396,13 @@ def _cmd_serve(args) -> int:
         if magic == b"BBSD":
             from repro.storage.diskbbs import DiskBBS
 
-            index = DiskBBS.open(index_path, stats=stats)
+            # Tolerant open: a torn tail from a crash is truncated and
+            # the lost suffix rebuilt from the database, so a supervised
+            # restart (or a manual one) never refuses to serve.
+            index = DiskBBS.recover(index_path, db=args.db, stats=stats)
+            if index.last_recovery is not None and index.last_recovery.repaired:
+                print(f"recovered {index_path}: "
+                      f"{'; '.join(index.last_recovery.actions)}", flush=True)
             close_index = index.close
         elif magic == b"BBSF":
             index = BBS.load(index_path, stats=stats)
@@ -373,6 +411,11 @@ def _cmd_serve(args) -> int:
                 f"{index_path} is neither a DiskBBS log nor a slice file "
                 f"(magic {magic!r})", path=index_path,
             )
+
+    reconciled = _reconcile_index(index, database)
+    if reconciled:
+        print(f"reconciled index: re-inserted {reconciled} journaled "
+              f"transaction(s) the index had not covered", flush=True)
 
     miner = None
     if args.track is not None:
@@ -385,21 +428,56 @@ def _cmd_serve(args) -> int:
 
         miner = IncrementalMiner(database, index, args.track)
 
+    journal = None
+    idempotency_seed = None
+    if args.durable:
+        from repro.service.resilience import TOKEN_MIN
+        from repro.storage.txfile import (
+            TransactionFileReader,
+            TransactionFileWriter,
+        )
+
+        # Any persisted tid >= TOKEN_MIN is a client idempotency token;
+        # re-seeding the window here is what makes append dedupe
+        # survive a crash + restart.
+        with TransactionFileReader(args.db) as reader:
+            idempotency_seed = [
+                (tid, position)
+                for position, tid, _items in reader.scan()
+                if tid >= TOKEN_MIN
+            ]
+        journal = TransactionFileWriter(args.db, truncate=False, stats=stats)
+
     try:
         service = PatternService(
-            database, index, miner=miner, cache_entries=args.cache_entries
+            database,
+            index,
+            miner=miner,
+            cache_entries=args.cache_entries,
+            journal=journal,
+            durable=args.durable,
+            idempotency_seed=idempotency_seed,
         )
+        scrubber = None
+        if args.scrub_interval > 0:
+            from repro.service.scrubber import Scrubber
+
+            scrubber = Scrubber(
+                service, interval=args.scrub_interval, db_path=args.db
+            )
         server = PatternServer(
             service,
             host=args.host,
             port=args.port,
             max_connections=args.max_connections,
             request_timeout=args.timeout,
+            scrubber=scrubber,
         )
         print(
             f"resident index: {type(index).__name__} m={index.m} k={index.k} "
             f"over {len(database)} transactions"
-            + (f", tracking min_support={args.track}" if miner else ""),
+            + (f", tracking min_support={args.track}" if miner else "")
+            + (", durable appends" if args.durable else ""),
             flush=True,
         )
         asyncio.run(server.run(announce=lambda msg: print(msg, flush=True)))
@@ -408,25 +486,82 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
     finally:
+        if journal is not None:
+            try:
+                journal.close()
+            except (OSError, StorageError):
+                pass
         if close_index is not None:
             close_index()
     return 0
 
 
+def _reconcile_index(index, database) -> int:
+    """Bring an index lagging its journal up to the database's count.
+
+    After a crash, the fsynced transaction file can be ahead of the
+    index (the index flush is the *last* durability barrier on the
+    append path).  Re-inserting the missing suffix here restores the
+    alignment :class:`~repro.service.PatternService` requires.  An
+    index *ahead* of its database is not reconcilable — that means the
+    wrong database file was supplied.
+    """
+    missing = len(database) - index.n_transactions
+    if missing < 0:
+        raise ConfigurationError(
+            f"index covers {index.n_transactions} transactions but the "
+            f"database has only {len(database)}; is this the right --db?"
+        )
+    if missing == 0:
+        return 0
+    import itertools as _it
+
+    for transaction in _it.islice(iter(database), index.n_transactions, None):
+        index.insert(transaction)
+    if hasattr(index, "flush"):
+        index.flush()
+    return missing
+
+
 def _cmd_query(args) -> int:
     import json
 
+    from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
+    if args.retries > 0:
+        from repro.service.resilience import RetryingClient, RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=args.retries + 1, op_deadline=args.timeout
+        )
+        client = RetryingClient(args.host, args.port, policy=policy)
+    else:
+        try:
+            client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        except OSError as exc:
+            print(
+                f"error: cannot connect to {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    op = args.query_op
     try:
-        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        payload = _run_query_op(client, op, args)
+    except ServiceError as exc:
+        print(f"error [{exc.error_type}]: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         print(
-            f"error: cannot connect to {args.host}:{args.port}: {exc}",
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
             file=sys.stderr,
         )
         return 1
-    op = args.query_op
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_query_op(client, op, args):
     with client:
         if op == "count":
             payload = client.count(_parse_items(args.items), exact=args.exact)
@@ -449,10 +584,9 @@ def _cmd_query(args) -> int:
             payload = client.cancel(args.job_id)
         elif op == "patterns":
             payload = client.patterns(top=args.top)
-        else:  # status / metrics / health / shutdown
+        else:  # status / metrics / health / recover / shutdown
             payload = client.request(op)
-    print(json.dumps(payload, indent=2, sort_keys=True))
-    return 0
+    return payload
 
 
 def _durability_line(stats: IOStats) -> str:

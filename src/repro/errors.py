@@ -102,3 +102,47 @@ class ServiceProtocolError(ServiceError):
 
     def __init__(self, message: str):
         super().__init__(message, error_type="protocol")
+
+
+class ConnectionClosedError(ServiceProtocolError):
+    """The peer closed the connection cleanly between frames.
+
+    Distinct from a mid-frame :class:`ServiceProtocolError`: the stream
+    ended on a frame boundary, so no bytes were lost and a retrying
+    client can safely reconnect and (for idempotent operations) resend.
+    """
+
+
+class ServiceTimeoutError(ServiceError):
+    """A client-side deadline expired: connect, read, or whole-op.
+
+    Raised by the blocking client when a socket operation exceeds its
+    timeout, and by :class:`~repro.service.resilience.RetryingClient`
+    when the per-operation deadline is exhausted across retries.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, error_type="timeout")
+
+
+class DegradedError(ServiceError):
+    """The server is in degraded read-only mode and refused a write.
+
+    Counts and mining remain available; appends are rejected until an
+    operator (or the supervisor) clears the condition via the
+    ``recover`` op.  The wire-level error type is ``"degraded"``.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, error_type="degraded")
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; the request was not sent.
+
+    Raised locally — no bytes hit the network — when recent failures
+    exceeded the breaker threshold and the cool-down has not elapsed.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, error_type="unavailable")

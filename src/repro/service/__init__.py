@@ -16,21 +16,40 @@ concurrent clients over a tiny length-prefixed JSON protocol:
 * :mod:`repro.service.server` — the asyncio TCP server: admission
   limits, per-request timeouts, graceful drain on SIGTERM;
 * :mod:`repro.service.client` — the blocking client used by the CLI,
-  the tests, and the CI smoke script.
+  the tests, and the CI smoke script;
+* :mod:`repro.service.resilience` — the retrying idempotent client,
+  circuit breaker, and the server-side idempotency token window;
+* :mod:`repro.service.scrubber` — background incremental verification
+  of the served bytes, with quarantine on findings;
+* :mod:`repro.service.supervisor` — ``serve --supervise``: restart a
+  crashed worker after storage salvage.
 
-See DESIGN.md ("Service layer") and docs/wire_protocol.md.
+See DESIGN.md ("Service layer", "Failure model") and
+docs/wire_protocol.md.
 """
 
 from repro.service.cache import CountCache, MicroBatcher, canonical_itemset
 from repro.service.client import ServiceClient
 from repro.service.handlers import PatternService
+from repro.service.resilience import (
+    CircuitBreaker,
+    IdempotencyWindow,
+    RetryingClient,
+    RetryPolicy,
+)
+from repro.service.scrubber import Scrubber
 from repro.service.server import PatternServer, start_server_thread
 
 __all__ = [
+    "CircuitBreaker",
     "CountCache",
+    "IdempotencyWindow",
     "MicroBatcher",
     "PatternServer",
     "PatternService",
+    "RetryPolicy",
+    "RetryingClient",
+    "Scrubber",
     "ServiceClient",
     "canonical_itemset",
     "start_server_thread",

@@ -93,6 +93,15 @@ class CountCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def clear(self) -> None:
+        """Drop every entry (used when the index is swapped or repaired).
+
+        Epoch keying already makes stale entries unaddressable under a
+        newer epoch, but entries computed from bytes later found to be
+        corrupt must not be reachable even at their original epoch.
+        """
+        self._entries.clear()
+
     def as_dict(self) -> dict:
         """Counter snapshot for the ``metrics`` endpoint."""
         return {
@@ -135,6 +144,15 @@ class MicroBatcher:
         self.coalesced = 0       # requests answered by another request's work
         self.slice_ands = 0      # slice ANDs actually performed
         self.slice_ands_saved = 0  # ANDs avoided via shared prefixes
+
+    def rebind(self, index) -> None:
+        """Point the batcher at a replacement index object.
+
+        Used after a quarantine-and-salvage swap; counters carry over,
+        and pending waiters (resolved against whichever object the next
+        drain reads from ``self.index``) see only the fresh store.
+        """
+        self.index = index
 
     async def count(self, itemset: tuple) -> int:
         """Estimated support of ``itemset`` (joins the current batch)."""

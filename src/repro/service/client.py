@@ -17,7 +17,12 @@ from __future__ import annotations
 import socket
 import time
 
-from repro.errors import ServiceError, ServiceProtocolError
+from repro.errors import (
+    DegradedError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceTimeoutError,
+)
 from repro.service.protocol import read_frame_sock, write_frame_sock
 
 DEFAULT_TIMEOUT_S = 30.0
@@ -32,12 +37,26 @@ class ServiceClient:
         port: int,
         *,
         timeout: float = DEFAULT_TIMEOUT_S,
+        connect_timeout: float | None = None,
     ):
         self.host = host
         self.port = port
         self._next_id = 1
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock = socket.create_connection(
+                (host, port),
+                timeout=connect_timeout if connect_timeout is not None else timeout,
+            )
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                f"timed out connecting to {host}:{port}"
+            ) from exc
         self._sock.settimeout(timeout)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Adjust the per-socket-operation timeout on the live connection."""
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -82,10 +101,11 @@ class ServiceClient:
                 raise ServiceProtocolError("success frame carries no result object")
             return result
         error = payload.get("error") or {}
-        raise ServiceError(
-            error.get("message", "unspecified server error"),
-            error_type=error.get("type", "internal"),
-        )
+        message = error.get("message", "unspecified server error")
+        error_type = error.get("type", "internal")
+        if error_type == "degraded":
+            raise DegradedError(message)
+        raise ServiceError(message, error_type=error_type)
 
     # -- operations ------------------------------------------------------------
 
@@ -93,9 +113,17 @@ class ServiceClient:
         """Estimated (and optionally exact) support of ``items``."""
         return self.request("count", {"items": list(items), "exact": exact})
 
-    def append(self, items) -> dict:
-        """Insert one transaction; returns position and the new epoch."""
-        return self.request("append", {"items": list(items)})
+    def append(self, items, *, token: int | None = None) -> dict:
+        """Insert one transaction; returns position and the new epoch.
+
+        ``token`` is an optional client-generated idempotency token: a
+        retried append carrying the same token applies exactly once
+        (the duplicate is answered with ``deduped: true``).
+        """
+        args: dict = {"items": list(items)}
+        if token is not None:
+            args["token"] = token
+        return self.request("append", args)
 
     def mine(
         self,
@@ -170,8 +198,12 @@ class ServiceClient:
         return self.request("metrics")
 
     def health(self) -> dict:
-        """Liveness check."""
+        """Liveness check (carries the serving ``mode``)."""
         return self.request("health")
+
+    def recover(self) -> dict:
+        """Ask a degraded server to heal its write path and resume."""
+        return self.request("recover")
 
     def shutdown(self) -> dict:
         """Ask the server to drain gracefully (same path as SIGTERM)."""

@@ -27,7 +27,13 @@ from repro.core.bbs import BBS
 from repro.core.mining import ALGORITHMS, mine
 from repro.core.refine import probe
 from repro.data.database import TransactionDatabase
-from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    DegradedError,
+    ReproError,
+    ServiceError,
+    StorageError,
+)
 from repro.service.cache import (
     DEFAULT_CACHE_ENTRIES,
     CountCache,
@@ -35,7 +41,14 @@ from repro.service.cache import (
     canonical_itemset,
 )
 from repro.service.protocol import ERR_BAD_REQUEST, ERR_QUERY
+from repro.service.resilience import TOKEN_MAX, TOKEN_MIN, IdempotencyWindow
 from repro.storage.metrics import IOStats
+from repro.storage.txfile import (
+    TransactionFileReader,
+    TransactionFileWriter,
+    salvage_txfile,
+)
+from repro.tools.verify import quick_audit
 
 #: Finished jobs retained for polling before the oldest are dropped.
 MAX_RETAINED_JOBS = 64
@@ -146,6 +159,10 @@ class PatternService:
         miner=None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         mine_threads: int = 2,
+        journal: TransactionFileWriter | None = None,
+        durable: bool = False,
+        idempotency_capacity: int = 4096,
+        idempotency_seed=None,
     ):
         if index.n_transactions != len(database):
             raise ConfigurationError(
@@ -159,6 +176,17 @@ class PatternService:
         self.database = database
         self.index = index
         self.miner = miner
+        self.journal = journal
+        self.durable = durable
+        self.idempotency = IdempotencyWindow(idempotency_capacity)
+        if idempotency_seed:
+            self.idempotency.seed(idempotency_seed)
+        self.mode = "ok"  # "ok" | "degraded"
+        self.degraded_reason: str | None = None
+        self.degraded_since: float | None = None
+        #: Set by the server when a background scrubber is attached.
+        self.scrubber = None
+        self.last_request_monotonic = time.monotonic()
         self.cache = CountCache(cache_entries)
         self.batcher = MicroBatcher(index)
         self.histograms: dict[str, LatencyHistogram] = {}
@@ -183,6 +211,7 @@ class PatternService:
                 f"unknown op {op!r}; expected one of {sorted(self._OPS)}",
                 error_type=ERR_BAD_REQUEST,
             )
+        self.last_request_monotonic = time.monotonic()
         started = time.perf_counter()
         try:
             return await handler(self, args)
@@ -196,6 +225,57 @@ class PatternService:
     def close(self) -> None:
         """Stop the job executor (running jobs finish, pending are kept)."""
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            try:
+                self.journal.close()
+            except (OSError, StorageError):
+                pass  # already-degraded journals close best-effort
+
+    # -- degraded mode -------------------------------------------------------
+
+    def enter_degraded(self, reason: str) -> None:
+        """Flip to read-only serving; counts/mining stay up, appends stop."""
+        if self.mode != "degraded":
+            self.mode = "degraded"
+            self.degraded_since = time.monotonic()
+        self.degraded_reason = reason
+
+    def quarantine_index(self, reason: str):
+        """Corruption response: degrade, quarantine, rebuild, re-point.
+
+        Called by the scrubber when a checksum fails.  The damaged
+        on-disk index is salvaged (damage quarantined to a ``.quarantine``
+        sibling, lost segments rebuilt from the resident database) and
+        the service re-points at the repaired store.  Serving stays
+        degraded until an explicit ``recover`` confirms the repair —
+        wrong counts are never served from the damaged file because the
+        swap happens before this method returns.
+        """
+        from repro.storage.diskbbs import DiskBBS
+        from repro.storage.recovery import salvage_index
+
+        self.enter_degraded(reason)
+        index = self.index
+        if not isinstance(index, DiskBBS):
+            return None  # resident BBS: nothing on disk to quarantine
+        path = index.path
+        old_epoch = index.epoch
+        stats = index.stats
+        try:
+            index.close()
+        except (OSError, StorageError):
+            pass  # closing a damaged store is best-effort
+        report = salvage_index(path, db=self.database, stats=stats)
+        fresh = DiskBBS.open(
+            path, stats=stats, flush_threshold=index.flush_threshold
+        )
+        # The epoch must stay monotonic across the swap: cached counts
+        # and in-flight jobs were keyed against the old object's epochs.
+        fresh._epoch = old_epoch + 1
+        self.index = fresh
+        self.batcher.rebind(fresh)
+        self.cache.clear()  # entries may have been computed from bad bytes
+        return report
 
     # -- count -------------------------------------------------------------
 
@@ -234,19 +314,178 @@ class PatternService:
     # -- append ------------------------------------------------------------
 
     async def _op_append(self, args: dict) -> dict:
-        """Dynamic insert: one scattered write, no rebuild (§3.4)."""
+        """Dynamic insert: one scattered write, no rebuild (§3.4).
+
+        With an idempotency ``token`` the append is exactly-once across
+        retries: a token already in the window answers from the recorded
+        position (``deduped: true``) without touching the index.  The
+        dedupe lookup runs *before* the degraded gate so a client whose
+        first attempt succeeded just as the server degraded still gets
+        its ACK instead of a spurious refusal.
+
+        Durable servers journal first: the transaction (with the token
+        as its persisted tid) is fsynced to the transaction file before
+        any in-memory state changes, so an ACK survives kill -9 and the
+        token window is reconstructible from the journal.
+        """
         key = _itemset_arg(args)
-        if self.miner is not None:
-            self.miner.insert(key)
-            position = len(self.database) - 1
-        else:
-            position = self.database.append(key)
-            self.index.insert(key)
+        token = args.get("token")
+        if token is not None:
+            if (
+                not isinstance(token, int)
+                or isinstance(token, bool)
+                or not 0 < token < TOKEN_MAX
+            ):
+                raise ServiceError(
+                    "'token' must be a positive integer below 2**63",
+                    error_type=ERR_BAD_REQUEST,
+                )
+            applied = self.idempotency.lookup(token)
+            if applied is not None:
+                return {
+                    "position": applied,
+                    "epoch": self.index.epoch,
+                    "n_transactions": len(self.database),
+                    "deduped": True,
+                }
+        if self.mode != "ok":
+            raise DegradedError(
+                f"server is read-only ({self.degraded_reason}); "
+                f"counts and mining are still served, appends resume "
+                f"after a successful 'recover'"
+            )
+        if self.journal is not None:
+            for item in key:
+                if not isinstance(item, int) or not 0 <= item < 2**32:
+                    raise ServiceError(
+                        "durable servers store items as uint32; "
+                        f"got {item!r}",
+                        error_type=ERR_BAD_REQUEST,
+                    )
+        position = None
+        try:
+            if self.journal is not None:
+                # Untokened appends persist their position as the tid (a
+                # reopened writer's default would restart at 0 and
+                # collide with existing positional tids).
+                tid = token if token is not None else len(self.database)
+                self.journal.append(key, tid=tid)
+                self.journal.sync()
+            if self.miner is not None:
+                self.miner.insert(key)
+                position = len(self.database) - 1
+            else:
+                position = self.database.append(key)
+                self.index.insert(key)
+            if self.durable and hasattr(self.index, "flush"):
+                self.index.flush()
+        except OSError as exc:  # includes StorageError (ENOSPC, EIO, ...)
+            self.enter_degraded(f"write path failed: {exc}")
+            if position is not None and token is not None:
+                # The transaction *did* apply (only a later barrier
+                # failed); remember the token so the client's retry is
+                # deduped instead of double-inserted after recovery.
+                self.idempotency.record(token, position)
+            raise DegradedError(
+                f"append failed and the server is now read-only: {exc}"
+            ) from exc
+        if token is not None:
+            self.idempotency.record(token, position)
         return {
             "position": position,
             "epoch": self.index.epoch,
             "n_transactions": len(self.database),
+            "deduped": False,
         }
+
+    # -- recovery ------------------------------------------------------------
+
+    async def _op_recover(self, args: dict) -> dict:
+        """Heal the write path and clear degraded mode.
+
+        Healing is conservative: each step must succeed and a sampled
+        index-vs-database audit must come back clean before the mode
+        flips back to ``ok``; otherwise the server stays degraded with
+        the failure recorded as the new reason.
+        """
+        actions: list[str] = []
+        if self.mode == "ok":
+            return {"mode": "ok", "recovered": False, "actions": actions}
+        try:
+            if self.journal is not None:
+                actions.extend(self._heal_journal())
+            if getattr(self.index, "tail_size", 0):
+                self.index.flush()
+                actions.append("flushed the buffered index tail")
+            audit = quick_audit(self.index, self.database)
+            if not audit.ok:
+                raise StorageError(
+                    "post-recovery audit failed: " + "; ".join(audit.issues[:3])
+                )
+        except (ReproError, OSError) as exc:
+            self.degraded_reason = f"recovery failed: {exc}"
+            return {
+                "mode": self.mode,
+                "recovered": False,
+                "actions": actions,
+                "error": str(exc),
+            }
+        previous = self.degraded_reason
+        self.mode = "ok"
+        self.degraded_reason = None
+        self.degraded_since = None
+        actions.append(f"cleared degraded mode (was: {previous})")
+        return {"mode": "ok", "recovered": True, "actions": actions}
+
+    def _heal_journal(self) -> list[str]:
+        """Salvage the journal pair and adopt any records memory missed."""
+        actions: list[str] = []
+        path = self.journal.path
+        try:
+            self.journal.close()
+        except (OSError, StorageError):
+            pass  # a failed close still leaves the files salvageable
+        report = salvage_txfile(path, stats=self.database.stats)
+        if report.repaired:
+            actions.append(
+                f"salvaged journal {path.name}: kept {report.records_kept} "
+                f"record(s), truncated {report.data_bytes_truncated} byte(s)"
+            )
+        self.journal = TransactionFileWriter(
+            path, truncate=False, stats=self.database.stats
+        )
+        actions.extend(self._adopt_journal_extras(path))
+        return actions
+
+    def _adopt_journal_extras(self, path) -> list[str]:
+        """Apply journal records the in-memory state never saw.
+
+        A sync that failed *after* the OS had already persisted the
+        record leaves the journal one transaction ahead of memory; on
+        the next boot that record would appear as an un-ACKed append.
+        Adopting it now (and re-seeding its token) keeps the running
+        process consistent with its own journal, so a client retrying
+        the append is deduped instead of double-applied.
+        """
+        actions: list[str] = []
+        adopted = 0
+        with TransactionFileReader(path) as reader:
+            for position, tid, items in reader.scan():
+                if position < len(self.database):
+                    continue
+                if self.miner is not None:
+                    self.miner.insert(items)
+                else:
+                    self.database.append(items, tid=tid)
+                    self.index.insert(items)
+                if tid >= TOKEN_MIN:
+                    self.idempotency.record(tid, position)
+                adopted += 1
+        if adopted:
+            actions.append(
+                f"adopted {adopted} journal record(s) memory never applied"
+            )
+        return actions
 
     # -- mining jobs ---------------------------------------------------------
 
@@ -407,6 +646,9 @@ class PatternService:
             "m": self.index.m,
             "k": self.index.k,
             "tracking": self.miner is not None,
+            "mode": self.mode,
+            "degraded_reason": self.degraded_reason,
+            "durable": self.journal is not None,
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "jobs": dict(states),
         }
@@ -415,7 +657,7 @@ class PatternService:
         io_now = self._io_totals()
         io_delta = io_now - self._io_last
         self._io_last = io_now
-        return {
+        payload = {
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "requests": dict(self.request_counts),
             "latency": {
@@ -426,7 +668,15 @@ class PatternService:
             "io_delta": io_delta.as_dict(),
             "cache": self.cache.as_dict(),
             "batch": self.batcher.as_dict(),
+            "mode": self.mode,
+            "degraded_reason": self.degraded_reason,
+            "idempotency": self.idempotency.as_dict(),
         }
+        if self.degraded_since is not None:
+            payload["degraded_seconds"] = time.monotonic() - self.degraded_since
+        if self.scrubber is not None:
+            payload["scrub"] = self.scrubber.as_dict()
+        return payload
 
     def _io_totals(self) -> IOStats:
         merged = self.database.stats.snapshot()
@@ -435,7 +685,11 @@ class PatternService:
         return merged
 
     async def _op_health(self, args: dict) -> dict:
-        return {"ok": True, "epoch": self.index.epoch}
+        return {
+            "ok": self.mode == "ok",
+            "mode": self.mode,
+            "epoch": self.index.epoch,
+        }
 
     async def _op_shutdown(self, args: dict) -> dict:
         """Request a graceful drain (same path as SIGTERM)."""
@@ -453,6 +707,7 @@ class PatternService:
         "status": _op_status,
         "metrics": _op_metrics,
         "health": _op_health,
+        "recover": _op_recover,
         "shutdown": _op_shutdown,
     }
 

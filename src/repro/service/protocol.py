@@ -28,7 +28,11 @@ import socket
 import struct
 from dataclasses import dataclass
 
-from repro.errors import ServiceProtocolError
+from repro.errors import (
+    ConnectionClosedError,
+    ServiceProtocolError,
+    ServiceTimeoutError,
+)
 
 #: Hard cap on one frame's JSON payload.  Large enough for a mined
 #: result set, small enough that a garbage length prefix cannot make
@@ -49,6 +53,8 @@ ERR_TIMEOUT = "timeout"
 ERR_OVERLOADED = "overloaded"
 #: The server is draining and no longer accepts new requests.
 ERR_SHUTTING_DOWN = "shutting_down"
+#: The server is in degraded read-only mode; writes are refused.
+ERR_DEGRADED = "degraded"
 #: Anything unexpected server-side; the message carries the details.
 ERR_INTERNAL = "internal"
 
@@ -155,14 +161,34 @@ async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
 # -- blocking codec (client side) ------------------------------------------
 
 
-def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+def _recv_exactly(sock: socket.socket, n: int, *, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise a typed, diagnosable error.
+
+    * A clean close before the first byte of a length prefix is a
+      :class:`ConnectionClosedError` — the stream ended on a frame
+      boundary, nothing was lost.
+    * A close with bytes outstanding is a mid-frame truncation and
+      raises :class:`ServiceProtocolError` with the byte counts.
+    * A socket timeout surfaces as :class:`ServiceTimeoutError`.
+    """
     chunks = []
     remaining = n
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                f"timed out with {remaining}/{n} bytes of the "
+                f"{what} outstanding"
+            ) from exc
         if not chunk:
+            if remaining == n and what == "length prefix":
+                raise ConnectionClosedError(
+                    "connection closed between frames"
+                )
             raise ServiceProtocolError(
-                f"connection closed with {remaining}/{n} bytes outstanding"
+                f"connection closed with {remaining}/{n} bytes of the "
+                f"{what} outstanding"
             )
         chunks.append(chunk)
         remaining -= len(chunk)
@@ -171,11 +197,14 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
 
 def read_frame_sock(sock: socket.socket) -> dict:
     """Blocking read of one frame from a connected socket."""
-    (length,) = _LEN.unpack(_recv_exactly(sock, _LEN.size))
+    (length,) = _LEN.unpack(_recv_exactly(sock, _LEN.size, what="length prefix"))
     _check_length(length)
-    return decode_payload(_recv_exactly(sock, length))
+    return decode_payload(_recv_exactly(sock, length, what="frame body"))
 
 
 def write_frame_sock(sock: socket.socket, payload: dict) -> None:
     """Blocking write of one frame to a connected socket."""
-    sock.sendall(encode_frame(payload))
+    try:
+        sock.sendall(encode_frame(payload))
+    except socket.timeout as exc:
+        raise ServiceTimeoutError("timed out sending a frame") from exc

@@ -1,0 +1,166 @@
+"""Background scrubbing: find silent corruption before a query does.
+
+A :class:`Scrubber` is an asyncio task the server runs next to the
+accept loop.  Each tick performs **one bounded unit of work** — verify
+one on-disk segment's CRC and commit seal, audit one item's counts
+against the database, or sweep the journal pair — so scrubbing never
+monopolises the event loop the index handlers share.  Units only run
+while the server is idle (no request for ``idle_after`` seconds),
+except that after ``max_busy_skips`` consecutive busy ticks one unit is
+forced through so a permanently-busy server still makes progress.
+
+On a finding, the scrubber does not keep serving from the damaged
+bytes: it calls :meth:`PatternService.quarantine_index`, which flips
+the server to degraded read-only mode, quarantines the damage to a
+``.quarantine`` sibling, rebuilds lost segments from the resident
+database, and re-points the service at the repaired store.  Progress
+and findings are surfaced under ``scrub`` in the ``metrics`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from repro.errors import ReproError
+from repro.storage.txfile import inspect_txfile
+from repro.tools.verify import verify_item
+
+#: Findings retained for the metrics endpoint.
+MAX_RETAINED_FINDINGS = 32
+
+DEFAULT_INTERVAL_S = 0.25
+DEFAULT_MAX_BUSY_SKIPS = 20
+
+
+class Scrubber:
+    """Incremental checksum/count verification over the served state."""
+
+    def __init__(
+        self,
+        service,
+        *,
+        interval: float = DEFAULT_INTERVAL_S,
+        idle_after: float | None = None,
+        db_path=None,
+        max_busy_skips: int = DEFAULT_MAX_BUSY_SKIPS,
+    ):
+        self.service = service
+        self.interval = interval
+        #: How long the server must have been request-free before a
+        #: tick does work; defaults to one interval.
+        self.idle_after = interval if idle_after is None else idle_after
+        self.db_path = db_path
+        self.max_busy_skips = max_busy_skips
+        self._schedule: list[tuple] = []
+        self._busy_skips = 0
+        self.cycles = 0
+        self.checks = 0
+        self.busy_skips_total = 0
+        self.findings: deque[str] = deque(maxlen=MAX_RETAINED_FINDINGS)
+        self.last_unit: str | None = None
+        service.scrubber = self
+
+    # -- the task body -------------------------------------------------------
+
+    async def run(self) -> None:
+        """Tick forever; cancelled by the server on drain."""
+        while True:
+            await asyncio.sleep(self.interval)
+            try:
+                self.tick()
+            except Exception as exc:  # a scrubber bug must not kill serving
+                self.findings.append(
+                    f"scrubber stopped on internal error: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return
+
+    def tick(self) -> None:
+        """One scheduling decision and at most one unit of work."""
+        service = self.service
+        if service.mode != "ok":
+            # Degraded: the operator owns recovery; re-scrubbing the
+            # same damage would just re-salvage in a loop.
+            return
+        idle_for = time.monotonic() - service.last_request_monotonic
+        if idle_for < self.idle_after:
+            self._busy_skips += 1
+            self.busy_skips_total += 1
+            if self._busy_skips <= self.max_busy_skips:
+                return
+        self._busy_skips = 0
+        if not self._schedule:
+            self._schedule = self._build_schedule()
+            if not self._schedule:
+                return
+            self.cycles += 1
+        unit = self._schedule.pop()
+        problem = self._run_unit(unit)
+        self.checks += 1
+        service.database.stats.scrub_checks += 1
+        if problem is not None:
+            self._handle_finding(problem)
+
+    # -- units ---------------------------------------------------------------
+
+    def _build_schedule(self) -> list[tuple]:
+        """One full verification cycle, popped from the end."""
+        units: list[tuple] = []
+        index = self.service.index
+        if self.db_path is not None:
+            units.append(("txfile", None))
+        for item in self.service.index.items():
+            units.append(("item", item))
+        if hasattr(index, "verify_segment"):
+            # Appended last so segment CRCs — the strongest check — pop
+            # first within a cycle.
+            units.extend(
+                ("segment", i) for i in range(index.n_segments)
+            )
+        return units
+
+    def _run_unit(self, unit: tuple) -> str | None:
+        kind, target = unit
+        self.last_unit = f"{kind}:{target}" if target is not None else kind
+        try:
+            if kind == "segment":
+                return self.service.index.verify_segment(target)
+            if kind == "item":
+                return verify_item(
+                    self.service.index, self.service.database, target
+                )
+            if kind == "txfile":
+                report = inspect_txfile(self.db_path)
+                if not report.clean:
+                    return (
+                        f"journal {report.path} needs salvage: "
+                        + "; ".join(report.actions[:2])
+                    )
+                return None
+        except (ReproError, OSError) as exc:
+            return f"{self.last_unit} check failed: {exc}"
+        return None
+
+    def _handle_finding(self, problem: str) -> None:
+        service = self.service
+        self.findings.append(problem)
+        service.database.stats.scrub_findings += 1
+        service.quarantine_index(f"scrubber: {problem}")
+        # The index object may have been swapped; the stale schedule
+        # would verify directory entries that no longer exist.
+        self._schedule = []
+
+    # -- observability -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "interval_s": self.interval,
+            "cycles": self.cycles,
+            "checks": self.checks,
+            "busy_skips": self.busy_skips_total,
+            "pending_units": len(self._schedule),
+            "last_unit": self.last_unit,
+            "findings": list(self.findings),
+        }

@@ -59,12 +59,15 @@ class PatternServer:
         port: int = 0,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
+        scrubber=None,
     ):
         self.service = service
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.max_connections = max_connections
         self.request_timeout = request_timeout
+        self.scrubber = scrubber
+        self._scrub_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._draining = False
         self._drain_event: asyncio.Event | None = None
@@ -82,6 +85,8 @@ class PatternServer:
             self._on_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.scrubber is not None:
+            self._scrub_task = asyncio.ensure_future(self.scrubber.run())
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain; idempotent, callable from the loop."""
@@ -96,6 +101,10 @@ class PatternServer:
     async def wait_drained(self) -> None:
         """Resolve once a drain was requested and every request finished."""
         await self._drain_event.wait()
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scrub_task
         if self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
         if self._server is not None:

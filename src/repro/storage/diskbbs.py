@@ -489,6 +489,64 @@ class DiskBBS:
         self._signature_bits += sig_bits
         self._tail = BBS(self.m, self.k, hash_family=self.hash_family)
 
+    def verify_segment(self, position: int) -> str | None:
+        """Re-read one committed segment from disk and check its seals.
+
+        The scrubber's unit of work: verifies the segment body CRC and
+        (format v2) the commit record against the *current bytes on
+        disk*, deliberately bypassing the page cache so bit rot is
+        caught even for rows a hot cache would never re-read.  Returns
+        a problem description, or ``None`` when the segment is sound.
+        ``position`` indexes :attr:`n_segments`; out-of-range positions
+        are treated as sound (the directory may have grown/shrunk
+        between scheduling and checking).
+        """
+        if self._file is None:
+            return None
+        if not 0 <= position < len(self._segments):
+            return None
+        seg = self._segments[position]
+        body_len = (seg.matrix_offset - seg.offset) + self.m * seg.n_words * 8
+        total = body_len + _CRC.size
+        if self._format_version >= 2:
+            total += _COMMIT.size
+        self._file.seek(seg.offset)
+        blob = self._file.read(total)
+        self.stats.page_reads += _pages(total, self.page_bytes)
+        if len(blob) < body_len + _CRC.size:
+            return (
+                f"segment {position} at offset {seg.offset} is truncated "
+                f"({len(blob)} of {total} bytes)"
+            )
+        (stored_crc,) = _CRC.unpack_from(blob, body_len)
+        actual_crc = zlib.crc32(blob[:body_len]) & 0xFFFFFFFF
+        if stored_crc != actual_crc:
+            return (
+                f"segment {position} at offset {seg.offset} failed its "
+                f"body CRC (stored {stored_crc:#010x}, computed "
+                f"{actual_crc:#010x})"
+            )
+        if self._format_version >= 2:
+            commit_blob = blob[body_len + _CRC.size:]
+            if len(commit_blob) < _COMMIT.size:
+                return (
+                    f"segment {position} at offset {seg.offset} lost its "
+                    f"commit record"
+                )
+            magic, offset, seg_len, crc = _COMMIT.unpack(commit_blob)
+            sealed = zlib.crc32(commit_blob[: -_CRC.size]) & 0xFFFFFFFF
+            if (
+                magic != COMMIT_MAGIC
+                or sealed != crc
+                or offset != seg.offset
+                or seg_len != body_len + _CRC.size
+            ):
+                return (
+                    f"segment {position} at offset {seg.offset} has a "
+                    f"damaged commit record"
+                )
+        return None
+
     # -- slice access -----------------------------------------------------------------
 
     def _segment_slice(self, segment: _Segment, position: int) -> np.ndarray:

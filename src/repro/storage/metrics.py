@@ -42,6 +42,8 @@ class IOStats:
     torn_bytes_truncated: int = 0  # uncommitted tail bytes dropped by salvage
     quarantined_segments: int = 0  # corrupt segments set aside by salvage
     rebuilt_transactions: int = 0  # transactions re-inserted from a companion db
+    scrub_checks: int = 0          # incremental verification units completed
+    scrub_findings: int = 0        # corruption findings raised by the scrubber
 
     def reset(self) -> None:
         """Zero every counter in place."""

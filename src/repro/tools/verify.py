@@ -28,6 +28,7 @@ tool lets downstream users audit results on their own data.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.baselines.naive import naive_frequent_patterns
@@ -191,4 +192,61 @@ def verify_index(
                 f"pair [{a!r}, {b!r}]: estimate {estimate} underestimates "
                 f"true support {true_pair}"
             )
+    return report
+
+
+def verify_item(index, database, item) -> str | None:
+    """One incremental audit unit: audit a single item's counts.
+
+    The building block the serving layer's background scrubber spreads
+    across idle ticks.  Checks the two invariants of
+    :func:`verify_index` for one item — the maintained exact count
+    matches the database, and the signature estimate does not
+    *under*-estimate (the one error direction a healthy superimposed
+    code cannot produce).  Returns a problem description, or ``None``.
+    """
+    true_count = (
+        database.item_counts().get(item, 0)
+        if callable(getattr(database, "item_counts", None))
+        else database.support([item])
+    )
+    index_count = index.item_counts.count(item)
+    if index_count != true_count:
+        return (
+            f"item {item!r}: index count {index_count} != "
+            f"database count {true_count}"
+        )
+    estimate = index.count_itemset([item])
+    if estimate < true_count:
+        return (
+            f"item {item!r}: estimate {estimate} underestimates "
+            f"true support {true_count} (damaged slices?)"
+        )
+    return None
+
+
+def quick_audit(index, database, *, sample: int = 32, rng=None) -> VerificationReport:
+    """Sampled index-vs-database audit; the serving ``recover`` gate.
+
+    A bounded-cost version of :func:`verify_index`: the transaction
+    counts must match and up to ``sample`` items (sampled
+    deterministically unless ``rng`` says otherwise) must pass
+    :func:`verify_item`.  Cheap enough to run synchronously on the
+    event loop before a degraded server resumes accepting writes.
+    """
+    report = VerificationReport()
+    if index.n_transactions != len(database):
+        report.add(
+            f"index covers {index.n_transactions} transactions, "
+            f"database has {len(database)}"
+        )
+        return report
+    items = list(database.items())
+    if len(items) > sample:
+        items = (rng or random.Random(0)).sample(items, sample)
+    for item in sorted(items, key=repr):
+        report.checked_patterns += 1
+        issue = verify_item(index, database, item)
+        if issue:
+            report.add(issue)
     return report

@@ -1,0 +1,546 @@
+"""Resilient-serving unit and in-process tests.
+
+Covers the client-side machinery (retry policy, circuit breaker,
+idempotency tokens), the hardened sync codec (typed timeout and
+EOF-mid-frame errors), server-side degraded mode with journal faults,
+exactly-once retried appends, and the background scrubber's
+detect-quarantine-recover cycle against real flipped bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core.bbs import BBS
+from repro.data.database import TransactionDatabase
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionClosedError,
+    DegradedError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceTimeoutError,
+)
+from repro.service.client import ServiceClient
+from repro.service.handlers import PatternService
+from repro.service.protocol import read_frame_sock
+from repro.service.resilience import (
+    TOKEN_MAX,
+    TOKEN_MIN,
+    CircuitBreaker,
+    IdempotencyWindow,
+    RetryingClient,
+    RetryPolicy,
+    make_token,
+)
+from repro.service.scrubber import Scrubber
+from repro.service.server import start_server_thread
+from repro.storage.diskbbs import DiskBBS
+from repro.storage.metrics import IOStats
+from repro.storage.txfile import TransactionFileReader, TransactionFileWriter
+from repro.testing.faults import FaultPlan, arm_txwriter, flip_bit
+from tests.conftest import make_random_database
+
+
+# --------------------------------------------------------------------------
+# RetryPolicy / tokens
+# --------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = policy.backoff(2, rng)
+            assert 0.2 <= delay <= 0.3
+
+    def test_tokens_live_in_the_reserved_band(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            token = make_token(rng)
+            assert TOKEN_MIN <= token < TOKEN_MAX
+
+
+# --------------------------------------------------------------------------
+# CircuitBreaker
+# --------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after=5.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now += 5.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 2
+
+    def test_open_breaker_refuses_locally(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=60.0)
+        breaker.record_failure()
+        client = RetryingClient("127.0.0.1", 1, breaker=breaker)
+        with pytest.raises(CircuitOpenError):
+            client.status()
+
+
+# --------------------------------------------------------------------------
+# IdempotencyWindow
+# --------------------------------------------------------------------------
+
+
+class TestIdempotencyWindow:
+    def test_record_and_lookup(self):
+        window = IdempotencyWindow(capacity=8)
+        assert window.lookup(TOKEN_MIN + 1) is None
+        window.record(TOKEN_MIN + 1, 42)
+        assert window.lookup(TOKEN_MIN + 1) == 42
+        assert window.hits == 1
+
+    def test_fifo_eviction(self):
+        window = IdempotencyWindow(capacity=3)
+        for n in range(5):
+            window.record(TOKEN_MIN + n, n)
+        assert window.evictions == 2
+        assert window.lookup(TOKEN_MIN) is None
+        assert window.lookup(TOKEN_MIN + 1) is None
+        assert window.lookup(TOKEN_MIN + 4) == 4
+        assert len(window) == 3
+
+    def test_seed_preloads(self):
+        window = IdempotencyWindow(capacity=16)
+        n = window.seed([(TOKEN_MIN + 7, 0), (TOKEN_MIN + 8, 1)])
+        assert n == 2
+        assert window.lookup(TOKEN_MIN + 8) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            IdempotencyWindow(capacity=0)
+
+
+# --------------------------------------------------------------------------
+# Typed client timeouts and EOF-mid-frame (satellites a + b)
+# --------------------------------------------------------------------------
+
+
+def make_service(seed=11):
+    db = make_random_database(
+        seed=seed, n_transactions=120, n_items=30, max_len=7
+    )
+    bbs = BBS.from_database(db, m=128)
+    return db, bbs, PatternService(db, bbs)
+
+
+class TestTypedTimeouts:
+    def test_connect_timeout_is_typed(self):
+        # A bound-but-never-accepting listener with a zero backlog: the
+        # second connect hangs in the SYN queue until the timeout.
+        gate = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        gate.bind(("127.0.0.1", 0))
+        gate.listen(0)
+        port = gate.getsockname()[1]
+        filler = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        filler.setblocking(False)
+        try:
+            try:
+                filler.connect(("127.0.0.1", port))
+            except BlockingIOError:
+                pass
+            with pytest.raises((ServiceTimeoutError, OSError)):
+                ServiceClient("127.0.0.1", port, connect_timeout=0.2)
+        finally:
+            filler.close()
+            gate.close()
+
+    def test_read_timeout_is_typed(self):
+        db, bbs, service = make_service()
+
+        async def _slow_op(self, args):
+            await asyncio.sleep(5.0)
+            return {}
+
+        service._OPS = {**PatternService._OPS, "slowop": _slow_op}
+        with start_server_thread(service, request_timeout=30.0) as handle:
+            with ServiceClient(handle.host, handle.port, timeout=0.2) as client:
+                with pytest.raises(ServiceTimeoutError) as excinfo:
+                    client.request("slowop")
+                assert excinfo.value.error_type == "timeout"
+
+
+class TestEOFMidFrame:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        return left, right
+
+    def test_eof_between_frames_is_clean_close(self):
+        left, right = self._pair()
+        right.close()
+        with pytest.raises(ConnectionClosedError):
+            read_frame_sock(left)
+        left.close()
+
+    def test_eof_inside_length_prefix(self):
+        left, right = self._pair()
+        right.sendall(b"\x00\x00")  # 2 of 4 prefix bytes
+        right.close()
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            read_frame_sock(left)
+        assert not isinstance(excinfo.value, ConnectionClosedError)
+        left.close()
+
+    def test_eof_inside_body(self):
+        left, right = self._pair()
+        right.sendall(struct.pack(">I", 100) + b'{"tr')
+        right.close()
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            read_frame_sock(left)
+        assert "frame body" in str(excinfo.value)
+        left.close()
+
+    def test_server_survives_truncated_frame_from_client(self):
+        db, bbs, service = make_service()
+        with start_server_thread(service) as handle:
+            raw = socket.create_connection((handle.host, handle.port))
+            raw.sendall(struct.pack(">I", 64) + b'{"id"')
+            raw.close()
+            # The torn connection must not poison the accept loop.
+            with ServiceClient(handle.host, handle.port) as client:
+                assert client.health()["ok"] is True
+
+
+# --------------------------------------------------------------------------
+# Durable service fixtures
+# --------------------------------------------------------------------------
+
+
+def make_durable_service(tmp_path, *, seed=23, n_transactions=60):
+    """A PatternService journaling to a real transaction file pair."""
+    db_src = make_random_database(
+        seed=seed, n_transactions=n_transactions, n_items=24, max_len=6
+    )
+    path = tmp_path / "svc.tx"
+    stats = IOStats()
+    with TransactionFileWriter(path, stats=stats) as writer:
+        for transaction in db_src:
+            writer.append(transaction)
+        writer.sync()
+    db = TransactionDatabase(list(db_src), stats=stats)
+    bbs = BBS.from_database(db, m=128, stats=stats)
+    journal = TransactionFileWriter(path, truncate=False, stats=stats)
+    service = PatternService(db, bbs, journal=journal, durable=True)
+    return path, db, service
+
+
+def run_op(service, op, args=None):
+    handler = PatternService._OPS[op]
+    return asyncio.run(handler(service, args or {}))
+
+
+# --------------------------------------------------------------------------
+# Exactly-once retried appends (in-process)
+# --------------------------------------------------------------------------
+
+
+class TestIdempotentAppend:
+    def test_same_token_applies_once(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        try:
+            before = len(db)
+            token = TOKEN_MIN + 99
+            first = run_op(
+                service, "append", {"items": [5, 9], "token": token}
+            )
+            again = run_op(
+                service, "append", {"items": [5, 9], "token": token}
+            )
+            assert first["deduped"] is False
+            assert again["deduped"] is True
+            assert again["position"] == first["position"]
+            assert len(db) == before + 1
+        finally:
+            service.close()
+
+    def test_token_survives_restart_via_journal(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        token = TOKEN_MIN + 4242
+        run_op(service, "append", {"items": [3, 4], "token": token})
+        service.close()
+        # Boot a second service over the same journal, seeding the
+        # window exactly as ``serve --durable`` does.
+        stats = IOStats()
+        with TransactionFileReader(path) as reader:
+            rows = list(reader.scan())
+            seed = [(tid, pos) for pos, tid, _ in rows if tid >= TOKEN_MIN]
+            transactions = [items for _, _, items in rows]
+        assert seed and seed[0][0] == token
+        db2 = TransactionDatabase(transactions, stats=stats)
+        bbs2 = BBS.from_database(db2, m=128, stats=stats)
+        journal2 = TransactionFileWriter(path, truncate=False, stats=stats)
+        service2 = PatternService(
+            db2, bbs2, journal=journal2, durable=True, idempotency_seed=seed
+        )
+        try:
+            replay = run_op(
+                service2, "append", {"items": [3, 4], "token": token}
+            )
+            assert replay["deduped"] is True
+            assert len(db2) == len(transactions)
+        finally:
+            service2.close()
+
+    def test_bad_tokens_rejected(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        try:
+            for bad in (0, -3, True, "abc", TOKEN_MAX):
+                with pytest.raises(ServiceError) as excinfo:
+                    run_op(service, "append", {"items": [1], "token": bad})
+                assert excinfo.value.error_type == "bad_request"
+        finally:
+            service.close()
+
+
+# --------------------------------------------------------------------------
+# Degraded mode (tentpole: write-path faults flip read-only; recover heals)
+# --------------------------------------------------------------------------
+
+
+class TestDegradedMode:
+    def test_enospc_flips_read_only_and_recover_heals(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        try:
+            before = len(db)
+            plan = arm_txwriter(service.journal, FaultPlan(error_after_bytes=4))
+            with pytest.raises(DegradedError):
+                run_op(service, "append", {"items": [2, 7]})
+            assert service.mode == "degraded"
+            assert "write path failed" in service.degraded_reason
+
+            # Reads keep flowing in degraded mode.
+            count = run_op(service, "count", {"items": [2], "exact": True})
+            assert count["estimate"] >= count["exact"]
+            health = run_op(service, "health")
+            assert health == {
+                "ok": False, "mode": "degraded", "epoch": service.index.epoch,
+            }
+            status = run_op(service, "status")
+            assert status["mode"] == "degraded"
+            metrics = run_op(service, "metrics")
+            assert metrics["mode"] == "degraded"
+            assert metrics["degraded_seconds"] >= 0.0
+
+            # Writes are refused with the typed error.
+            with pytest.raises(DegradedError):
+                run_op(service, "append", {"items": [8]})
+
+            # "Disk cleaned up": recover salvages the journal, audits,
+            # and clears the mode.
+            plan.disarm()
+            outcome = run_op(service, "recover")
+            assert outcome["recovered"] is True
+            assert service.mode == "ok"
+            after = run_op(service, "append", {"items": [2, 7]})
+            assert after["deduped"] is False
+            assert len(db) == before + 1
+
+            # The healed journal holds exactly the surviving records.
+            with TransactionFileReader(path) as reader:
+                assert sum(1 for _ in reader.scan()) == len(db)
+        finally:
+            service.close()
+
+    def test_recover_noop_when_healthy(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        try:
+            outcome = run_op(service, "recover")
+            assert outcome == {"mode": "ok", "recovered": False, "actions": []}
+        finally:
+            service.close()
+
+    def test_degraded_over_the_wire(self, tmp_path):
+        path, db, service = make_durable_service(tmp_path)
+        with start_server_thread(service) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                plan = arm_txwriter(
+                    service.journal, FaultPlan(error_after_bytes=4)
+                )
+                with pytest.raises(DegradedError):
+                    client.append([4, 6])
+                assert client.health()["ok"] is False
+                # The connection survives the typed refusal.
+                assert client.count([4])["estimate"] >= 0
+                plan.disarm()
+                assert client.recover()["recovered"] is True
+                assert client.health()["ok"] is True
+                assert client.append([4, 6])["deduped"] is False
+
+
+# --------------------------------------------------------------------------
+# Scrubber (tentpole: detect flipped bytes, quarantine, keep serving)
+# --------------------------------------------------------------------------
+
+
+def make_disk_service(tmp_path, *, seed=5, n_transactions=48):
+    db_src = make_random_database(
+        seed=seed, n_transactions=n_transactions, n_items=20, max_len=6
+    )
+    idx_path = tmp_path / "scrub.bbsd"
+    stats = IOStats()
+    index = DiskBBS.create(idx_path, m=64, stats=stats, flush_threshold=16)
+    for transaction in db_src:
+        index.insert(transaction)
+    index.flush()
+    db = TransactionDatabase(list(db_src), stats=stats)
+    service = PatternService(db, index)
+    return idx_path, db, service
+
+
+class TestScrubber:
+    def test_clean_store_completes_cycles(self, tmp_path):
+        idx_path, db, service = make_disk_service(tmp_path)
+        try:
+            scrub = Scrubber(service, interval=0.01, idle_after=0.0)
+            service.last_request_monotonic = time.monotonic() - 60
+            budget = service.index.n_segments + len(service.index.items()) + 4
+            for _ in range(budget):
+                scrub.tick()
+            assert scrub.cycles >= 1
+            assert scrub.checks >= service.index.n_segments
+            assert not scrub.findings
+            assert service.mode == "ok"
+            assert db.stats.scrub_checks == scrub.checks
+        finally:
+            service.index.close()
+
+    def test_busy_server_still_makes_progress(self, tmp_path):
+        idx_path, db, service = make_disk_service(tmp_path)
+        try:
+            scrub = Scrubber(
+                service, interval=0.01, idle_after=3600.0, max_busy_skips=3
+            )
+            service.last_request_monotonic = time.monotonic()
+            for _ in range(3):
+                scrub.tick()
+            assert scrub.checks == 0  # all skipped: "busy"
+            scrub.tick()  # the forced unit
+            assert scrub.checks == 1
+            assert scrub.busy_skips_total == 4
+        finally:
+            service.index.close()
+
+    def test_flipped_byte_quarantines_and_recovers(self, tmp_path):
+        idx_path, db, service = make_disk_service(tmp_path)
+        try:
+            # Bit-rot one byte inside the newest segment's bit matrix.
+            target = service.index._segments[-1]
+            flip_bit(idx_path, target.matrix_offset + 5)
+
+            scrub = Scrubber(service, interval=0.01, idle_after=0.0)
+            service.last_request_monotonic = time.monotonic() - 60
+            budget = service.index.n_segments + len(service.index.items()) + 4
+            for _ in range(budget):
+                scrub.tick()
+                if service.mode != "ok":
+                    break
+            assert service.mode == "degraded"
+            assert scrub.findings
+            assert "scrubber" in service.degraded_reason
+            assert db.stats.scrub_findings == 1
+
+            # The damage was quarantined and the store rebuilt: counts
+            # served post-swap match the database exactly.
+            qpath = idx_path.with_suffix(idx_path.suffix + ".quarantine")
+            assert qpath.exists()
+            for item in list(db.item_counts())[:8]:
+                payload = run_op(
+                    service, "count", {"items": [item], "exact": True}
+                )
+                assert payload["exact"] == db.support([item])
+                assert payload["estimate"] >= payload["exact"]
+
+            # recover audits the rebuilt store and clears the mode.
+            outcome = run_op(service, "recover")
+            assert outcome["recovered"] is True, outcome
+            assert service.mode == "ok"
+            run_op(service, "append", {"items": [1, 2]})
+
+            # Metrics surface the scrub trail.
+            metrics = run_op(service, "metrics")
+            assert metrics["scrub"]["findings"]
+        finally:
+            service.index.close()
+
+    def test_epoch_advances_across_quarantine_swap(self, tmp_path):
+        idx_path, db, service = make_disk_service(tmp_path)
+        try:
+            old_epoch = service.index.epoch
+            target = service.index._segments[0]
+            flip_bit(idx_path, target.matrix_offset + 1)
+            service.quarantine_index("test: simulated corruption")
+            assert service.index.epoch > old_epoch
+            assert service.batcher.index is service.index
+        finally:
+            service.index.close()
+
+    def test_internal_error_stops_scrubber_not_server(self, tmp_path):
+        idx_path, db, service = make_disk_service(tmp_path)
+        try:
+            scrub = Scrubber(service, interval=0.0, idle_after=0.0)
+            service.last_request_monotonic = time.monotonic() - 60
+            scrub._run_unit = lambda unit: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            )
+            asyncio.run(asyncio.wait_for(scrub.run(), timeout=5.0))
+            assert any("internal error" in f for f in scrub.findings)
+            assert service.mode == "ok"
+        finally:
+            service.index.close()
