@@ -1,0 +1,45 @@
+"""``repro.analysis`` — AST-based invariant linting for this codebase.
+
+The runtime suites prove the paper-critical invariants *dynamically*
+(fault-injection sweeps, chaos runs); this package checks the same
+invariants *statically*, at commit time, the way a sanitizer would in a
+compiled stack:
+
+==========  =============================================================
+RPR001      un-fsynced low-level writes on durable ``storage/`` paths
+RPR002      blocking calls inside ``async def`` (event-loop stalls)
+RPR003      storage errors without ``path=`` context / ``from`` chaining
+RPR004      shared-index mutation outside event-loop serialisation
+RPR005      set iteration feeding worker partitioning (nondeterminism)
+RPR006      broad excepts that swallow without re-raise or record
+RPR007      arithmetic that could turn an over-estimate into an under-estimate
+==========  =============================================================
+
+Run it with ``python -m repro.tools.lint src tests`` or
+``repro-mine lint``; see ``docs/static_analysis.md`` for the rule
+catalog, suppression syntax, and the baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding, render
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "render",
+    "rules_by_id",
+]

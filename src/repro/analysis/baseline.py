@@ -1,0 +1,153 @@
+"""Accepted-findings baseline: documented false positives, nothing else.
+
+A baseline entry matches findings by ``(rule, path, symbol)`` — not by
+line number — so entries survive unrelated edits to the same file.
+Every entry must carry a non-empty ``justification``: the baseline is a
+reviewed list of *documented* false positives, not a mute button.
+
+Entries that no longer match anything are reported as *stale* so the
+file shrinks as code is fixed; ``python -m repro.tools.lint
+--write-baseline`` regenerates the file from the current findings
+(justifications of surviving entries are preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing fields)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding site."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.symbol == finding.symbol
+        )
+
+
+@dataclass
+class BaselineResult:
+    """The split a baseline application produces."""
+
+    new: list[Finding] = field(default_factory=list)
+    accepted: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """A loaded set of accepted findings."""
+
+    def __init__(self, entries: list[BaselineEntry]):
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for position, raw in enumerate(payload["entries"]):
+            if not isinstance(raw, dict):
+                raise BaselineError(
+                    f"baseline {path} entry {position} is not an object"
+                )
+            missing = {"rule", "path", "symbol", "justification"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"baseline {path} entry {position} is missing "
+                    f"{sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise BaselineError(
+                    f"baseline {path} entry {position} "
+                    f"({raw['rule']} at {raw['path']}) has an empty "
+                    f"justification — document why it is a false positive"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    symbol=str(raw["symbol"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries)
+
+    def apply(self, findings: list[Finding]) -> BaselineResult:
+        """Split findings into new vs accepted; collect stale entries."""
+        result = BaselineResult()
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            if entry is None:
+                result.new.append(finding)
+            else:
+                used.add(entry)
+                result.accepted.append(finding)
+        result.stale = [e for e in self.entries if e not in used]
+        return result
+
+    def regenerate(self, findings: list[Finding]) -> dict:
+        """A fresh baseline document accepting exactly ``findings``.
+
+        Existing justifications are kept for sites still firing; new
+        sites get a TODO placeholder that must be filled in (the loader
+        rejects empty justifications, and a TODO is visible in review).
+        """
+        seen: set[tuple[str, str, str]] = set()
+        entries = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.symbol)
+            if key in seen:
+                continue
+            seen.add(key)
+            existing = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "justification": (
+                        existing.justification
+                        if existing is not None
+                        else "TODO: document why this is a false positive"
+                    ),
+                }
+            )
+        return {"version": BASELINE_VERSION, "entries": entries}

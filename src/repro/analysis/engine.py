@@ -1,0 +1,258 @@
+"""The AST lint engine: module context, rule pipeline, suppression.
+
+One :class:`ModuleContext` is built per file — source, parsed tree,
+parent links, enclosing-scope names, and ``# repro: noqa(...)``
+suppressions — and every registered rule runs over that shared context,
+so a whole-tree scan parses each file exactly once.
+
+Rules are small classes (see :mod:`repro.analysis.rules`) with an ``id``
+(``RPR001``...), a ``severity``, and a ``check(ctx)`` generator yielding
+:class:`~repro.analysis.findings.Finding` records.  The engine applies
+line-level suppression; repo-level accepted findings live in the
+baseline (:mod:`repro.analysis.baseline`), which the CLI applies on top.
+
+Suppression syntax, matched per reported line::
+
+    time.sleep(0.1)  # repro: noqa(RPR002) -- justification
+    anything()       # repro: noqa         -- suppresses every rule
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\(\s*(?P<rules>[A-Z0-9,\s]+?)\s*\))?"
+)
+
+#: Scope-owning nodes: their names build the dotted ``symbol`` of a finding.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id``, ``name``, ``severity``, ``rationale`` and
+    implement :meth:`check`; :meth:`applies_to` gates by path so a rule
+    scoped to ``storage/`` never walks a ``core/`` module.
+    """
+
+    id: str = "RPR000"
+    name: str = "unnamed"
+    severity: str = "error"
+    rationale: str = ""
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        return True
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=ctx.symbol_of(node),
+        )
+
+
+class ModuleContext:
+    """Everything a rule needs about one parsed module."""
+
+    def __init__(self, rel_path: str, source: str):
+        self.rel_path = rel_path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel_path)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._noqa = self._parse_noqa()
+
+    # -- relationships -------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def in_async_function(self, node: ast.AST) -> bool:
+        """Whether ``node`` runs on the event loop: its nearest enclosing
+        function is ``async def`` (a nested sync ``def`` opts back out)."""
+        return isinstance(self.enclosing_function(node), ast.AsyncFunctionDef)
+
+    def enclosing_handler(self, node: ast.AST) -> ast.ExceptHandler | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ExceptHandler):
+                return ancestor
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None  # a nested def is a fresh raise context
+        return None
+
+    def symbol_of(self, node: ast.AST) -> str:
+        parts = []
+        if isinstance(node, _SCOPE_NODES):
+            parts.append(node.name)
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, _SCOPE_NODES):
+                parts.append(ancestor.name)
+        return ".".join(reversed(parts))
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def body_nodes(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[ast.AST]:
+        """Walk a function's own body, not descending into nested defs."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SCOPE_NODES):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- suppression ---------------------------------------------------------
+
+    def _parse_noqa(self) -> dict[int, set[str] | None]:
+        """``{lineno: {rule ids}}``; ``None`` means every rule."""
+        table: dict[int, set[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                table[lineno] = None
+            else:
+                table[lineno] = {
+                    piece.strip() for piece in rules.split(",") if piece.strip()
+                }
+        return table
+
+    def suppressed(self, finding: Finding) -> bool:
+        rules = self._noqa.get(finding.line, ())
+        return rules is None or finding.rule in rules
+
+
+def dotted_name(expr: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name; ``""`` otherwise.
+
+    Chains rooted in calls or subscripts (``open(p).read``) resolve to
+    the readable suffix prefixed with ``()`` so rules can still match on
+    the tail without mistaking it for a module path.
+    """
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("()")
+    return ".".join(reversed(parts))
+
+
+def call_name(call: ast.Call) -> str:
+    """The last component of a call's function: ``fsync_file``, ``sleep``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def analyze_source(
+    source: str, rel_path: str, rules: Iterable[Rule]
+) -> list[Finding]:
+    """Run ``rules`` over one module's source; noqa already applied."""
+    ctx = ModuleContext(rel_path, source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path], root: Path) -> Iterator[Path]:
+    """Expand files/directories into a deterministic ``.py`` file list."""
+    seen = set()
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+    *,
+    root: str | Path | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Scan files and directories; returns ``(findings, skipped)``.
+
+    ``skipped`` lists files that could not be read or parsed (reported,
+    never silently dropped — an unparseable file would otherwise read
+    as "clean").  Paths in findings are relative to ``root`` (default:
+    the current directory) when possible.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    rules = list(rules)
+    findings: list[Finding] = []
+    skipped: list[str] = []
+    for path in iter_python_files(paths, root_path):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            skipped.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            rel = path.resolve().relative_to(root_path.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            findings.extend(analyze_source(source, rel, rules))
+        except SyntaxError as exc:
+            skipped.append(f"{rel}: syntax error: {exc}")
+    return sorted(findings, key=Finding.sort_key), skipped

@@ -1,0 +1,71 @@
+"""The :class:`Finding` record and its output formats.
+
+A finding is one rule violation at one source location.  Findings are
+value objects: the engine produces them, the baseline filters them, and
+the CLI renders them as ``text`` (human), ``json`` (machine), or
+``github`` (workflow annotations) — the same record in every format, so
+a CI annotation and a local run always agree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+#: Severity levels, strongest first (used for sorting and GitHub mapping).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative and POSIX-style so findings are stable
+    across machines; ``symbol`` is the dotted enclosing scope
+    (``Class.method``), the key the baseline matches on so entries
+    survive unrelated line drift.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def format_text(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        scope = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule} {self.severity}: {self.message}{scope}"
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow-command annotation line."""
+        kind = "error" if self.severity == "error" else "warning"
+        title = f"{self.rule}: repro invariant"
+        return (
+            f"::{kind} file={self.path},line={self.line},col={self.col},"
+            f"title={title}::{self.message}"
+        )
+
+
+def render(findings: list[Finding], fmt: str) -> str:
+    """Render sorted findings in one of the supported formats."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    if fmt == "json":
+        return json.dumps(
+            {"findings": [f.as_dict() for f in ordered]},
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt == "github":
+        return "\n".join(f.format_github() for f in ordered)
+    if fmt == "text":
+        return "\n".join(f.format_text() for f in ordered)
+    raise ValueError(f"unknown format {fmt!r}; expected text, json, or github")

@@ -1,0 +1,88 @@
+"""RPR002 — blocking calls inside ``async def``.
+
+The serving layer's concurrency model (PR 3, ``service/handlers.py``
+docstring) relies on every handler being loop-friendly: one blocking
+call inside an ``async def`` stalls *every* connection the server is
+multiplexing, turning a single slow disk or peer into whole-service
+latency.  This rule flags the classic offenders lexically inside an
+``async def``: ``time.sleep``, synchronous ``socket`` construction and
+IO, ``subprocess`` calls, ``os.system``, and builtin ``open`` (the
+request path must not do sync file IO; snapshot first, then hand off to
+an executor).
+
+A sync ``def`` nested inside an ``async def`` is *not* flagged: it runs
+wherever it is called from (often a thread-pool executor), which is the
+sanctioned escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, dotted_name
+from repro.analysis.findings import Finding
+
+#: Fully-dotted callables that block the thread they run on.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep() stalls the event loop; use asyncio.sleep()",
+    "os.system": "os.system() blocks; use asyncio.create_subprocess_shell()",
+    "socket.socket": "sync socket construction on the loop; use loop transports",
+    "socket.create_connection": (
+        "sync connect blocks the loop; use asyncio.open_connection()"
+    ),
+    "socket.getaddrinfo": (
+        "sync DNS resolution blocks the loop; use loop.getaddrinfo()"
+    ),
+    "subprocess.run": "subprocess.run() blocks; use asyncio.create_subprocess_exec()",
+    "subprocess.call": "subprocess.call() blocks; use asyncio subprocesses",
+    "subprocess.check_call": "blocks the loop; use asyncio subprocesses",
+    "subprocess.check_output": "blocks the loop; use asyncio subprocesses",
+    "urllib.request.urlopen": "sync HTTP blocks the loop",
+}
+
+#: Method names that are synchronous socket IO wherever they appear.
+_BLOCKING_METHODS = {"recv", "recv_into", "sendto", "accept"}
+
+
+class BlockingCallInAsync(Rule):
+    id = "RPR002"
+    name = "blocking-call-in-async"
+    severity = "error"
+    rationale = (
+        "one blocking call inside an async handler stalls every "
+        "connection the event loop is serving"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in ctx.body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                message = self._blocking_reason(node)
+                if message is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"blocking call in async {func.name}(): {message}",
+                    )
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call) -> str | None:
+        dotted = dotted_name(call.func)
+        if dotted in _BLOCKING_DOTTED:
+            return _BLOCKING_DOTTED[dotted]
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in _BLOCKING_METHODS:
+                return (
+                    f"sync socket IO (.{call.func.attr}()) on the request "
+                    f"path; use the asyncio stream APIs"
+                )
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            return (
+                "builtin open() does sync file IO on the loop; read the "
+                "bytes up front or run the IO in an executor"
+            )
+        return None

@@ -1,0 +1,80 @@
+"""RPR001 — un-fsynced low-level writes on durable paths.
+
+The crash-safety layer's contract (PR 1/PR 4, DESIGN.md §8) is that a
+durable write path reaches an fsync barrier before it returns: an
+``os.write``/``os.pwrite``/``write_all`` that is ACKed without one can
+be lost by ``kill -9`` even though the caller saw success.  This rule
+walks every function in ``storage/`` modules and flags low-level writes
+in functions that never touch a durability primitive
+(:func:`repro.storage.durable.fsync_file` and friends, ``os.fsync``, or
+a writer's ``sync()``/``flush()+fsync`` pair).
+
+Buffered ``fh.write(...)`` calls are deliberately out of scope: the
+format writers stage bytes through buffered handles and pay their
+barrier in ``sync()``/``close()``; flagging every buffered write would
+drown the signal.  The rule targets the calls that bypass buffering —
+exactly where a missing barrier is both most tempting and most silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, call_name, dotted_name
+from repro.analysis.findings import Finding
+
+#: Direct, unbuffered write entry points.
+_LOW_LEVEL_WRITES = {"os.write", "os.pwrite", "os.writev", "os.pwritev"}
+_WRITE_NAMES = {"write_all"}
+
+#: Any of these in the same function counts as reaching a barrier.
+_BARRIER_NAMES = {
+    "fsync",
+    "fsync_file",
+    "fsync_path",
+    "fsync_dir",
+    "sync",
+    "fdatasync",
+    "durable_replace",
+    "durable_write_bytes",
+}
+
+
+class UnfsyncedDurableWrite(Rule):
+    id = "RPR001"
+    name = "unfsynced-durable-write"
+    severity = "error"
+    rationale = (
+        "durable storage paths must reach an fsync barrier before "
+        "returning, or an ACKed write can vanish on power loss"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "storage/" in ctx.rel_path
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            writes: list[ast.Call] = []
+            has_barrier = False
+            for node in ctx.body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if (
+                    dotted_name(node.func) in _LOW_LEVEL_WRITES
+                    or name in _WRITE_NAMES
+                ):
+                    writes.append(node)
+                elif name in _BARRIER_NAMES:
+                    has_barrier = True
+            if has_barrier:
+                continue
+            for write in writes:
+                yield self.finding(
+                    ctx,
+                    write,
+                    f"low-level write ({dotted_name(write.func) or call_name(write)}) "
+                    f"in {func.name}() never reaches an fsync barrier "
+                    f"(durable.fsync_* / os.fsync / .sync()) before returning",
+                )

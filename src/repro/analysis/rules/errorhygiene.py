@@ -1,0 +1,173 @@
+"""RPR003/RPR006 — typed-error context and broad-except hygiene.
+
+**RPR003** enforces the storage-error contract from ``repro/errors.py``:
+every :class:`StorageError` family raise carries ``path=`` (so
+``repro-mine check``/``repair`` can act on the exact failure site
+without parsing message strings), and any typed library error raised
+inside an ``except`` handler chains the original with ``raise ... from``
+(so a salvage log shows the root OSError, not just our wrapper).
+``raise ... from None`` is accepted as an explicit, visible decision.
+
+**RPR006** flags swallowed failures: bare ``except:``, an
+``except Exception/BaseException`` whose body neither re-raises nor
+references the captured exception (if it is not logged, recorded, or
+re-raised, the failure simply evaporates), and
+``contextlib.suppress(Exception/BaseException)`` — the with-statement
+spelling of the same black hole.  Narrow excepts (``except OSError:``)
+are out of scope: catching a *specific* failure and moving on is a
+decision the type already documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, call_name
+from repro.analysis.findings import Finding
+
+_STORAGE_ERRORS = {
+    "StorageError",
+    "CorruptFileError",
+    "TornWriteError",
+    "RecoveryError",
+}
+_CHAINED_ERRORS = _STORAGE_ERRORS | {
+    "ServiceError",
+    "ServiceProtocolError",
+    "ConnectionClosedError",
+    "ServiceTimeoutError",
+    "DegradedError",
+    "CircuitOpenError",
+    "ParallelExecutionError",
+    "ConfigurationError",
+    "DatabaseMismatchError",
+    "QueryError",
+    "ReproError",
+}
+_BROAD = {"Exception", "BaseException"}
+
+
+class StorageErrorContext(Rule):
+    id = "RPR003"
+    name = "storage-error-context"
+    severity = "error"
+    rationale = (
+        "storage errors without path/offset context or exception "
+        "chaining strip the information recovery tooling acts on"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue
+            name = call_name(exc)
+            if name in _STORAGE_ERRORS:
+                keywords = {kw.arg for kw in exc.keywords if kw.arg}
+                if "path" not in keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name} raised without path= context; attach the "
+                        f"offending file (and offset= when known) so "
+                        f"check/repair tooling can act on it",
+                    )
+            if name in _CHAINED_ERRORS:
+                if ctx.enclosing_handler(node) is not None and node.cause is None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name} raised inside an except handler without "
+                        f"'from' — chain the original exception "
+                        f"(or 'from None' if suppression is deliberate)",
+                    )
+
+
+class SwallowedException(Rule):
+    id = "RPR006"
+    name = "swallowed-exception"
+    severity = "error"
+    rationale = (
+        "a broad except that neither re-raises nor records the "
+        "exception makes failures invisible"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_suppress(ctx, node)
+
+    def _check_handler(
+        self, ctx: ModuleContext, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                ctx,
+                handler,
+                "bare 'except:' swallows everything including "
+                "KeyboardInterrupt; catch a specific type",
+            )
+            return
+        if not self._is_broad(handler.type):
+            return
+        if self._reraises(handler) or self._uses_exception(handler):
+            return
+        caught = (
+            handler.type.id
+            if isinstance(handler.type, ast.Name)
+            else "Exception"
+        )
+        yield self.finding(
+            ctx,
+            handler,
+            f"'except {caught}' neither re-raises nor references the "
+            f"exception — log it, record it, or narrow the except",
+        )
+
+    def _check_suppress(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        if call_name(call) != "suppress":
+            return
+        for arg in call.args:
+            if isinstance(arg, ast.Name) and arg.id in _BROAD:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"contextlib.suppress({arg.id}) silently swallows every "
+                    f"failure in its block; suppress specific types or "
+                    f"handle and log",
+                )
+                return
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        nodes = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        return any(
+            isinstance(node, ast.Name) and node.id in _BROAD for node in nodes
+        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise)
+            for stmt in handler.body
+            for node in ast.walk(stmt)
+        )
+
+    @staticmethod
+    def _uses_exception(handler: ast.ExceptHandler) -> bool:
+        if handler.name is None:
+            return False
+        return any(
+            isinstance(node, ast.Name) and node.id == handler.name
+            for stmt in handler.body
+            for node in ast.walk(stmt)
+        )

@@ -1,0 +1,92 @@
+"""RPR007 — operations that could turn an over-estimate into an under-estimate.
+
+The paper's filter-and-refine correctness (Lemmas 1–4) rests on one
+inequality: ``CountItemSet`` never *under*-estimates true support, so
+pruning on the estimate never loses a frequent pattern.  Any arithmetic
+that can pull a popcount-derived estimate *down* — subtracting from it,
+or taking ``min()`` of it against something else — silently converts
+"safe over-estimate" into "possible false dismissal", the one failure
+mode the mining schemes cannot detect downstream.
+
+This rule flags, in ``core/`` modules, subtraction and ``min()``
+applied directly to a count-path call result (``popcount``,
+``count_itemset``, ``count_with_constraint``, ``estimated_count``,
+...).  Legitimate exact-side arithmetic (probe results, refine-phase
+counts) operates on confirmed counts, not on the estimate, and does not
+name these calls — and a genuinely sound transformation can carry a
+``# repro: noqa(RPR007)`` with its proof obligation stated inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, call_name
+from repro.analysis.findings import Finding
+
+#: Calls whose result is a never-under-estimating count (Lemmas 1-4).
+_ESTIMATE_CALLS = {
+    "popcount",
+    "count_itemset",
+    "count_and_vector",
+    "count_with_constraint",
+    "estimated_count",
+    "estimated_count_where",
+}
+
+
+class EstimateSoundness(Rule):
+    id = "RPR007"
+    name = "estimate-soundness"
+    severity = "error"
+    rationale = (
+        "subtracting from or min()-ing a popcount estimate can "
+        "under-estimate support, breaking the Lemma 1-4 pruning guarantee"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "core/" in ctx.rel_path
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for side in (node.left, node.right):
+                    name = self._estimate_call(side)
+                    if name and side is node.left:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"subtraction from a {name}() result can "
+                            f"under-estimate support; the count path must "
+                            f"only ever over-estimate (Lemmas 1-4)",
+                        )
+                    elif name:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"subtracting a {name}() estimate from another "
+                            f"value bakes an over-estimate into the result "
+                            f"with inverted sign; derive the quantity from "
+                            f"exact counts instead",
+                        )
+            elif isinstance(node, ast.Call) and call_name(node) == "min":
+                for arg in node.args:
+                    name = self._estimate_call(arg)
+                    if name:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"min() applied to a {name}() result can pull "
+                            f"the estimate below true support; clamp only "
+                            f"with provable upper bounds (e.g. "
+                            f"n_transactions) via an exactness check",
+                        )
+
+    @staticmethod
+    def _estimate_call(expr: ast.AST) -> str | None:
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in _ESTIMATE_CALLS:
+                return name
+        return None

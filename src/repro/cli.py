@@ -18,6 +18,10 @@ After a crash, ``repro-mine check <file>`` classifies the damage
 <file> [--db ...]`` salvages it — both work on DiskBBS segment logs,
 BBS slice files, and transaction-file pairs.
 
+``repro-mine lint`` runs the AST-based invariant linter
+(:mod:`repro.analysis`) over the tree — rules RPR001-RPR007, with
+``--format github`` for CI annotations.
+
 ``repro-mine serve`` keeps an index resident and answers concurrent
 clients over TCP (see :mod:`repro.service`); ``repro-mine query``
 talks to a running server::
@@ -216,6 +220,13 @@ def _build_parser() -> argparse.ArgumentParser:
     qsub.add_parser("health", help="liveness check")
     qsub.add_parser("recover", help="heal a degraded server's write path")
     qsub.add_parser("shutdown", help="ask the server to drain and exit")
+
+    from repro.tools.lint import configure_parser as _configure_lint
+
+    _configure_lint(sub.add_parser(
+        "lint",
+        help="run the repo invariant linter (rules RPR001-RPR007)",
+    ))
 
     sub.add_parser("example", help="replay the paper's running example")
     return parser
@@ -730,6 +741,12 @@ def _cmd_import(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.tools.lint import run as run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -742,6 +759,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "lint": _cmd_lint,
     "example": _cmd_example,
 }
 

@@ -28,7 +28,9 @@ def read_fimi(path, *, max_transactions: int | None = None) -> TransactionDataba
     try:
         text = target.read_text()
     except OSError as exc:
-        raise StorageError(f"cannot read FIMI file {target}: {exc}") from exc
+        raise StorageError(
+            f"cannot read FIMI file {target}: {exc}", path=target
+        ) from exc
     database = TransactionDatabase()
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -38,17 +40,21 @@ def read_fimi(path, *, max_transactions: int | None = None) -> TransactionDataba
             items = [int(piece) for piece in line.split()]
         except ValueError as exc:
             raise StorageError(
-                f"{target}:{line_no}: FIMI lines must be integers, got {raw!r}"
+                f"{target}:{line_no}: FIMI lines must be integers, "
+                f"got {raw!r}", path=target,
             ) from exc
         if any(item < 0 for item in items):
             raise StorageError(
-                f"{target}:{line_no}: FIMI items must be non-negative"
+                f"{target}:{line_no}: FIMI items must be non-negative",
+                path=target,
             )
         database.append(items)
         if max_transactions is not None and len(database) >= max_transactions:
             break
     if len(database) == 0:
-        raise StorageError(f"FIMI file {target} contains no transactions")
+        raise StorageError(
+            f"FIMI file {target} contains no transactions", path=target
+        )
     return database
 
 

@@ -420,7 +420,9 @@ class PatternService:
             audit = quick_audit(self.index, self.database)
             if not audit.ok:
                 raise StorageError(
-                    "post-recovery audit failed: " + "; ".join(audit.issues[:3])
+                    "post-recovery audit failed: "
+                    + "; ".join(audit.issues[:3]),
+                    path=getattr(self.index, "path", None),
                 )
         except (ReproError, OSError) as exc:
             self.degraded_reason = f"recovery failed: {exc}"

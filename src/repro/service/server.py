@@ -108,7 +108,7 @@ class PatternServer:
         if self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
         if self._server is not None:
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(OSError):
                 await self._server.wait_closed()
         self.service.close()
         self._drained = True
@@ -147,14 +147,14 @@ class PatternServer:
             self.active_connections -= 1
             self._connections.discard(task)
             writer.close()
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(OSError):
                 await writer.wait_closed()
 
     async def _refuse(self, writer, error_type: str, message: str) -> None:
-        with contextlib.suppress(Exception):
+        with contextlib.suppress(OSError):
             await write_frame(writer, error_frame(-1, error_type, message))
         writer.close()
-        with contextlib.suppress(Exception):
+        with contextlib.suppress(OSError):
             await writer.wait_closed()
 
     async def _serve_connection(self, reader, writer) -> None:
@@ -177,7 +177,7 @@ class PatternServer:
             try:
                 payload = read_task.result()
             except ServiceProtocolError as exc:
-                with contextlib.suppress(Exception):
+                with contextlib.suppress(OSError):
                     await write_frame(
                         writer, error_frame(-1, "protocol", str(exc))
                     )

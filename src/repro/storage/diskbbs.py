@@ -290,7 +290,9 @@ class DiskBBS:
                 deltas = json.loads(counts_blob)
                 for tagged, count in deltas["item_counts"]:
                     self._counts.merge(
-                        ItemCountTable({_decode_item(tagged): int(count)})
+                        ItemCountTable(
+                            {_decode_item(tagged, self.path): int(count)}
+                        )
                     )
                 self._signature_bits += int(deltas.get("signature_bits", 0))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
@@ -438,7 +440,7 @@ class DiskBBS:
         counts_blob = json.dumps(
             {
                 "item_counts": [
-                    [_encode_item(item), count]
+                    [_encode_item(item, self.path), count]
                     for item, count in sorted(
                         counts.items(), key=lambda pair: repr(pair[0])
                     )

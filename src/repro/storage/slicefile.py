@@ -41,21 +41,24 @@ _HEAD = struct.Struct("<4sII")
 _CRC = struct.Struct("<I")
 
 
-def _encode_item(item) -> list:
+def _encode_item(item, path: Path) -> list:
     if isinstance(item, bool) or not isinstance(item, (int, str)):
         raise StorageError(
-            f"only int and str items can be persisted, got {type(item).__name__}"
+            f"only int and str items can be persisted, "
+            f"got {type(item).__name__}", path=path,
         )
     return ["i", item] if isinstance(item, int) else ["s", item]
 
 
-def _decode_item(tagged: list):
+def _decode_item(tagged: list, path: Path):
     tag, value = tagged
     if tag == "i":
         return int(value)
     if tag == "s":
         return str(value)
-    raise CorruptFileError(f"unknown item tag {tag!r} in slice file")
+    raise CorruptFileError(
+        f"unknown item tag {tag!r} in slice file", path=path
+    )
 
 
 def save_bbs(bbs, path) -> None:
@@ -67,6 +70,7 @@ def save_bbs(bbs, path) -> None:
     (write-temp-then-rename alone is atomic only against concurrent
     readers, not against power loss).
     """
+    target = Path(path)
     slices, n_tx, counts, sig_bits = bbs._raw_state()
     header = {
         "hash_family": bbs.hash_family.describe(),
@@ -76,7 +80,7 @@ def save_bbs(bbs, path) -> None:
         "n_words": int(slices.shape[1]),
         "signature_bits_total": sig_bits,
         "item_counts": [
-            [_encode_item(item), count] for item, count in sorted(
+            [_encode_item(item, target), count] for item, count in sorted(
                 counts.items(), key=lambda pair: repr(pair[0])
             )
         ],
@@ -88,7 +92,7 @@ def save_bbs(bbs, path) -> None:
     payload += np.ascontiguousarray(slices, dtype="<u8").tobytes()
     payload += _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
 
-    durable_write_bytes(Path(path), bytes(payload), bbs.stats)
+    durable_write_bytes(target, bytes(payload), bbs.stats)
     bbs.stats.page_writes += _pages(len(payload))
 
 
@@ -154,7 +158,7 @@ def load_bbs(path, *, stats: IOStats | None = None):
         sig_bits = int(header.get("signature_bits_total", 0))
         family = family_from_description(header["hash_family"])
         counts = {
-            _decode_item(tagged): int(count)
+            _decode_item(tagged, target): int(count)
             for tagged, count in header["item_counts"]
         }
     except (KeyError, TypeError, ValueError, CorruptFileError) as exc:

@@ -1,0 +1,187 @@
+"""``python -m repro.tools.lint`` — run the repo invariant linter.
+
+Exit codes: ``0`` clean (every finding suppressed or baselined), ``1``
+unbaselined findings (or stale baseline entries under ``--strict``),
+``2`` usage or baseline-file errors.
+
+The ``github`` format emits workflow-command annotations so findings
+land inline on pull requests; ``json`` is the machine format the
+fixture tests consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+)
+from repro.analysis.findings import render
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the linter's arguments to ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RPRnnn",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"accepted-findings file (default: ./{DEFAULT_BASELINE_NAME} "
+             f"when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept the current findings "
+             "(existing justifications are preserved; new entries get a "
+             "TODO that must be filled in)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory findings paths are made relative to (default: .)",
+    )
+    return parser
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    return configure_parser(
+        argparse.ArgumentParser(
+            prog="repro-mine lint",
+            description="AST-based invariant linter (rules RPR001-RPR007)",
+        )
+    )
+
+
+def _resolve_baseline(args) -> tuple[Baseline, Path | None]:
+    if args.no_baseline:
+        return Baseline.empty(), None
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if args.write_baseline and not path.exists():
+            return Baseline.empty(), path
+        return Baseline.load(path), path
+    default = Path(args.root) / DEFAULT_BASELINE_NAME
+    if default.exists():
+        return Baseline.load(default), default
+    return Baseline.empty(), default
+
+
+def _list_rules() -> int:
+    for rule in ALL_RULES:
+        print(f"{rule.id}  {rule.name} [{rule.severity}]")
+        print(f"       {rule.rationale}")
+    return 0
+
+
+def main(argv=None) -> int:
+    return run(_build_parser().parse_args(argv))
+
+
+def run(args) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+    try:
+        rules = rules_by_id(args.rule)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        baseline, baseline_path = _resolve_baseline(args)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings, skipped = analyze_paths(args.paths, rules, root=args.root)
+    for warning in skipped:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "error: --write-baseline needs a baseline path "
+                "(drop --no-baseline or pass --baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        document = baseline.regenerate(findings)
+        baseline_path.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {baseline_path} ({len(document['entries'])} entr"
+            f"{'y' if len(document['entries']) == 1 else 'ies'})"
+        )
+        return 0
+
+    result = baseline.apply(findings)
+    output = render(result.new, args.format)
+    if output:
+        print(output)
+    for entry in result.stale:
+        print(
+            f"warning: stale baseline entry {entry.rule} at {entry.path} "
+            f"[{entry.symbol}] no longer matches any finding — remove it",
+            file=sys.stderr,
+        )
+    if args.format == "text":
+        summary = (
+            f"{len(result.new)} finding(s), "
+            f"{len(result.accepted)} baselined, "
+            f"{len(result.stale)} stale baseline entr"
+            f"{'y' if len(result.stale) == 1 else 'ies'}"
+        )
+        print(summary, file=sys.stderr)
+    if result.new:
+        return 1
+    if args.strict and result.stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
