@@ -11,11 +11,19 @@ drains gracefully and exits 0.
 Exits non-zero (with a diagnostic on stderr) on any failure, so it can
 gate a CI job directly:
 
-    python scripts/service_smoke.py
+    python scripts/service_smoke.py [--chaos-seed N]
+
+``--failover`` runs the replication smoke instead: a durable primary
+and a bootstrapped follower as real subprocesses, tokened appends, a
+kill -9 of the primary, promotion of the follower, and exactly-once /
+fresh-rebuild-equivalence checks on the survivor:
+
+    python scripts/service_smoke.py --failover
 """
 
 from __future__ import annotations
 
+import argparse
 import signal
 import subprocess
 import sys
@@ -24,6 +32,7 @@ import time
 from pathlib import Path
 
 from repro.cli import main as cli_main
+from repro.errors import ServiceError
 from repro.service.client import ServiceClient
 from repro.service.resilience import RetryingClient, RetryPolicy
 from repro.testing.netfaults import ChaosProxy, DropResponse
@@ -100,13 +109,13 @@ def exercise(port: int) -> None:
               f"{metrics['io']['slice_reads']} slice reads")
 
 
-def chaos_round(port: int) -> None:
+def chaos_round(port: int, chaos_seed: int) -> None:
     """Reset an append's ACK mid-flight; the retry must dedupe."""
     policy = RetryPolicy(
         max_attempts=6, base_delay=0.05, op_deadline=30.0,
         request_timeout=5.0, connect_timeout=5.0,
     )
-    with ChaosProxy("127.0.0.1", port).start() as proxy:
+    with ChaosProxy("127.0.0.1", port, seed=chaos_seed).start() as proxy:
         with RetryingClient(
             "127.0.0.1", proxy.port, policy=policy, seed=13
         ) as client:
@@ -128,9 +137,40 @@ def chaos_round(port: int) -> None:
                 fail(f"marker transaction counted {exact} times")
     print(f"  chaos: dropped ACK retried ({client.retries} retry/ies), "
           f"applied exactly once")
+    seeded_chaos_round(port, chaos_seed)
 
 
-def smoke() -> None:
+def seeded_chaos_round(port: int, chaos_seed: int) -> None:
+    """A seed-drawn fault schedule; every append still applies once."""
+    policy = RetryPolicy(
+        max_attempts=8, base_delay=0.05, op_deadline=30.0,
+        request_timeout=5.0, connect_timeout=5.0,
+    )
+    markers = [4300, 4301, 4302]
+    with ChaosProxy("127.0.0.1", port, seed=chaos_seed).start() as proxy:
+        drawn = proxy.schedule_random(len(markers))
+        print(f"  chaos: seed {chaos_seed} drew "
+              + ", ".join(type(f).__name__ for f in drawn))
+        with RetryingClient(
+            "127.0.0.1", proxy.port, policy=policy, seed=chaos_seed
+        ) as client:
+            before = client.status()["n_transactions"]
+            for marker in markers:
+                client.close()  # each re-dial can meet a scheduled fault
+                client.append([marker])
+            after = client.status()["n_transactions"]
+            if after != before + len(markers):
+                fail(f"seeded chaos applied {after - before} of "
+                     f"{len(markers)} appends (want all, exactly once)")
+            for marker in markers:
+                exact = client.count([marker], exact=True)["exact"]
+                if exact != 1:
+                    fail(f"marker {marker} counted {exact} times under "
+                         f"seed {chaos_seed}")
+    print(f"  chaos: seeded schedule survived with exactly-once appends")
+
+
+def smoke(chaos_seed: int) -> None:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         db_path, idx_path = build_fixture(Path(tmp))
         proc = subprocess.Popen(
@@ -141,7 +181,7 @@ def smoke() -> None:
         try:
             port = wait_for_port(proc)
             exercise(port)
-            chaos_round(port)
+            chaos_round(port, chaos_seed)
             proc.send_signal(signal.SIGTERM)
             out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
         except Exception:
@@ -157,5 +197,157 @@ def smoke() -> None:
     print("service smoke OK")
 
 
+# -- replication failover smoke ---------------------------------------------
+
+
+def build_durable_fixture(workdir: Path, *, m: int = 256, k: int = 4):
+    """A transaction file plus a DiskBBS segment log over it."""
+    from repro.data.diskdb import DiskDatabase
+    from repro.storage.diskbbs import DiskBBS
+
+    db_path = str(workdir / "primary.tx")
+    idx_path = str(workdir / "primary.bbsd")
+    if cli_main(["generate", "--out", db_path, "--transactions", "300",
+                 "--items", "60", "--patterns", "20", "--seed", "13"]) != 0:
+        fail("fixture generation failed")
+    with DiskDatabase(db_path) as db:
+        index = DiskBBS.create(idx_path, m=m, k=k, flush_threshold=64)
+        for transaction in db:
+            index.insert(transaction)
+        index.flush()
+        index.close()
+    return db_path, idx_path, m, k
+
+
+def spawn_serve(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def wait_for_catch_up(port: int, expected: int, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with ServiceClient("127.0.0.1", port, timeout=5.0) as client:
+            status = client.status()
+        replication = status.get("replication", {})
+        if (status["n_transactions"] >= expected
+                and replication.get("lag") == 0):
+            return status
+        time.sleep(0.1)
+    fail(f"follower never caught up to {expected} transaction(s)")
+
+
+def failover() -> None:
+    """Kill -9 the primary; the promoted follower must have everything."""
+    from repro.core.bbs import BBS
+    from repro.data.diskdb import DiskDatabase
+    from repro.service.resilience import TOKEN_MIN
+
+    with tempfile.TemporaryDirectory(prefix="repro-failover-") as tmp:
+        workdir = Path(tmp)
+        db_path, idx_path, m, k = build_durable_fixture(workdir)
+        follower_db = str(workdir / "follower.tx")
+        follower_idx = str(workdir / "follower.bbsd")
+        primary = spawn_serve("--db", db_path, "--index", idx_path,
+                              "--durable", "--port", "0",
+                              "--scrub-interval", "0")
+        follower = None
+        try:
+            primary_port = wait_for_port(primary)
+            follower = spawn_serve(
+                "--db", follower_db, "--index", follower_idx,
+                "--follower", f"127.0.0.1:{primary_port}",
+                "--port", "0", "--scrub-interval", "0",
+            )
+            follower_port = wait_for_port(follower)
+
+            tokens = [TOKEN_MIN + 9100 + i for i in range(6)]
+            with ServiceClient("127.0.0.1", primary_port) as client:
+                base = client.status()["n_transactions"]
+                for offset, token in enumerate(tokens):
+                    client.append([9000 + offset], token=token)
+            expected = base + len(tokens)
+            status = wait_for_catch_up(follower_port, expected)
+            print(f"  follower caught up: {status['n_transactions']} tx, "
+                  f"lag 0, role {status['role']}")
+
+            with ServiceClient("127.0.0.1", follower_port) as client:
+                try:
+                    client.append([1])
+                except ServiceError as exc:
+                    if exc.error_type != "not_primary":
+                        fail(f"follower refused the append with "
+                             f"{exc.error_type!r}, want 'not_primary'")
+                else:
+                    fail("follower accepted an append before promotion")
+
+            primary.kill()  # SIGKILL: no drain, no goodbye
+            primary.communicate()
+            print("  primary killed -9")
+
+            with ServiceClient("127.0.0.1", follower_port) as client:
+                promoted = client.promote()
+                if not promoted["promoted"] or promoted["role"] != "primary":
+                    fail(f"promotion failed: {promoted}")
+                print(f"  promoted: {'; '.join(promoted['actions'])}")
+                # A client retrying its last ACKed append against the new
+                # primary must be answered from the idempotency window.
+                retried = client.append([9000 + len(tokens) - 1],
+                                        token=tokens[-1])
+                if not retried.get("deduped"):
+                    fail("retried ACKed append was not deduped after "
+                         "promotion (would double-apply)")
+                client.append([9999])
+                status = client.status()
+                if status["role"] != "primary":
+                    fail(f"promoted server reports role {status['role']!r}")
+                if status["n_transactions"] != expected + 1:
+                    fail(f"promoted server has {status['n_transactions']} "
+                         f"tx, want {expected + 1}")
+                for offset in range(len(tokens)):
+                    exact = client.count([9000 + offset], exact=True)["exact"]
+                    if exact != 1:
+                        fail(f"marker {9000 + offset} counted {exact} "
+                             f"times on the promoted primary")
+                probe = client.count([3, 17])["estimate"]
+
+            # The survivor's estimates must be bit-identical to a fresh
+            # single-node build over its own database.
+            with DiskDatabase(follower_db) as disk:
+                fresh = BBS.from_database(disk, m=m, k=k)
+            if fresh.count_itemset([3, 17]) != probe:
+                fail(f"promoted estimate {probe} differs from a fresh "
+                     f"rebuild's {fresh.count_itemset([3, 17])}")
+
+            follower.send_signal(signal.SIGTERM)
+            out, _ = follower.communicate(timeout=DRAIN_TIMEOUT_S)
+            if follower.returncode != 0 or "drained after" not in out:
+                fail(f"promoted server did not drain cleanly "
+                     f"({follower.returncode}): {out}")
+            follower = None
+        finally:
+            for proc in (primary, follower):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+    print("failover smoke OK")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="service smoke test")
+    parser.add_argument("--chaos-seed", type=int, default=13,
+                        help="seed for the randomized chaos schedule "
+                             "(same seed = same fault sequence)")
+    parser.add_argument("--failover", action="store_true",
+                        help="run the replication failover smoke instead")
+    args = parser.parse_args(argv)
+    if args.failover:
+        failover()
+    else:
+        smoke(args.chaos_seed)
+
+
 if __name__ == "__main__":
-    smoke()
+    main()

@@ -18,6 +18,7 @@ from repro.analysis.rules.errorhygiene import (
     SwallowedException,
 )
 from repro.analysis.rules.estimates import EstimateSoundness
+from repro.analysis.rules.replication import JournalWriteOutsideLog
 
 #: One instance per rule, in id order.
 ALL_RULES: list[Rule] = [
@@ -28,6 +29,7 @@ ALL_RULES: list[Rule] = [
     NondeterministicPartitioning(),
     SwallowedException(),
     EstimateSoundness(),
+    JournalWriteOutsideLog(),
 ]
 
 

@@ -1,0 +1,66 @@
+"""RPR008 — journal writes in the service layer must go through
+:class:`~repro.service.replication.ReplicationLog`.
+
+Replication correctness (DESIGN.md §9) rests on one funnel: every
+journal mutation in the serving layer happens through the
+``ReplicationLog`` append/salvage API, so a follower tailing the
+journal sees exactly the records the primary ACKed, in order, with
+their original tids.  A service module that constructs a
+``TransactionFileWriter`` of its own — or calls ``salvage_txfile``
+directly — can mutate the journal behind the log's tail reader and
+break the follower's "indexed record ⇒ complete record" invariant.
+
+The rule flags any call in ``service/`` modules whose final dotted
+component is ``TransactionFileWriter`` or ``salvage_txfile``.  The one
+sanctioned home for those calls is ``service/replication.py`` itself,
+which owns the funnel; the storage layer (``storage/``) is out of
+scope — the invariant is about the *serving* processes that share a
+journal with a tailing follower.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, call_name, dotted_name
+from repro.analysis.findings import Finding
+
+#: Callables that mutate a journal file pair outside the funnel.
+_RAW_JOURNAL_CALLS = {"TransactionFileWriter", "salvage_txfile"}
+
+#: The module that owns the funnel and may use the raw API.
+_SANCTIONED_SUFFIX = "service/replication.py"
+
+
+class JournalWriteOutsideLog(Rule):
+    id = "RPR008"
+    name = "journal-write-outside-replication-log"
+    severity = "error"
+    rationale = (
+        "service-layer journal mutations must go through the "
+        "ReplicationLog API, or a tailing follower can observe a "
+        "journal rewritten behind its reader"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return (
+            "service/" in ctx.rel_path
+            and not ctx.rel_path.endswith(_SANCTIONED_SUFFIX)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            for node in ctx.body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func) or call_name(node) or ""
+                if dotted.rsplit(".", 1)[-1] in _RAW_JOURNAL_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} called in {func.name}(): service-layer "
+                        f"journal writes must go through "
+                        f"repro.service.replication.ReplicationLog "
+                        f"(append/salvage), not the raw txfile API",
+                    )

@@ -19,7 +19,7 @@ After a crash, ``repro-mine check <file>`` classifies the damage
 BBS slice files, and transaction-file pairs.
 
 ``repro-mine lint`` runs the AST-based invariant linter
-(:mod:`repro.analysis`) over the tree — rules RPR001-RPR007, with
+(:mod:`repro.analysis`) over the tree — rules RPR001-RPR008, with
 ``--format github`` for CI annotations.
 
 ``repro-mine serve`` keeps an index resident and answers concurrent
@@ -181,6 +181,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--max-restarts", type=int, default=16,
                     help="abnormal worker exits tolerated before the "
                          "supervisor gives up")
+    role = sv.add_mutually_exclusive_group()
+    role.add_argument("--primary", action="store_true",
+                      help="serve as a writable primary (the default; "
+                           "explicit for symmetry with --follower)")
+    role.add_argument("--follower", metavar="HOST:PORT", default=None,
+                      help="serve as a read-only replication follower of "
+                           "the primary at HOST:PORT: bootstrap from its "
+                           "snapshot, tail its journal, refuse appends "
+                           "(implies --durable; requires --index)")
+    sv.add_argument("--standby", metavar="HOST:PORT", default=None,
+                    help="with --supervise: when salvage fails (primary "
+                         "storage lost), promote the warm standby at this "
+                         "address instead of restarting")
 
     qr = sub.add_parser("query", help="query a running `serve` instance")
     qr.add_argument("--host", default="127.0.0.1")
@@ -219,13 +232,16 @@ def _build_parser() -> argparse.ArgumentParser:
     qsub.add_parser("metrics", help="latency histograms + IOStats")
     qsub.add_parser("health", help="liveness check")
     qsub.add_parser("recover", help="heal a degraded server's write path")
+    qsub.add_parser("promote",
+                    help="promote a replication follower to a writable "
+                         "primary (no-op on a primary)")
     qsub.add_parser("shutdown", help="ask the server to drain and exit")
 
     from repro.tools.lint import configure_parser as _configure_lint
 
     _configure_lint(sub.add_parser(
         "lint",
-        help="run the repo invariant linter (rules RPR001-RPR007)",
+        help="run the repo invariant linter (rules RPR001-RPR008)",
     ))
 
     sub.add_parser("example", help="replay the paper's running example")
@@ -380,12 +396,42 @@ def _cmd_serve(args) -> int:
     from repro.service import PatternService
     from repro.service.server import PatternServer
 
+    upstream = getattr(args, "follower", None)
+    if upstream:
+        if args.supervise:
+            raise ConfigurationError(
+                "--follower and --supervise are mutually exclusive; "
+                "supervise the primary and use --standby for failover"
+            )
+        if args.track is not None:
+            raise ConfigurationError(
+                "--track needs a writable primary; a follower only "
+                "mirrors the primary's appends"
+            )
+        if not args.index:
+            raise ConfigurationError(
+                "--follower requires --index (the DiskBBS log path the "
+                "shipped snapshot is assembled into)"
+            )
+        # A follower's database *is* its replication journal; it must
+        # be durable or a restart would lose acknowledged records.
+        args.durable = True
+
     if args.supervise:
         from repro.service.supervisor import run_supervised
 
         return run_supervised(args)
 
     stats = IOStats()
+    if upstream:
+        from repro.service.replication import bootstrap_follower, parse_address
+
+        up_host, up_port = parse_address(upstream)
+        for action in bootstrap_follower(
+            up_host, up_port, db_path=args.db, index_path=args.index,
+            stats=stats,
+        ):
+            print(f"bootstrap: {action}", flush=True)
     if args.durable:
         # A durable server re-opens its own journal for writing; heal a
         # torn tail from a previous crash before anything reads it.
@@ -442,22 +488,21 @@ def _cmd_serve(args) -> int:
     journal = None
     idempotency_seed = None
     if args.durable:
+        from repro.service.replication import ReplicationLog
         from repro.service.resilience import TOKEN_MIN
-        from repro.storage.txfile import (
-            TransactionFileReader,
-            TransactionFileWriter,
-        )
+        from repro.storage.txfile import TransactionFileReader
 
         # Any persisted tid >= TOKEN_MIN is a client idempotency token;
         # re-seeding the window here is what makes append dedupe
-        # survive a crash + restart.
+        # survive a crash + restart — on a follower it is also what
+        # dedupes replicated tokens after a promotion.
         with TransactionFileReader(args.db) as reader:
             idempotency_seed = [
                 (tid, position)
                 for position, tid, _items in reader.scan()
                 if tid >= TOKEN_MIN
             ]
-        journal = TransactionFileWriter(args.db, truncate=False, stats=stats)
+        journal = ReplicationLog.open(args.db, stats=stats)
 
     try:
         service = PatternService(
@@ -468,6 +513,8 @@ def _cmd_serve(args) -> int:
             journal=journal,
             durable=args.durable,
             idempotency_seed=idempotency_seed,
+            role="follower" if upstream else "primary",
+            upstream=upstream,
         )
         scrubber = None
         if args.scrub_interval > 0:
@@ -476,6 +523,11 @@ def _cmd_serve(args) -> int:
             scrubber = Scrubber(
                 service, interval=args.scrub_interval, db_path=args.db
             )
+        tailer = None
+        if upstream:
+            from repro.service.replication import FollowerTailer
+
+            tailer = FollowerTailer(service, up_host, up_port)
         server = PatternServer(
             service,
             host=args.host,
@@ -483,12 +535,14 @@ def _cmd_serve(args) -> int:
             max_connections=args.max_connections,
             request_timeout=args.timeout,
             scrubber=scrubber,
+            tailer=tailer,
         )
         print(
             f"resident index: {type(index).__name__} m={index.m} k={index.k} "
             f"over {len(database)} transactions"
             + (f", tracking min_support={args.track}" if miner else "")
-            + (", durable appends" if args.durable else ""),
+            + (", durable appends" if args.durable else "")
+            + (f", follower of {upstream}" if upstream else ""),
             flush=True,
         )
         asyncio.run(server.run(announce=lambda msg: print(msg, flush=True)))
@@ -595,7 +649,7 @@ def _run_query_op(client, op, args):
             payload = client.cancel(args.job_id)
         elif op == "patterns":
             payload = client.patterns(top=args.top)
-        else:  # status / metrics / health / recover / shutdown
+        else:  # status / metrics / health / recover / promote / shutdown
             payload = client.request(op)
     return payload
 

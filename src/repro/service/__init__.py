@@ -22,7 +22,10 @@ concurrent clients over a tiny length-prefixed JSON protocol:
 * :mod:`repro.service.scrubber` — background incremental verification
   of the served bytes, with quarantine on findings;
 * :mod:`repro.service.supervisor` — ``serve --supervise``: restart a
-  crashed worker after storage salvage.
+  crashed worker after storage salvage, or fail over to a standby;
+* :mod:`repro.service.replication` — journal-tailing replication:
+  follower bootstrap (snapshot shipping + journal catch-up), the
+  serving-loop tailer, and promotion to primary.
 
 See DESIGN.md ("Service layer", "Failure model") and
 docs/wire_protocol.md.
@@ -31,6 +34,14 @@ docs/wire_protocol.md.
 from repro.service.cache import CountCache, MicroBatcher, canonical_itemset
 from repro.service.client import ServiceClient
 from repro.service.handlers import PatternService
+from repro.service.replication import (
+    FollowerTailer,
+    ReplicationLog,
+    ReplicationState,
+    bootstrap_follower,
+    parse_address,
+    salvage_journal,
+)
 from repro.service.resilience import (
     CircuitBreaker,
     IdempotencyWindow,
@@ -43,14 +54,20 @@ from repro.service.server import PatternServer, start_server_thread
 __all__ = [
     "CircuitBreaker",
     "CountCache",
+    "FollowerTailer",
     "IdempotencyWindow",
     "MicroBatcher",
     "PatternServer",
     "PatternService",
+    "ReplicationLog",
+    "ReplicationState",
     "RetryPolicy",
     "RetryingClient",
     "Scrubber",
     "ServiceClient",
+    "bootstrap_follower",
     "canonical_itemset",
+    "parse_address",
+    "salvage_journal",
     "start_server_thread",
 ]

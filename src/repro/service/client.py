@@ -205,6 +205,40 @@ class ServiceClient:
         """Ask a degraded server to heal its write path and resume."""
         return self.request("recover")
 
+    def replicate(
+        self,
+        from_position: int,
+        *,
+        max_records: int = 512,
+        wait_s: float = 0.0,
+    ) -> dict:
+        """One batch of journal records from ``from_position`` onward."""
+        return self.request(
+            "replicate",
+            {
+                "from_position": from_position,
+                "max_records": max_records,
+                "wait_s": wait_s,
+            },
+        )
+
+    def snapshot(self) -> dict:
+        """The sealed-segment manifest (see repro.storage.snapshot)."""
+        return self.request("snapshot")
+
+    def snapshot_fetch(
+        self, part, *, offset: int = 0, max_bytes: int = 1 << 20
+    ) -> dict:
+        """One chunk of raw snapshot bytes (base64 in the payload)."""
+        return self.request(
+            "snapshot_fetch",
+            {"part": part, "offset": offset, "max_bytes": max_bytes},
+        )
+
+    def promote(self) -> dict:
+        """Promote a follower to a writable primary (idempotent)."""
+        return self.request("promote")
+
     def shutdown(self) -> dict:
         """Ask the server to drain gracefully (same path as SIGTERM)."""
         return self.request("shutdown")

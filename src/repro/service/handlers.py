@@ -17,6 +17,8 @@ rides entirely on the index epoch (see :mod:`repro.service.cache`).
 
 from __future__ import annotations
 
+import asyncio
+import base64
 import itertools
 import time
 from collections import Counter
@@ -40,14 +42,16 @@ from repro.service.cache import (
     MicroBatcher,
     canonical_itemset,
 )
-from repro.service.protocol import ERR_BAD_REQUEST, ERR_QUERY
+from repro.service.protocol import ERR_BAD_REQUEST, ERR_NOT_PRIMARY, ERR_QUERY
+from repro.service.replication import (
+    MAX_BATCH_RECORDS,
+    MAX_WAIT_S,
+    ReplicationLog,
+    ReplicationState,
+)
 from repro.service.resilience import TOKEN_MAX, TOKEN_MIN, IdempotencyWindow
 from repro.storage.metrics import IOStats
-from repro.storage.txfile import (
-    TransactionFileReader,
-    TransactionFileWriter,
-    salvage_txfile,
-)
+from repro.storage.txfile import TransactionFileReader
 from repro.tools.verify import quick_audit
 
 #: Finished jobs retained for polling before the oldest are dropped.
@@ -159,10 +163,12 @@ class PatternService:
         miner=None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         mine_threads: int = 2,
-        journal: TransactionFileWriter | None = None,
+        journal=None,
         durable: bool = False,
         idempotency_capacity: int = 4096,
         idempotency_seed=None,
+        role: str = "primary",
+        upstream: str | None = None,
     ):
         if index.n_transactions != len(database):
             raise ConfigurationError(
@@ -176,8 +182,13 @@ class PatternService:
         self.database = database
         self.index = index
         self.miner = miner
+        if journal is not None and not isinstance(journal, ReplicationLog):
+            # Raw writers (tests, older callers) are adopted into the
+            # one sanctioned journal surface.
+            journal = ReplicationLog(journal)
         self.journal = journal
         self.durable = durable
+        self.replication = ReplicationState(role=role, upstream=upstream)
         self.idempotency = IdempotencyWindow(idempotency_capacity)
         if idempotency_seed:
             self.idempotency.seed(idempotency_seed)
@@ -200,6 +211,12 @@ class PatternService:
         self._io_last = self._io_totals()
         #: Set by the server so the ``shutdown`` op can trigger a drain.
         self.shutdown_callback = None
+        #: Set by the server when a replication tailer is attached, so
+        #: the ``promote`` op can stop it before flipping the role.
+        self.stop_tailer_callback = None
+        #: Lazily-created signal for ``replicate`` long-polls; set after
+        #: every successful append so tailing followers wake promptly.
+        self._append_event: asyncio.Event | None = None
 
     # -- dispatch ----------------------------------------------------------
 
@@ -348,6 +365,15 @@ class PatternService:
                     "n_transactions": len(self.database),
                     "deduped": True,
                 }
+        if self.replication.role != "primary":
+            # After the dedupe lookup, deliberately: a token whose first
+            # attempt was ACKed by the old primary and replicated here
+            # still gets its answer even before promotion.
+            raise ServiceError(
+                "server is a replication follower; appends must go to "
+                "the primary (or `promote` this follower first)",
+                error_type=ERR_NOT_PRIMARY,
+            )
         if self.mode != "ok":
             raise DegradedError(
                 f"server is read-only ({self.degraded_reason}); "
@@ -391,12 +417,18 @@ class PatternService:
             ) from exc
         if token is not None:
             self.idempotency.record(token, position)
+        self._notify_append()
         return {
             "position": position,
             "epoch": self.index.epoch,
             "n_transactions": len(self.database),
             "deduped": False,
         }
+
+    def _notify_append(self) -> None:
+        """Wake any ``replicate`` long-polls waiting for growth."""
+        if self._append_event is not None:
+            self._append_event.set()
 
     # -- recovery ------------------------------------------------------------
 
@@ -443,19 +475,12 @@ class PatternService:
         """Salvage the journal pair and adopt any records memory missed."""
         actions: list[str] = []
         path = self.journal.path
-        try:
-            self.journal.close()
-        except (OSError, StorageError):
-            pass  # a failed close still leaves the files salvageable
-        report = salvage_txfile(path, stats=self.database.stats)
+        report = self.journal.salvage()
         if report.repaired:
             actions.append(
                 f"salvaged journal {path.name}: kept {report.records_kept} "
                 f"record(s), truncated {report.data_bytes_truncated} byte(s)"
             )
-        self.journal = TransactionFileWriter(
-            path, truncate=False, stats=self.database.stats
-        )
         actions.extend(self._adopt_journal_extras(path))
         return actions
 
@@ -488,6 +513,258 @@ class PatternService:
                 f"adopted {adopted} journal record(s) memory never applied"
             )
         return actions
+
+    # -- replication ---------------------------------------------------------
+
+    def apply_replicated(self, position: int, tid: int, items) -> bool:
+        """Apply one tailed journal record through the normal append path.
+
+        Called by the :class:`~repro.service.replication.FollowerTailer`
+        on the serving loop, so it serialises with reads exactly like a
+        primary append.  Dedupe is two-layered: a position already
+        covered locally is skipped (a reconnect re-requests from the
+        follower's own count, so overlap is routine), and a tid in the
+        idempotency window is skipped too.  The record is journaled and
+        fsynced locally *with its original tid* before memory changes —
+        the follower offers the same ACK-survives-kill-9 guarantee as
+        the primary, and its window re-seeds from its own journal.
+        """
+        if position < len(self.database):
+            return False
+        if tid >= TOKEN_MIN and self.idempotency.lookup(tid) is not None:
+            return False
+        if position > len(self.database):
+            raise StorageError(
+                f"replication gap: record {position} offered but only "
+                f"{len(self.database)} applied locally",
+                path=getattr(self.journal, "path", None),
+            )
+        key = canonical_itemset(items)
+        self.journal.append(key, tid=tid)
+        self.journal.sync()
+        self.database.append(key, tid=tid)
+        self.index.insert(key)
+        if self.durable and hasattr(self.index, "flush"):
+            self.index.flush()
+        if tid >= TOKEN_MIN:
+            self.idempotency.record(tid, position)
+        self.replication.last_applied_epoch = self.index.epoch
+        self._notify_append()
+        return True
+
+    async def _wait_for_growth(self, baseline: int, wait_s: float) -> None:
+        """Long-poll helper: wait for an append beyond ``baseline``."""
+        if self._append_event is None:
+            self._append_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait_s
+        while len(self.database) <= baseline:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            # No await between this clear and the wait, so an append
+            # landing in between cannot be missed (single-loop model).
+            self._append_event.clear()
+            try:
+                await asyncio.wait_for(
+                    self._append_event.wait(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                return
+
+    def _require_journal(self, op: str) -> None:
+        if self.journal is None:
+            raise ServiceError(
+                f"{op!r} requires a durable server (start it with "
+                f"--durable); there is no journal to replicate",
+                error_type=ERR_QUERY,
+            )
+
+    async def _op_replicate(self, args: dict) -> dict:
+        """Serve a batch of journal records from ``from_position`` on.
+
+        The tailing op: strictly request/response (one frame per batch,
+        like every other op), with an optional bounded long-poll via
+        ``wait_s`` when the follower is caught up.  Only records that
+        are both fsynced *and* applied in memory are served — the batch
+        is capped at ``len(database)``, so a journal-ahead record from
+        a mid-append crash is never replicated before reconcile.
+        """
+        self._require_journal("replicate")
+        from_position = args.get("from_position")
+        if (
+            not isinstance(from_position, int)
+            or isinstance(from_position, bool)
+            or from_position < 0
+        ):
+            raise ServiceError(
+                "'from_position' must be a non-negative integer",
+                error_type=ERR_BAD_REQUEST,
+            )
+        max_records = args.get("max_records", 512)
+        if (
+            not isinstance(max_records, int)
+            or isinstance(max_records, bool)
+            or max_records < 1
+        ):
+            raise ServiceError(
+                "'max_records' must be a positive integer",
+                error_type=ERR_BAD_REQUEST,
+            )
+        max_records = min(max_records, MAX_BATCH_RECORDS)
+        wait_s = args.get("wait_s", 0)
+        if not isinstance(wait_s, (int, float)) or isinstance(wait_s, bool):
+            raise ServiceError(
+                "'wait_s' must be a number", error_type=ERR_BAD_REQUEST
+            )
+        wait_s = min(max(0.0, float(wait_s)), MAX_WAIT_S)
+        if from_position > len(self.database):
+            raise ServiceError(
+                f"'from_position' {from_position} is beyond this server's "
+                f"{len(self.database)} transaction(s)",
+                error_type=ERR_QUERY,
+            )
+        if from_position == len(self.database) and wait_s > 0:
+            await self._wait_for_growth(from_position, wait_s)
+        limit = min(max_records, len(self.database) - from_position)
+        records = self.journal.read_from(from_position, limit) if limit else []
+        return {
+            "from_position": from_position,
+            "records": [
+                [position, tid, list(items)]
+                for position, tid, items in records
+            ],
+            "high_water_position": len(self.database),
+            "epoch": self.index.epoch,
+            "role": self.replication.role,
+        }
+
+    async def _op_snapshot(self, args: dict) -> dict:
+        """The sealed-segment manifest a follower bootstraps from."""
+        from repro.storage.diskbbs import DiskBBS
+        from repro.storage.snapshot import build_manifest
+
+        self._require_journal("snapshot")
+        if not isinstance(self.index, DiskBBS):
+            raise ServiceError(
+                "'snapshot' requires a DiskBBS segment log; this server "
+                f"holds a {type(self.index).__name__}",
+                error_type=ERR_QUERY,
+            )
+        if self.index.tail_size:
+            # Seal the buffered tail so the manifest covers everything
+            # applied so far; flush() does not bump the epoch.
+            self.index.flush()
+        covered = self.index.sealed_transactions
+        high_water_tid = (
+            self.journal.tid_at(covered - 1) if covered else None
+        )
+        return build_manifest(
+            self.index, high_water_tid=high_water_tid
+        ).as_dict()
+
+    async def _op_snapshot_fetch(self, args: dict) -> dict:
+        """One chunk of raw snapshot bytes (base header or a segment)."""
+        from repro.storage.diskbbs import DiskBBS
+
+        self._require_journal("snapshot_fetch")
+        if not isinstance(self.index, DiskBBS):
+            raise ServiceError(
+                "'snapshot_fetch' requires a DiskBBS segment log",
+                error_type=ERR_QUERY,
+            )
+        part = args.get("part")
+        if part == "header":
+            span_offset, span_length = 0, self.index.base_length
+        elif isinstance(part, int) and not isinstance(part, bool):
+            if not 0 <= part < self.index.n_segments:
+                raise ServiceError(
+                    f"segment {part} out of range "
+                    f"[0, {self.index.n_segments})", error_type=ERR_QUERY,
+                )
+            span_offset, span_length = self.index.segment_span(part)
+        else:
+            raise ServiceError(
+                "'part' must be \"header\" or a segment index",
+                error_type=ERR_BAD_REQUEST,
+            )
+        offset = args.get("offset", 0)
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+            raise ServiceError(
+                "'offset' must be a non-negative integer",
+                error_type=ERR_BAD_REQUEST,
+            )
+        max_bytes = args.get("max_bytes", 1 << 20)
+        if (
+            not isinstance(max_bytes, int)
+            or isinstance(max_bytes, bool)
+            or max_bytes < 1
+        ):
+            raise ServiceError(
+                "'max_bytes' must be a positive integer",
+                error_type=ERR_BAD_REQUEST,
+            )
+        # Base64 inflates 4/3x; stay far inside the 16 MiB frame cap.
+        max_bytes = min(max_bytes, 8 << 20)
+        if offset > span_length:
+            raise ServiceError(
+                f"'offset' {offset} is beyond the part's {span_length} "
+                f"byte(s)", error_type=ERR_QUERY,
+            )
+        chunk_len = min(max_bytes, span_length - offset)
+        blob = (
+            self.index.read_span(span_offset + offset, chunk_len)
+            if chunk_len else b""
+        )
+        return {
+            "part": part,
+            "offset": offset,
+            "length": len(blob),
+            "eof": offset + len(blob) >= span_length,
+            "data": base64.b64encode(blob).decode("ascii"),
+        }
+
+    async def _op_promote(self, args: dict) -> dict:
+        """Turn a caught-up follower into a writable primary.
+
+        Idempotent: promoting a primary is a no-op answer, not an
+        error, so a retried promote (or a supervisor racing an operator)
+        converges.  The promotion sequence — stop the tailer, reconcile
+        journal-ahead records through the same adopt path crash
+        recovery uses, flush, flip the role — runs entirely on the
+        serving loop, so no read or append interleaves with it.
+        """
+        if self.replication.role == "primary":
+            return {
+                "promoted": False,
+                "role": "primary",
+                "n_transactions": len(self.database),
+                "epoch": self.index.epoch,
+                "actions": [],
+            }
+        self._require_journal("promote")
+        actions: list[str] = []
+        if self.stop_tailer_callback is not None:
+            self.stop_tailer_callback()
+            actions.append("stopped the journal tailer")
+        self.journal.sync()
+        actions.extend(self._adopt_journal_extras(self.journal.path))
+        if getattr(self.index, "tail_size", 0):
+            self.index.flush()
+            actions.append("flushed the buffered index tail")
+        self.replication.role = "primary"
+        self.replication.connected = False
+        self.replication.promoted_at = time.monotonic()
+        actions.append(
+            f"promoted to primary at {len(self.database)} transaction(s)"
+        )
+        return {
+            "promoted": True,
+            "role": "primary",
+            "n_transactions": len(self.database),
+            "epoch": self.index.epoch,
+            "actions": actions,
+        }
 
     # -- mining jobs ---------------------------------------------------------
 
@@ -651,6 +928,8 @@ class PatternService:
             "mode": self.mode,
             "degraded_reason": self.degraded_reason,
             "durable": self.journal is not None,
+            "role": self.replication.role,
+            "replication": self.replication.as_dict(len(self.database)),
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "jobs": dict(states),
         }
@@ -673,6 +952,8 @@ class PatternService:
             "mode": self.mode,
             "degraded_reason": self.degraded_reason,
             "idempotency": self.idempotency.as_dict(),
+            "role": self.replication.role,
+            "replication": self.replication.as_dict(len(self.database)),
         }
         if self.degraded_since is not None:
             payload["degraded_seconds"] = time.monotonic() - self.degraded_since
@@ -710,6 +991,10 @@ class PatternService:
         "metrics": _op_metrics,
         "health": _op_health,
         "recover": _op_recover,
+        "replicate": _op_replicate,
+        "snapshot": _op_snapshot,
+        "snapshot_fetch": _op_snapshot_fetch,
+        "promote": _op_promote,
         "shutdown": _op_shutdown,
     }
 

@@ -55,6 +55,8 @@ ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 #: The server is in degraded read-only mode; writes are refused.
 ERR_DEGRADED = "degraded"
+#: The server is a replication follower; writes must go to the primary.
+ERR_NOT_PRIMARY = "not_primary"
 #: Anything unexpected server-side; the message carries the details.
 ERR_INTERNAL = "internal"
 

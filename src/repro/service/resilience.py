@@ -46,9 +46,15 @@ from repro.service.client import ServiceClient
 TOKEN_MIN = 1 << 32
 TOKEN_MAX = 1 << 63
 
-#: Operations that are always safe to resend.
+#: Operations that are always safe to resend.  ``promote`` qualifies
+#: because promoting an already-primary server is a converging no-op;
+#: the replication reads (``replicate``/``snapshot``/``snapshot_fetch``)
+#: never mutate server state at all.
 IDEMPOTENT_OPS = frozenset(
-    {"count", "status", "metrics", "health", "job", "patterns", "recover"}
+    {
+        "count", "status", "metrics", "health", "job", "patterns",
+        "recover", "replicate", "snapshot", "snapshot_fetch", "promote",
+    }
 )
 
 #: Wire error types that describe a transient server condition.
@@ -364,6 +370,9 @@ class RetryingClient:
 
     def recover(self) -> dict:
         return self.request("recover")
+
+    def promote(self) -> dict:
+        return self.request("promote")
 
     def shutdown(self) -> dict:
         return self.request("shutdown")

@@ -60,6 +60,7 @@ class PatternServer:
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
         scrubber=None,
+        tailer=None,
     ):
         self.service = service
         self.host = host
@@ -67,7 +68,9 @@ class PatternServer:
         self.max_connections = max_connections
         self.request_timeout = request_timeout
         self.scrubber = scrubber
+        self.tailer = tailer
         self._scrub_task: asyncio.Task | None = None
+        self._tailer_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._draining = False
         self._drain_event: asyncio.Event | None = None
@@ -87,6 +90,22 @@ class PatternServer:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.scrubber is not None:
             self._scrub_task = asyncio.ensure_future(self.scrubber.run())
+        if self.tailer is not None:
+            self._tailer_task = asyncio.ensure_future(self.tailer.run())
+            self.service.stop_tailer_callback = self.stop_tailer
+
+    def stop_tailer(self) -> None:
+        """Stop the replication tailer (the ``promote`` op's hook).
+
+        Safe to call from a handler on the serving loop: the tailer
+        coroutine is parked at an await (it never yields mid-apply), so
+        cancelling here cannot tear a half-applied record.
+        """
+        if self.tailer is not None:
+            self.tailer.request_stop()
+        if self._tailer_task is not None:
+            self._tailer_task.cancel()
+            self._tailer_task = None
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain; idempotent, callable from the loop."""
@@ -105,6 +124,12 @@ class PatternServer:
             self._scrub_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._scrub_task
+        if self._tailer_task is not None:
+            task = self._tailer_task
+            self._tailer_task = None
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
         if self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
         if self._server is not None:

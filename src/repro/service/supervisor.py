@@ -6,7 +6,7 @@ OOM, a crash bug), the supervisor:
 
 1. salvages the on-disk state *before* the replacement accepts traffic
    — the transaction file pair via
-   :func:`~repro.storage.txfile.salvage_txfile` and a DiskBBS log via
+   :func:`~repro.service.replication.salvage_journal` and a DiskBBS log via
    :func:`~repro.storage.recovery.salvage_index` with the database as
    its rebuild companion — so every ACKed (fsynced) append survives and
    torn tails from the crash are truncated, not served;
@@ -15,6 +15,13 @@ OOM, a crash bug), the supervisor:
    re-discovery;
 3. gives up after ``--max-restarts`` abnormal exits, propagating
    failure to the process manager above it.
+
+With ``--standby HOST:PORT`` the supervisor also acts as a failover
+controller: when salvage itself fails (the primary's disk is gone, not
+just torn), restarting is pointless — instead the supervisor asks the
+warm standby at that address to ``promote`` itself to a writable
+primary (see :mod:`repro.service.replication`) and exits, leaving the
+promoted standby serving.
 
 A graceful exit (code 0 — SIGTERM drain or the ``shutdown`` op) stops
 the supervision loop; SIGTERM/SIGINT to the supervisor is forwarded to
@@ -60,9 +67,9 @@ def _salvage_before_start(args, announce) -> None:
     a worker that crashes *during* its own salvage cannot wedge the
     loop.
     """
-    from repro.storage.txfile import salvage_txfile
+    from repro.service.replication import salvage_journal
 
-    report = salvage_txfile(args.db)
+    report = salvage_journal(args.db)
     if report.repaired:
         announce(f"supervisor: salvaged {args.db}: "
                  f"{'; '.join(report.actions)}")
@@ -78,6 +85,30 @@ def _salvage_before_start(args, announce) -> None:
                     f"supervisor: salvaged {args.index}: "
                     f"{'; '.join(index_report.actions)}"
                 )
+
+
+def _promote_standby(address: str, announce) -> int:
+    """Fail over to the warm standby: ask it to promote, then step aside.
+
+    Returns the supervisor's exit code: 0 when the standby confirmed
+    the promotion (it is now the writable primary on its own address),
+    1 when it could not be reached or refused.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.replication import parse_address
+
+    try:
+        host, port = parse_address(address)
+        with ServiceClient(host, port, timeout=10.0) as client:
+            result = client.promote()
+    except Exception as exc:
+        announce(f"supervisor: failover to {address} failed: {exc}")
+        return 1
+    announce(
+        f"supervisor: promoted standby {address} to primary at "
+        f"{result.get('n_transactions', '?')} transaction(s)"
+    )
+    return 0
 
 
 def _worker_argv(args, port: int) -> list[str]:
@@ -133,6 +164,11 @@ def run_supervised(args, *, announce=None) -> int:
                 _salvage_before_start(args, announce)
             except Exception as exc:
                 announce(f"supervisor: salvage failed: {exc}")
+                standby = getattr(args, "standby", None)
+                if standby:
+                    announce(f"supervisor: primary storage is unrecoverable; "
+                             f"failing over to standby {standby}")
+                    return _promote_standby(standby, announce)
                 return 1
             proc = subprocess.Popen(
                 _worker_argv(args, port),

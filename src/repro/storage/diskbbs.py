@@ -132,6 +132,7 @@ class DiskBBS:
         self._tail: BBS | None = None
         self._epoch = 0
         self._format_version = FORMAT_VERSION
+        self._base_length = 0
         #: The :class:`~repro.storage.recovery.RecoveryReport` of the
         #: salvage pass that opened this store, when :meth:`recover` was
         #: used; ``None`` for a plain :meth:`open`.
@@ -251,6 +252,7 @@ class DiskBBS:
                 path=self.path, offset=_BASE_HEAD.size,
             ) from exc
         self._tail = BBS(self.m, self.k, hash_family=self.hash_family)
+        self._base_length = self._file.tell()
         self._scan_segments()
 
     def _scan_segments(self) -> None:
@@ -403,6 +405,76 @@ class DiskBBS:
     def items(self) -> list:
         """Every distinct item across segments and tail, sorted."""
         return self.item_counts.items()
+
+    # -- segment export (snapshot shipping) ----------------------------------------
+
+    @property
+    def base_length(self) -> int:
+        """Byte length of the base-header prologue (magic + JSON + seal)."""
+        return self._base_length
+
+    def segment_span(self, position: int) -> tuple[int, int]:
+        """``(offset, length)`` of one committed segment's full byte span.
+
+        The span covers everything a follower must receive to replay the
+        segment verbatim: header, counts blob, matrix, body CRC and (for
+        format v2) the commit record.
+        """
+        if not 0 <= position < len(self._segments):
+            raise StorageError(
+                f"segment {position} out of range [0, "
+                f"{len(self._segments)})", path=self.path,
+            )
+        seg = self._segments[position]
+        length = (
+            (seg.matrix_offset - seg.offset)
+            + self.m * seg.n_words * 8
+            + _CRC.size
+        )
+        if self._format_version >= 2:
+            length += _COMMIT.size
+        return seg.offset, length
+
+    def segment_info(self, position: int) -> dict:
+        """Manifest-facing facts about one committed segment."""
+        offset, length = self.segment_span(position)
+        seg = self._segments[position]
+        return {
+            "index": position,
+            "offset": offset,
+            "length": length,
+            "n_tx": seg.n_tx,
+            "start_tx": seg.start_tx,
+        }
+
+    def read_span(self, offset: int, length: int) -> bytes:
+        """Raw bytes of an arbitrary file span (snapshot shipping only)."""
+        if self._file is None:
+            raise StorageError("index is closed", path=self.path)
+        if offset < 0 or length < 0:
+            raise StorageError(
+                f"invalid span ({offset}, {length})", path=self.path
+            )
+        self._file.seek(offset)
+        blob = self._file.read(length)
+        if len(blob) < length:
+            raise CorruptFileError(
+                f"{self.path}: span read at offset {offset} ran past EOF "
+                f"({len(blob)} of {length} bytes)",
+                path=self.path, offset=offset,
+            )
+        self.stats.page_reads += _pages(length, self.page_bytes)
+        return blob
+
+    @property
+    def sealed_item_counts(self) -> ItemCountTable:
+        """Exact 1-itemset counts across committed segments only (no tail)."""
+        return ItemCountTable(self._counts.as_dict())
+
+    @property
+    def sealed_transactions(self) -> int:
+        """Transactions covered by committed on-disk segments (no tail)."""
+        return sum(seg.n_tx for seg in self._segments)
 
     # -- updates -------------------------------------------------------------------
 

@@ -1,0 +1,223 @@
+"""Snapshot manifests: shipping sealed DiskBBS segments to a follower.
+
+A :class:`~repro.storage.diskbbs.DiskBBS` file is a base-header
+prologue followed by a log of immutable, CRC-sealed segments — exactly
+the shape a replica can bootstrap from without replaying the whole
+journal.  This module describes such a file as a **manifest**: the base
+prologue's length and CRC, one entry per committed segment (byte span,
+transaction count, CRC), the total item count, and the primary's
+**high-water tid** (the journal tid of the last record covered), so a
+follower knows precisely where journal tailing must take over.
+
+The manifest is pure data (JSON-safe dicts) — the wire layer ships it
+inside an ordinary protocol frame, and the raw bytes of each span
+travel separately via chunked ``snapshot_fetch`` requests.  Assembly on
+the follower side (:func:`assemble_index`) is crash-atomic: the file is
+built in a sibling temp file, every span is CRC-verified against its
+manifest entry before it is accepted, and the result is durably
+renamed into place.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import CorruptFileError, StorageError
+from repro.storage.durable import durable_replace, fsync_file
+from repro.storage.metrics import IOStats
+
+#: Manifest format identifier; bump on incompatible layout changes.
+MANIFEST_FORMAT = "repro-snapshot-v1"
+
+
+def _crc(blob: bytes) -> int:
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class SegmentEntry:
+    """One committed segment's identity inside a manifest."""
+
+    index: int
+    offset: int
+    length: int
+    n_tx: int
+    crc32: int
+
+
+@dataclass
+class SnapshotManifest:
+    """Everything a follower needs to rebuild a sealed DiskBBS file."""
+
+    m: int
+    k: int
+    base_length: int
+    base_crc32: int
+    covered_transactions: int
+    high_water_tid: int | None
+    total_item_count: int
+    segments: list[SegmentEntry] = field(default_factory=list)
+    format: str = MANIFEST_FORMAT
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-disk byte length the manifest describes."""
+        return self.base_length + sum(entry.length for entry in self.segments)
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation (the wire form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "SnapshotManifest":
+        """Parse a wire-form manifest, validating shape and format."""
+        try:
+            if payload["format"] != MANIFEST_FORMAT:
+                raise ValueError(
+                    f"unknown snapshot format {payload['format']!r}"
+                )
+            segments = [
+                SegmentEntry(
+                    index=int(entry["index"]),
+                    offset=int(entry["offset"]),
+                    length=int(entry["length"]),
+                    n_tx=int(entry["n_tx"]),
+                    crc32=int(entry["crc32"]),
+                )
+                for entry in payload["segments"]
+            ]
+            high_water = payload["high_water_tid"]
+            return cls(
+                m=int(payload["m"]),
+                k=int(payload["k"]),
+                base_length=int(payload["base_length"]),
+                base_crc32=int(payload["base_crc32"]),
+                covered_transactions=int(payload["covered_transactions"]),
+                high_water_tid=None if high_water is None else int(high_water),
+                total_item_count=int(payload["total_item_count"]),
+                segments=segments,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptFileError(
+                f"malformed snapshot manifest: {exc}", path="<manifest>"
+            ) from exc
+
+
+def build_manifest(index, *, high_water_tid: int | None) -> SnapshotManifest:
+    """Describe an open DiskBBS's committed state as a manifest.
+
+    Only sealed segments participate — the in-memory tail is *not*
+    shippable (it has no bytes on disk yet); the follower recovers any
+    tail transactions by journal tailing from ``covered_transactions``.
+    ``high_water_tid`` is the journal tid of the last sealed record (or
+    ``None`` for an empty index) and is recorded verbatim.
+    """
+    base = index.read_span(0, index.base_length)
+    segments = []
+    for position in range(index.n_segments):
+        info = index.segment_info(position)
+        blob = index.read_span(info["offset"], info["length"])
+        segments.append(
+            SegmentEntry(
+                index=position,
+                offset=info["offset"],
+                length=info["length"],
+                n_tx=info["n_tx"],
+                crc32=_crc(blob),
+            )
+        )
+    counts = index.sealed_item_counts
+    return SnapshotManifest(
+        m=index.m,
+        k=index.k,
+        base_length=index.base_length,
+        base_crc32=_crc(base),
+        covered_transactions=index.sealed_transactions,
+        high_water_tid=high_water_tid,
+        total_item_count=sum(
+            counts.count(item) for item in counts.items()
+        ),
+        segments=segments,
+    )
+
+
+def verify_span(entry: SegmentEntry, blob: bytes, path) -> None:
+    """Check a received segment span against its manifest entry."""
+    if len(blob) != entry.length:
+        raise CorruptFileError(
+            f"segment {entry.index}: received {len(blob)} bytes, manifest "
+            f"says {entry.length}", path=path, offset=entry.offset,
+        )
+    actual = _crc(blob)
+    if actual != entry.crc32:
+        raise CorruptFileError(
+            f"segment {entry.index}: CRC mismatch (manifest "
+            f"{entry.crc32:#010x}, received {actual:#010x})",
+            path=path, offset=entry.offset,
+        )
+
+
+def assemble_index(
+    manifest: SnapshotManifest,
+    base_blob: bytes,
+    segment_blobs,
+    target_path,
+    *,
+    stats: IOStats | None = None,
+) -> Path:
+    """Rebuild a DiskBBS file from shipped spans, crash-atomically.
+
+    ``segment_blobs`` is an iterable yielding one raw byte span per
+    manifest segment, in order.  Every span (and the base prologue) is
+    CRC-verified against the manifest before being written; the file is
+    assembled in a sibling temp file and durably renamed over
+    ``target_path``, so a crash mid-transfer never leaves a torn index.
+    """
+    target = Path(target_path)
+    if len(base_blob) != manifest.base_length:
+        raise CorruptFileError(
+            f"snapshot base header is {len(base_blob)} bytes, manifest "
+            f"says {manifest.base_length}", path=target, offset=0,
+        )
+    if _crc(base_blob) != manifest.base_crc32:
+        raise CorruptFileError(
+            f"snapshot base header failed its manifest CRC", path=target,
+            offset=0,
+        )
+    tmp_path = target.with_suffix(target.suffix + ".snapshot")
+    try:
+        with open(tmp_path, "wb") as fh:
+            fh.write(base_blob)
+            expected = iter(manifest.segments)
+            received = 0
+            for blob in segment_blobs:
+                try:
+                    entry = next(expected)
+                except StopIteration:
+                    raise CorruptFileError(
+                        f"received more segment spans than the manifest's "
+                        f"{len(manifest.segments)}", path=target,
+                    ) from None
+                verify_span(entry, blob, target)
+                if fh.tell() != entry.offset:
+                    raise CorruptFileError(
+                        f"segment {entry.index} expected at offset "
+                        f"{entry.offset}, assembly is at {fh.tell()}",
+                        path=target, offset=fh.tell(),
+                    )
+                fh.write(blob)
+                received += 1
+            if received != len(manifest.segments):
+                raise CorruptFileError(
+                    f"received {received} of {len(manifest.segments)} "
+                    f"segment spans", path=target,
+                )
+            fsync_file(fh, stats)
+    except OSError as exc:
+        raise StorageError(
+            f"cannot assemble snapshot at {tmp_path}: {exc}", path=tmp_path
+        ) from exc
+    durable_replace(tmp_path, target, stats)
+    return target

@@ -20,11 +20,16 @@ scheduled fault class per accepted connection:
 
 Faults are consumed from an explicit FIFO (:meth:`ChaosProxy.schedule`),
 one per connection, so a test scripts the exact failure sequence a
-retrying client will experience — no randomness, no flakes.
+retrying client will experience — no randomness, no flakes.  For
+broader coverage, :meth:`ChaosProxy.schedule_random` draws a schedule
+from a :class:`random.Random` seeded by the constructor's ``seed``
+argument: different seeds explore different fault interleavings, while
+any fixed seed replays the same schedule byte-for-byte.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
 import threading
@@ -87,12 +92,15 @@ class ChaosProxy:
         *,
         host: str = "127.0.0.1",
         io_timeout: float = DEFAULT_IO_TIMEOUT_S,
+        seed: int | None = None,
     ):
         self.upstream_host = upstream_host
         self.upstream_port = upstream_port
         self.host = host
         self.port = 0  # bound by start()
         self.io_timeout = io_timeout
+        self.seed = seed
+        self._rng = random.Random(seed)
         self._faults: list = []
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
@@ -150,6 +158,38 @@ class ChaosProxy:
         """Queue fault objects; each accepted connection consumes one."""
         with self._lock:
             self._faults.extend(faults)
+
+    def schedule_random(self, n: int, kinds=None) -> list:
+        """Queue ``n`` faults drawn from the seeded RNG; returns them.
+
+        ``kinds`` restricts the draw to a subset of the fault *classes*
+        (default: every recoverable kind — ``Blackhole`` is excluded
+        because it only resolves through a client deadline, which makes
+        randomly-scheduled runs timing-dependent).  The sequence is a
+        pure function of the constructor's ``seed``, so a failing run
+        is replayed exactly by re-running with the same seed.
+        """
+        if kinds is None:
+            kinds = (ResetOnConnect, DropResponse, TruncateResponse, Delay)
+        drawn = []
+        for _ in range(n):
+            kind = self._rng.choice(list(kinds))
+            if kind is DropResponse:
+                drawn.append(DropResponse(after_frames=self._rng.randint(1, 2)))
+            elif kind is TruncateResponse:
+                drawn.append(TruncateResponse(
+                    n_bytes=self._rng.randint(1, 4),
+                    after_frames=self._rng.randint(1, 2),
+                ))
+            elif kind is Delay:
+                drawn.append(Delay(
+                    seconds=self._rng.uniform(0.05, 0.2),
+                    frames=self._rng.randint(1, 2),
+                ))
+            else:
+                drawn.append(kind())
+        self.schedule(*drawn)
+        return drawn
 
     def _next_fault(self):
         with self._lock:

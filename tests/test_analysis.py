@@ -537,6 +537,69 @@ class TestEstimateSoundness:
         )
 
 
+class TestJournalWriteOutsideLog:
+    PATH = "src/repro/service/fake.py"
+
+    def test_fires_on_raw_writer_construction(self):
+        findings = check(
+            """
+            def open_journal(path, stats):
+                from repro.storage.txfile import TransactionFileWriter
+                return TransactionFileWriter(path, truncate=False, stats=stats)
+            """,
+            self.PATH,
+            "RPR008",
+        )
+        assert len(findings) == 1
+        assert "ReplicationLog" in findings[0].message
+
+    def test_fires_on_dotted_salvage_call(self):
+        findings = check(
+            """
+            import repro.storage.txfile as txfile
+
+            def heal(path):
+                return txfile.salvage_txfile(path)
+            """,
+            self.PATH,
+            "RPR008",
+        )
+        assert len(findings) == 1
+
+    def test_quiet_through_the_replication_log(self):
+        assert not check(
+            """
+            def open_journal(path, stats):
+                from repro.service.replication import ReplicationLog
+                return ReplicationLog.open(path, stats=stats)
+            """,
+            self.PATH,
+            "RPR008",
+        )
+
+    def test_replication_module_is_sanctioned(self):
+        assert not check(
+            """
+            def open_raw(path):
+                from repro.storage.txfile import TransactionFileWriter
+                return TransactionFileWriter(path)
+            """,
+            "src/repro/service/replication.py",
+            "RPR008",
+        )
+
+    def test_scoped_to_the_service_layer(self):
+        assert not check(
+            """
+            def rewrite(path):
+                from repro.storage.txfile import TransactionFileWriter
+                return TransactionFileWriter(path, truncate=True)
+            """,
+            "src/repro/storage/fake.py",
+            "RPR008",
+        )
+
+
 # ---------------------------------------------------------------------------
 # Suppression
 

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import asyncio
 import random
+import signal
 import socket
 import struct
+import subprocess
+import sys
 import time
 
 import pytest
@@ -45,6 +48,7 @@ from repro.storage.diskbbs import DiskBBS
 from repro.storage.metrics import IOStats
 from repro.storage.txfile import TransactionFileReader, TransactionFileWriter
 from repro.testing.faults import FaultPlan, arm_txwriter, flip_bit
+from repro.testing.netfaults import ChaosProxy, DropResponse
 from tests.conftest import make_random_database
 
 
@@ -359,7 +363,9 @@ class TestDegradedMode:
         path, db, service = make_durable_service(tmp_path)
         try:
             before = len(db)
-            plan = arm_txwriter(service.journal, FaultPlan(error_after_bytes=4))
+            plan = arm_txwriter(
+                service.journal.writer, FaultPlan(error_after_bytes=4)
+            )
             with pytest.raises(DegradedError):
                 run_op(service, "append", {"items": [2, 7]})
             assert service.mode == "degraded"
@@ -411,7 +417,7 @@ class TestDegradedMode:
         with start_server_thread(service) as handle:
             with ServiceClient(handle.host, handle.port) as client:
                 plan = arm_txwriter(
-                    service.journal, FaultPlan(error_after_bytes=4)
+                    service.journal.writer, FaultPlan(error_after_bytes=4)
                 )
                 with pytest.raises(DegradedError):
                     client.append([4, 6])
@@ -544,3 +550,154 @@ class TestScrubber:
             assert service.mode == "ok"
         finally:
             service.index.close()
+
+
+# --------------------------------------------------------------------------
+# Failover: kill -9 the primary under chaos, promote the follower
+# --------------------------------------------------------------------------
+
+
+def _spawn_serve(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _wait_port(proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError(f"server exited early: {proc.returncode}")
+        if line.startswith("serving on "):
+            return int(line.rsplit(":", 1)[1])
+    raise AssertionError("server never announced its port")
+
+
+class TestFailoverExactlyOnce:
+    def test_kill9_primary_promote_follower(self, tmp_path):
+        """Every ACKed append survives the primary's death exactly once.
+
+        A durable primary and a bootstrapped follower run as real
+        subprocesses.  Tokened appends flow through a ChaosProxy (one
+        ACK is dropped mid-append, forcing a dedup retry); once the
+        follower reports lag 0 the primary is killed -9.  The promoted
+        follower must hold every ACKed append exactly once, dedupe a
+        client's post-failover retry, accept fresh writes, and serve
+        estimates bit-identical to a fresh single-node rebuild of its
+        own database.
+        """
+        db_src = make_random_database(
+            seed=31, n_transactions=40, n_items=24, max_len=6
+        )
+        p_db = tmp_path / "primary.tx"
+        p_idx = tmp_path / "primary.bbsd"
+        with TransactionFileWriter(p_db) as writer:
+            for transaction in db_src:
+                writer.append(transaction)
+            writer.sync()
+        index = DiskBBS.create(p_idx, m=64, flush_threshold=16)
+        for transaction in db_src:
+            index.insert(transaction)
+        index.flush()
+        index.close()
+
+        f_db = tmp_path / "follower.tx"
+        f_idx = tmp_path / "follower.bbsd"
+        primary = _spawn_serve(
+            "--db", str(p_db), "--index", str(p_idx),
+            "--durable", "--port", "0", "--scrub-interval", "0",
+        )
+        follower = None
+        proxy = None
+        try:
+            p_port = _wait_port(primary)
+            follower = _spawn_serve(
+                "--db", str(f_db), "--index", str(f_idx),
+                "--follower", f"127.0.0.1:{p_port}",
+                "--port", "0", "--scrub-interval", "0",
+            )
+            f_port = _wait_port(follower)
+
+            tokens = [TOKEN_MIN + 7000 + i for i in range(8)]
+            acked = 5  # appends ACKed before the primary dies
+            policy = RetryPolicy(
+                max_attempts=6, base_delay=0.05, op_deadline=30.0,
+                request_timeout=5.0, connect_timeout=5.0,
+            )
+            proxy = ChaosProxy("127.0.0.1", p_port, seed=7).start()
+            with RetryingClient(
+                "127.0.0.1", proxy.port, policy=policy, seed=7
+            ) as client:
+                base = client.status()["n_transactions"]
+                for i in range(acked):
+                    if i == 2:
+                        client.close()  # next dial meets the fault
+                        proxy.schedule(DropResponse())
+                    result = client.append([100 + i], token=tokens[i])
+                    assert result["position"] == base + i
+                assert client.retries >= 1  # the dropped ACK forced one
+
+            deadline = time.monotonic() + 30.0
+            while True:
+                with ServiceClient("127.0.0.1", f_port, timeout=5.0) as fc:
+                    status = fc.status()
+                if (status["n_transactions"] == base + acked
+                        and status["replication"]["lag"] == 0):
+                    break
+                assert time.monotonic() < deadline, status
+                time.sleep(0.05)
+            assert status["role"] == "follower"
+
+            primary.send_signal(signal.SIGKILL)
+            primary.wait(timeout=10.0)
+
+            with ServiceClient("127.0.0.1", f_port, timeout=10.0) as fc:
+                with pytest.raises(ServiceError) as excinfo:
+                    fc.append([999])
+                assert excinfo.value.error_type == "not_primary"
+                promoted = fc.promote()
+                assert promoted["promoted"] is True
+                assert promoted["role"] == "primary"
+                # An ACKed append retried against the new primary is
+                # answered from the replicated idempotency window.
+                replay = fc.append(
+                    [100 + acked - 1], token=tokens[acked - 1]
+                )
+                assert replay["deduped"] is True
+                assert replay["position"] == base + acked - 1
+                # The never-ACKed suffix applies fresh, exactly once.
+                for i in range(acked, len(tokens)):
+                    result = fc.append([100 + i], token=tokens[i])
+                    assert result["deduped"] is False
+                status = fc.status()
+                assert status["role"] == "primary"
+                assert status["n_transactions"] == base + len(tokens)
+                for i in range(len(tokens)):
+                    payload = fc.count([100 + i], exact=True)
+                    assert payload["exact"] == 1
+
+            # Bit-identical to a fresh single-node rebuild of the
+            # survivor's own database.
+            with TransactionFileReader(f_db) as reader:
+                replayed = [items for _, _, items in reader.scan()]
+            assert len(replayed) == base + len(tokens)
+            fresh = BBS.from_database(TransactionDatabase(replayed), m=64)
+            with ServiceClient("127.0.0.1", f_port, timeout=5.0) as fc:
+                for probe in ([100], [1], [2, 3]):
+                    assert (fc.count(probe)["estimate"]
+                            == fresh.count_itemset(probe))
+
+            follower.send_signal(signal.SIGTERM)
+            out, _ = follower.communicate(timeout=30.0)
+            assert follower.returncode == 0, out
+            assert "drained after" in out
+            follower = None
+        finally:
+            if proxy is not None:
+                proxy.close()
+            for proc in (primary, follower):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
