@@ -3,20 +3,26 @@
 Sweeps ``mine(..., workers=w)`` for w in {1, 2, 4} over the default
 workload and records both observable speedups:
 
-* **wall** — end-to-end elapsed time of the parallel run vs serial;
+* **wall** — end-to-end elapsed time of the parallel run vs serial,
+  measured with a *warm* persistent pool (the second consecutive mine
+  against the same session; the cold first call, which pays the
+  shared-memory export and worker start-up, is recorded separately);
 * **modeled** — the subtree phase's speedup under the largest-first
-  (LPT) schedule actually used, computed from the measured per-subtree
+  (LPT) schedule actually used, computed from the measured per-batch
   task times: ``sum(task_seconds) / makespan(workers)``.
 
-On a machine with fewer cores than workers, wall time cannot improve
-(the processes time-share one core, and pool startup adds overhead), so
-the machine-readable summary ``BENCH_parallel.json`` records the CPU
-count and picks the headline ``speedup_at_4`` from the modeled basis
-when ``cpu_count < 4`` and from wall time otherwise — the same honesty
-rule as the simulated CostModel elsewhere in this repo (DESIGN.md).
+The headline ``speedup_at_4`` in ``BENCH_parallel.json`` comes from the
+**wall** column whenever more than one CPU is visible — parallelism
+must win elapsed time on real cores, not in a model.  Only on a
+single-core machine (where processes time-share and wall time cannot
+improve by construction) does the summary fall back to the modeled
+basis, and it says so in ``speedup_basis`` — the same honesty rule as
+the simulated CostModel elsewhere in this repo (DESIGN.md).
 
 Every parallel run is also checked pattern-for-pattern against the
-serial result: a speedup for different answers would be meaningless.
+serial result — and so is a serial run under every available kernel
+backend (numpy/native): a speedup for different answers would be
+meaningless.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.bench.workloads import (
     default_spec,
     get_workload,
 )
+from repro.core import bitvec, kernels
 from repro.core.mining import mine
 
 WORKER_SWEEP = [1, 2, 4]
@@ -73,14 +80,19 @@ def _pattern_surface(result):
 def _run_point(workers: int) -> dict:
     workload = get_workload(default_spec(), default_m())
     min_support = default_min_support()
-    started = time.perf_counter()
-    result = mine(
-        workload.database, workload.bbs, min_support, ALGORITHM,
-        workers=workers,
-    )
-    wall = time.perf_counter() - started
+
+    def one_run():
+        started = time.perf_counter()
+        result = mine(
+            workload.database, workload.bbs, min_support, ALGORITHM,
+            workers=workers,
+        )
+        return result, time.perf_counter() - started
+
+    result, wall = one_run()
     point = {
         "workers": workers,
+        "cold_wall_seconds": wall,
         "wall_seconds": wall,
         "patterns": len(result.patterns),
         "surface": _pattern_surface(result),
@@ -88,12 +100,38 @@ def _run_point(workers: int) -> dict:
     if workers == 1:
         point["tasks"] = []
     else:
+        # Warm run: the persistent session (shared-memory export +
+        # worker pool) survives the first call, so the second measures
+        # steady-state dispatch — the number a long-lived process sees.
+        result, warm_wall = one_run()
         info = result.parallel_info
-        point["tasks"] = list(info["subtree_seconds"]) + list(
+        point["wall_seconds"] = warm_wall
+        point["surface"] = _pattern_surface(result)
+        point["pool_reused"] = bool(info.get("pool_reused"))
+        point["tasks"] = list(info.get("batch_seconds", [])) + list(
             info["scan_seconds"]
         )
+        point["subtree_tasks"] = len(info["subtree_seconds"])
         point["start_method"] = info.get("start_method")
     return point
+
+
+def _kernel_backend_surfaces(workload, min_support) -> dict:
+    """Serial pattern surfaces mined under every loadable kernel backend."""
+    surfaces = {}
+    current = bitvec.active_kernel_backend()
+    names = ["numpy"] + (["native"] if kernels.native_available() else [])
+    try:
+        for name in names:
+            if bitvec.set_kernel_backend(name) != name:
+                continue  # backend refused to load; skip, don't fake it
+            result = mine(
+                workload.database, workload.bbs, min_support, ALGORITHM
+            )
+            surfaces[name] = _pattern_surface(result)
+    finally:
+        bitvec.set_kernel_backend(current)
+    return surfaces
 
 
 @pytest.mark.parametrize("workers", WORKER_SWEEP)
@@ -118,6 +156,15 @@ def test_ext_parallel_report(benchmark):
     )
     assert identical, "parallel patterns diverged from serial"
 
+    workload = get_workload(default_spec(), default_m())
+    backend_surfaces = _kernel_backend_surfaces(
+        workload, default_min_support()
+    )
+    backends_identical = all(
+        surface == serial_surface for surface in backend_surfaces.values()
+    )
+    assert backends_identical, "kernel backends diverged from reference"
+
     cpu_count = _cpu_count()
     rows, points_out = [], []
     for workers in WORKER_SWEEP:
@@ -139,29 +186,34 @@ def test_ext_parallel_report(benchmark):
         points_out.append({
             "workers": workers,
             "wall_seconds": round(wall, 6),
+            "cold_wall_seconds": round(point["cold_wall_seconds"], 6),
             "wall_speedup": round(wall_speedup, 4),
             "modeled_seconds": round(modeled_seconds, 6),
             "modeled_speedup": round(modeled_speedup, 4),
             "tasks": len(tasks),
+            "pool_reused": point.get("pool_reused", False),
         })
 
-    basis = "modeled" if cpu_count < max(WORKER_SWEEP) else "wall"
+    # Wall wins whenever real parallel hardware exists; the modeled
+    # basis is strictly a single-core fallback.
+    basis = "wall" if cpu_count > 1 else "modeled"
     at_4 = next(p for p in points_out if p["workers"] == 4)
     speedup_at_4 = at_4[f"{basis}_speedup"]
-    workload = get_workload(default_spec(), default_m())
     summary = {
         "format": "repro-bench-parallel",
-        "version": 1,
+        "version": 2,
         "scale": bench_scale(),
         "workload": workload.name,
         "min_support": default_min_support(),
         "algorithm": ALGORITHM,
         "cpu_count": cpu_count,
+        "kernel_backend": bitvec.active_kernel_backend(),
+        "kernel_backends_checked": sorted(backend_surfaces),
         "serial_seconds": round(serial_wall, 6),
         "points": points_out,
         "speedup_at_4": speedup_at_4,
         "speedup_basis": basis,
-        "identical_patterns": identical,
+        "identical_patterns": identical and backends_identical,
     }
     out_path = Path(
         os.environ.get(OUTPUT_ENV, RESULTS_DIR / "BENCH_parallel.json")
@@ -178,7 +230,7 @@ def test_ext_parallel_report(benchmark):
              "tasks"],
             rows,
             note=f"headline speedup_at_4={speedup_at_4:.2f} "
-                 f"(basis={basis}); patterns identical to serial at "
-                 f"every point",
+                 f"(basis={basis}, warm pool); patterns identical to "
+                 f"serial at every point and under every kernel backend",
         ),
     )

@@ -1,6 +1,6 @@
-"""Micro-benchmarks for the packed bit-vector kernels.
+"""Micro-benchmarks for the packed bit-vector kernels, per backend.
 
-The four kernels below are the inner loops of every filter pass:
+The kernels below are the inner loops of every filter pass:
 ``popcount`` and ``and_reduce`` implement CountItemSet, the filters'
 vectorised ``_row_popcount`` scores whole candidate batches at once,
 and ``indices_of_set_bits`` turns a resultant vector into the probe
@@ -8,16 +8,25 @@ list handed to the refinement phase.  ``indices_of_set_bits`` is
 benchmarked at both ends of its density split: the sparse fast path
 (selective patterns: a handful of non-zero words) and the dense path
 (depth-1 vectors on a saturated index).
+
+Every case runs once per loadable kernel backend (``numpy`` always,
+``native`` when a C compiler was available to build it — see
+:mod:`repro.core.kernels`), so the report doubles as a backend
+comparison table.
+
+Standalone mode for CI smoke (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick
+
+runs each (backend, kernel) pair a handful of times, prints one line
+per pair, and exits non-zero if any backend fails to produce output.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from benchmarks.conftest import register_table
-from repro.bench.reporting import format_table
-from repro.core import bitvec
+from repro.core import bitvec, kernels
 from repro.core.filters import _row_popcount
 
 #: One depth-1 resultant vector at paper scale: 10K transactions.
@@ -27,7 +36,7 @@ N_ROWS = 256
 
 _rng = np.random.default_rng(2002)
 
-_timings: dict[str, float] = {}
+_timings: dict[tuple[str, str], float] = {}
 
 
 def _dense_words(n_words: int) -> np.ndarray:
@@ -59,29 +68,100 @@ CASES = {
 }
 
 
-@pytest.mark.parametrize("kernel", list(CASES))
-def test_kernel(benchmark, kernel):
-    case = CASES[kernel]
-    benchmark.pedantic(case, rounds=30, iterations=5, warmup_rounds=2)
-    _timings[kernel] = benchmark.stats["mean"]
+def available_backends() -> list[str]:
+    """Backends this machine can actually run (numpy always works)."""
+    return ["numpy"] + (["native"] if kernels.native_available() else [])
 
 
-def test_kernels_report(benchmark):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(_timings) < len(CASES):
-        return
-    rows = [
-        [kernel, round(_timings[kernel] * 1e6, 2)]
-        for kernel in CASES
-    ]
-    register_table(
-        "kernels",
-        format_table(
-            f"Bit-vector kernel micro-benchmarks ({N_WORDS} words "
-            f"= {N_WORDS * 64} transactions)",
-            ["kernel", "mean us"],
-            rows,
-            note="indices_sparse exercises the non-zero-word fast path; "
-                 "indices_dense the full unpackbits expansion",
-        ),
+def _with_backend(name: str, case):
+    """Run ``case`` with backend ``name`` active, restoring afterwards."""
+    previous = bitvec.active_kernel_backend()
+    loaded = bitvec.set_kernel_backend(name)
+    try:
+        if loaded != name:
+            raise RuntimeError(f"backend {name!r} unavailable (got {loaded})")
+        return case()
+    finally:
+        bitvec.set_kernel_backend(previous)
+
+
+def _pytest_cases():
+    import pytest
+
+    return pytest.mark.parametrize(
+        "backend,kernel",
+        [(b, k) for b in available_backends() for k in CASES],
     )
+
+
+try:  # pytest-benchmark entry points (absent in --quick standalone mode)
+    import pytest  # noqa: F401
+except ImportError:  # pragma: no cover - pytest is a baked-in dep
+    pass
+else:
+
+    @_pytest_cases()
+    def test_kernel(benchmark, backend, kernel):
+        case = CASES[kernel]
+        benchmark.pedantic(
+            lambda: _with_backend(backend, case),
+            rounds=30, iterations=5, warmup_rounds=2,
+        )
+        _timings[(backend, kernel)] = benchmark.stats["mean"]
+
+    def test_kernels_report(benchmark):
+        from benchmarks.conftest import register_table
+        from repro.bench.reporting import format_table
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        backends = available_backends()
+        if len(_timings) < len(CASES) * len(backends):
+            return
+        rows = []
+        for kernel in CASES:
+            row = [kernel]
+            for backend in backends:
+                row.append(round(_timings[(backend, kernel)] * 1e6, 2))
+            rows.append(row)
+        register_table(
+            "kernels",
+            format_table(
+                f"Bit-vector kernel micro-benchmarks ({N_WORDS} words "
+                f"= {N_WORDS * 64} transactions)",
+                ["kernel"] + [f"{b} us" for b in backends],
+                rows,
+                note="indices_sparse exercises the non-zero-word fast "
+                     "path; indices_dense the full expansion; native is "
+                     "the compiled-C backend (REPRO_KERNEL=native)",
+            ),
+        )
+
+
+def _main(argv: list[str]) -> int:
+    """Standalone smoke/timing run: one line per (backend, kernel)."""
+    import time
+
+    quick = "--quick" in argv
+    rounds = 3 if quick else 30
+    failures = 0
+    for backend in available_backends():
+        for kernel, case in CASES.items():
+            try:
+                started = time.perf_counter()
+                for _ in range(rounds):
+                    _with_backend(backend, case)
+                mean_us = (time.perf_counter() - started) / rounds * 1e6
+            except Exception as exc:  # surface, keep smoking the rest
+                print(f"FAIL {backend:>6} {kernel:<18} {exc}")
+                failures += 1
+            else:
+                print(f"ok   {backend:>6} {kernel:<18} {mean_us:9.2f} us/round")
+    print(f"backends: {', '.join(available_backends())}"
+          + ("" if kernels.native_available() else " (native unavailable)"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

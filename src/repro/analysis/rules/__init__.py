@@ -10,6 +10,7 @@ from repro.analysis.engine import Rule
 from repro.analysis.rules.asyncsafety import BlockingCallInAsync
 from repro.analysis.rules.concurrency import (
     NondeterministicPartitioning,
+    UnsanctionedPoolSpawn,
     UnserialisedIndexMutation,
 )
 from repro.analysis.rules.durability import UnfsyncedDurableWrite
@@ -30,6 +31,7 @@ ALL_RULES: list[Rule] = [
     SwallowedException(),
     EstimateSoundness(),
     JournalWriteOutsideLog(),
+    UnsanctionedPoolSpawn(),
 ]
 
 

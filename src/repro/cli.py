@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-mine",
         description="BBS frequent-pattern mining (ICDE 2002 reproduction)",
     )
+    parser.add_argument(
+        "--kernel", choices=("numpy", "native", "auto"), default=None,
+        help="bit-vector kernel backend (default: $REPRO_KERNEL or numpy; "
+             "every backend is bit-identical, `native` needs a C compiler)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate an IBM Quest synthetic database")
@@ -822,6 +827,10 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.kernel is not None:
+            from repro.core.bitvec import set_kernel_backend
+
+            set_kernel_backend(args.kernel, strict=True)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

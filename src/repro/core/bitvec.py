@@ -6,6 +6,7 @@ is packed 64 bits per :class:`numpy.uint64` word.  This module collects
 the low-level kernels used throughout the library:
 
 * :func:`popcount` -- number of set bits in a word array,
+* :func:`row_popcount` -- set bits per row of a candidate batch,
 * :func:`and_reduce` -- AND a set of slices together,
 * :func:`set_bit` / :func:`get_bit` -- single-bit access,
 * :func:`indices_of_set_bits` -- expand a packed vector into transaction
@@ -18,21 +19,49 @@ All functions operate on little-endian *bit* order within a word: bit
 ``i % 64``.  The tail bits of the last word beyond the logical length
 are kept at zero by every mutator in this library, so reductions never
 need an explicit tail mask.
+
+The hot kernels dispatch through a pluggable backend selected once at
+import by the ``REPRO_KERNEL`` environment variable (see
+:mod:`repro.core.kernels`): ``numpy`` (the reference), ``native`` (a
+small C library compiled on first use), or ``auto``.  Backends are
+bit-identical by test; :func:`set_kernel_backend` reselects at runtime
+(used by the CLI ``--kernel`` flag).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels as _kernels
+from repro.core.kernels.numpy_backend import (  # noqa: F401  (compat re-exports)
+    _BYTE_POPCOUNT,
+    _HAS_BITWISE_COUNT,
+    _SPARSE_WORD_FRACTION,
+)
+
 WORD_BITS = 64
 _WORD_DTYPE = np.uint64
 
-# numpy >= 2.0 ships a native popcount ufunc.  Older versions fall back
-# to an 8-bit lookup table over the byte view, which is still vectorised.
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-_BYTE_POPCOUNT = np.array(
-    [bin(i).count("1") for i in range(256)], dtype=np.uint8
-)
+#: The active kernel backend (module-global so a swap is process-wide).
+_K = _kernels.load_backend()
+
+
+def active_kernel_backend() -> str:
+    """Name of the kernel backend currently in use (``numpy``/``native``)."""
+    return _K.name
+
+
+def set_kernel_backend(name: str | None = None, *, strict: bool = False) -> str:
+    """Reselect the kernel backend; returns the name actually loaded.
+
+    ``name=None`` re-reads ``REPRO_KERNEL``.  With ``strict=True`` an
+    unknown name or an unavailable native backend raises
+    :class:`~repro.errors.ConfigurationError` instead of warning and
+    falling back to numpy.
+    """
+    global _K
+    _K = _kernels.load_backend(name, strict=strict)
+    return _K.name
 
 
 def words_for_bits(n_bits: int) -> int:
@@ -60,9 +89,14 @@ def popcount(words: np.ndarray) -> int:
     """Total number of set bits across a packed word array."""
     if words.size == 0:
         return 0
-    if _HAS_BITWISE_COUNT:
-        return int(np.bitwise_count(words).sum())
-    return int(_BYTE_POPCOUNT[words.view(np.uint8)].sum())
+    return _K.popcount(words)
+
+
+def row_popcount(matrix: np.ndarray) -> np.ndarray:
+    """Set-bit count per row of a 2-D uint64 matrix (one candidate batch)."""
+    if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    return _K.row_popcount(matrix)
 
 
 def and_reduce(rows: np.ndarray) -> np.ndarray:
@@ -78,7 +112,7 @@ def and_reduce(rows: np.ndarray) -> np.ndarray:
         raise ValueError("cannot AND-reduce an empty stack of slices")
     if rows.shape[0] == 1:
         return rows[0].copy()
-    return np.bitwise_and.reduce(rows, axis=0)
+    return _K.and_reduce(rows)
 
 
 def set_bit(words: np.ndarray, index: int) -> None:
@@ -99,11 +133,6 @@ def get_bit(words: np.ndarray, index: int) -> bool:
     return bool((word >> (index % WORD_BITS)) & 1)
 
 
-#: Above this fraction of non-zero words, expanding the whole vector
-#: with one ``unpackbits`` beats per-word extraction.
-_SPARSE_WORD_FRACTION = 0.25
-
-
 def indices_of_set_bits(words: np.ndarray, limit: int | None = None) -> np.ndarray:
     """Transaction indices whose bits are set, in increasing order.
 
@@ -112,27 +141,14 @@ def indices_of_set_bits(words: np.ndarray, limit: int | None = None) -> np.ndarr
     current number of transactions).
 
     The resultant vector of a selective pattern is overwhelmingly zero
-    words, so the kernel first locates the non-zero words and, when they
-    are a small fraction of the vector, unpacks only those words instead
-    of materialising the full 8x expansion of the packed array.
+    words; the numpy backend first locates the non-zero words and, when
+    they are a small fraction of the vector, unpacks only those words
+    instead of materialising the full 8x expansion of the packed array.
+    The native backend walks set bits directly with ``ctz``.
     """
     if words.size == 0:
         return np.empty(0, dtype=np.int64)
-    nonzero_words = np.nonzero(words)[0]
-    if nonzero_words.size == 0:
-        return np.empty(0, dtype=np.int64)
-    if nonzero_words.size >= words.size * _SPARSE_WORD_FRACTION:
-        dense = np.ascontiguousarray(words)
-        bits = np.unpackbits(dense.view(np.uint8), bitorder="little")
-        idx = np.nonzero(bits)[0].astype(np.int64)
-    else:
-        packed = np.ascontiguousarray(words[nonzero_words])
-        bits = np.unpackbits(packed.view(np.uint8), bitorder="little")
-        rows, cols = np.nonzero(bits.reshape(nonzero_words.size, WORD_BITS))
-        idx = nonzero_words[rows] * WORD_BITS + cols
-    if limit is not None:
-        idx = idx[idx < limit]
-    return idx
+    return _K.indices_of_set_bits(words, limit)
 
 
 def pack_indices(indices, n_bits: int) -> np.ndarray:
@@ -144,18 +160,14 @@ def pack_indices(indices, n_bits: int) -> np.ndarray:
             f"bit index out of range: indices span "
             f"[{arr.min()}, {arr.max()}] but length is {n_bits}"
         )
-    n_words = words_for_bits(n_bits)
-    bits = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
-    bits[arr] = 1
-    return np.packbits(bits, bitorder="little").view(_WORD_DTYPE).copy()
+    return _K.pack_indices(arr, words_for_bits(n_bits))
 
 
 def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
     """Expand a packed vector into a ``uint8`` 0/1 array of length ``n_bits``."""
     if words.size == 0:
         return np.zeros(n_bits, dtype=np.uint8)
-    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-    return bits[:n_bits]
+    return _K.unpack_bits(words, n_bits)
 
 
 def to_bitstring(words: np.ndarray, n_bits: int) -> str:

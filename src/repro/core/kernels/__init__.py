@@ -1,0 +1,100 @@
+"""Pluggable backends for the packed bit-vector kernels.
+
+The hot loops of every filter pass — ``popcount``, ``and_reduce``,
+row-wise popcount, ``indices_of_set_bits``, ``pack_indices`` /
+``unpack_bits`` — are exposed behind a tiny backend protocol so the
+same :mod:`repro.core.bitvec` API can run on:
+
+* ``numpy`` — the portable default: vectorised numpy (with the 8-bit
+  lookup-table fallback for numpy < 2.0);
+* ``native`` — a small C kernel library compiled on first use with the
+  system C compiler and loaded through :mod:`ctypes`
+  (``__builtin_popcountll`` / ``__builtin_ctzll`` loops, no Python or
+  numpy dispatch overhead per call).
+
+Selection happens once at import of :mod:`repro.core.bitvec`, driven by
+the ``REPRO_KERNEL`` environment variable:
+
+===========  ==============================================================
+value        behaviour
+===========  ==============================================================
+unset        ``numpy`` (the reference backend)
+``numpy``    force the numpy backend
+``native``   the C backend; falls back to numpy **with a RuntimeWarning**
+             when no compiler is available or the build fails
+``auto``     ``native`` when it loads, silently ``numpy`` otherwise
+===========  ==============================================================
+
+Every backend is bit-identical by construction and by test
+(``tests/test_kernels.py`` fuzzes numpy vs native on every kernel).
+Fallback is always *graceful*: an unknown value or a failed native
+build selects numpy and warns; imports never fail because of the knob.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.core.kernels.numpy_backend import NumpyKernels
+
+#: Environment knob read at import of :mod:`repro.core.bitvec`.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Accepted knob values (``auto`` resolves to one of the other two).
+BACKEND_NAMES = ("numpy", "native", "auto")
+
+
+def native_available() -> bool:
+    """Whether the native C backend can be (or already was) loaded."""
+    from repro.core.kernels import native
+
+    return native.load() is not None
+
+
+def load_backend(name: str | None = None, *, strict: bool = False):
+    """Resolve a kernel backend instance from ``name`` or ``REPRO_KERNEL``.
+
+    ``strict=True`` raises :class:`~repro.errors.ConfigurationError` on an
+    unknown name or an unavailable native backend; the default warns and
+    falls back to numpy so library import never fails on a typoed knob.
+    """
+    from repro.errors import ConfigurationError
+
+    requested = name if name is not None else os.environ.get(KERNEL_ENV)
+    requested = (requested or "numpy").strip().lower()
+    if requested not in BACKEND_NAMES:
+        message = (
+            f"unknown kernel backend {requested!r} "
+            f"(expected one of {BACKEND_NAMES}); using numpy"
+        )
+        if strict:
+            raise ConfigurationError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return NumpyKernels()
+    if requested == "numpy":
+        return NumpyKernels()
+    from repro.core.kernels import native
+
+    backend = native.load()
+    if backend is not None:
+        return backend
+    if requested == "native":
+        message = (
+            "REPRO_KERNEL=native requested but the native kernel library "
+            "could not be built (no C compiler, or compilation failed); "
+            "falling back to the numpy backend"
+        )
+        if strict:
+            raise ConfigurationError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    return NumpyKernels()
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KERNEL_ENV",
+    "NumpyKernels",
+    "load_backend",
+    "native_available",
+]

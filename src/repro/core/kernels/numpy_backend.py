@@ -1,0 +1,80 @@
+"""The reference numpy kernel backend.
+
+These are the vectorised implementations that previously lived inline
+in :mod:`repro.core.bitvec`; they define the semantics every other
+backend must reproduce bit-for-bit.  The public :mod:`repro.core.bitvec`
+functions handle argument validation and trivial edge cases (empty
+arrays, single rows) before dispatching here, so backends may assume
+non-empty, C-contiguous-compatible inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+# numpy >= 2.0 ships a native popcount ufunc.  Older versions fall back
+# to an 8-bit lookup table over the byte view, which is still vectorised.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+#: Above this fraction of non-zero words, expanding the whole vector
+#: with one ``unpackbits`` beats per-word extraction.
+_SPARSE_WORD_FRACTION = 0.25
+
+
+class NumpyKernels:
+    """Vectorised numpy implementations of the bit-vector kernels."""
+
+    name = "numpy"
+
+    @staticmethod
+    def popcount(words: np.ndarray) -> int:
+        if _HAS_BITWISE_COUNT:
+            return int(np.bitwise_count(words).sum())
+        return int(_BYTE_POPCOUNT[words.view(np.uint8)].sum())
+
+    @staticmethod
+    def row_popcount(matrix: np.ndarray) -> np.ndarray:
+        if _HAS_BITWISE_COUNT:
+            return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+        as_bytes = matrix.view(np.uint8).reshape(matrix.shape[0], -1)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.int64)
+
+    @staticmethod
+    def and_reduce(rows: np.ndarray) -> np.ndarray:
+        return np.bitwise_and.reduce(rows, axis=0)
+
+    @staticmethod
+    def indices_of_set_bits(
+        words: np.ndarray, limit: int | None = None
+    ) -> np.ndarray:
+        nonzero_words = np.nonzero(words)[0]
+        if nonzero_words.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if nonzero_words.size >= words.size * _SPARSE_WORD_FRACTION:
+            dense = np.ascontiguousarray(words)
+            bits = np.unpackbits(dense.view(np.uint8), bitorder="little")
+            idx = np.nonzero(bits)[0].astype(np.int64)
+        else:
+            packed = np.ascontiguousarray(words[nonzero_words])
+            bits = np.unpackbits(packed.view(np.uint8), bitorder="little")
+            rows, cols = np.nonzero(bits.reshape(nonzero_words.size, WORD_BITS))
+            idx = nonzero_words[rows] * WORD_BITS + cols
+        if limit is not None:
+            idx = idx[idx < limit]
+        return idx
+
+    @staticmethod
+    def pack_indices(indices: np.ndarray, n_words: int) -> np.ndarray:
+        bits = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+        bits[indices] = 1
+        return np.packbits(bits, bitorder="little").view(np.uint64).copy()
+
+    @staticmethod
+    def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return bits[:n_bits]

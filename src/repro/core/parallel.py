@@ -13,12 +13,36 @@ exploits all three with ordinary worker processes:
   depth-1 pass once, places the ``(m, n_words)`` slice matrix in
   :mod:`multiprocessing.shared_memory` so every worker maps it
   zero-copy, and fans the surviving top-level extension subtrees out
-  across a process pool.  The depth-first enumeration only ever extends
-  a pattern with items *after* its first item, so the top-level
-  subtrees are disjoint: per-subtree outputs concatenated in subtree
-  order reproduce the serial discovery order exactly.
+  across a persistent worker pool.  The depth-first enumeration only
+  ever extends a pattern with items *after* its first item, so the
+  top-level subtrees are disjoint: per-subtree outputs concatenated in
+  subtree order reproduce the serial discovery order exactly.
 * **Parallel SequentialScan** — the SFS/DFS refinement phase splits the
   candidate list into contiguous chunks, one scan pipeline per worker.
+
+Wall-clock discipline (the PR-7 rework; see DESIGN.md §6):
+
+* **Persistent pools.**  The shared-memory export and its worker pool
+  form a :class:`_MiningSession`, created once per (index, database)
+  pair and reused by every subsequent ``mine_parallel`` /
+  ``mine_containing`` / scan call — workers attach the slice matrix and
+  materialise their private database copy exactly once, then
+  reconfigure lazily (rebuilding just the engine and its depth-1 pass)
+  when a task arrives with a different algorithm/threshold.  Sessions
+  are torn down explicitly (:func:`shutdown_pools`), by a
+  ``weakref.finalize`` when the index or database is garbage-collected,
+  by staleness (epoch bump, start-method change), or at interpreter
+  exit.  Partitioned builds keep one generic pool per (workers,
+  start-method).  All executors live in :mod:`repro.core.pool` — the
+  invariant linter's RPR009 keeps per-mine spawns from creeping back.
+* **Batched subtrees.**  Tasks are sibling-subtree *batches*, not one
+  future per root: per-root cost bounds in the spirit of the
+  Geerts/Goethals tight candidate bound (:func:`_subtree_weights`) are
+  LPT-packed into ~4x`workers` batches, so dispatch overhead amortises
+  over predictably large chunks of work while the heavy left-edge
+  subtrees still start first.  Within a batch the worker estimates the
+  whole sibling group's depth-2 frontier in one vectorized AND +
+  popcount pass (:meth:`FilterEngine.run_roots_batched`).
 
 Determinism rules (also in DESIGN.md): subtree outputs are merged in
 ascending subtree offset, scan chunks in ascending chunk index, and
@@ -28,23 +52,18 @@ runs with the same ``workers`` produce identical results *and*
 identical statistics, and ``patterns`` is byte-identical to the serial
 run for any ``workers``.
 
-Work is scheduled largest-first: subtree cost is estimated as the root
-estimate times the remaining extension count, so the heavy left-most
-subtrees start before the cheap tail and the pool drains evenly.
-
-Workers are seeded once per process (pool initializer): they attach the
-shared slice matrix, rebuild the hash family from its descriptor, and
-materialise a private in-memory copy of the transaction database for
-probing and scanning.  A worker that dies mid-task surfaces as a typed
-:class:`~repro.errors.ParallelExecutionError` instead of a hang.
+Workers that die mid-task surface as a typed
+:class:`~repro.errors.ParallelExecutionError` instead of a hang, and
+the broken session is torn down — shared memory unlinked, pool closed —
+so the next call starts clean.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+import weakref
 
 import numpy as np
 
@@ -52,6 +71,7 @@ from repro.core.bbs import BBS, DEFAULT_K
 from repro.core.counts import ItemCountTable
 from repro.core.filters import FilterOutput
 from repro.core.hashing import HashFamily, MD5HashFamily, family_from_description
+from repro.core.pool import START_METHOD_ENV, WorkerPool, mp_context
 from repro.core.refine import resolve_threshold, sequential_scan
 from repro.core.results import MiningResult, PatternCount, RefineStats
 from repro.data.database import TransactionDatabase
@@ -63,21 +83,13 @@ from repro.errors import (
 from repro.storage.metrics import IOStats
 
 #: Environment hook used by the fault-injection tests: a worker that is
-#: handed the subtree at this offset exits hard, simulating a crash.
+#: handed a batch containing the subtree at this offset exits hard,
+#: simulating a crash.
 CRASH_OFFSET_ENV = "REPRO_PARALLEL_CRASH_OFFSET"
 
-#: Environment override for the multiprocessing start method.
-START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
-
-
-def _mp_context():
-    import multiprocessing
-
-    method = os.environ.get(START_METHOD_ENV)
-    if method is None:
-        available = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in available else "spawn"
-    return multiprocessing.get_context(method)
+#: Batches per worker: enough slack for the LPT schedule to drain evenly
+#: without falling back into one-future-per-root dispatch overhead.
+_BATCH_OVERSUBSCRIPTION = 4
 
 
 def _validate_workers(workers) -> int:
@@ -145,7 +157,7 @@ def _attach_shared_index(meta: dict):
 
     # Pool workers share the parent's resource tracker, so the attach
     # here only re-adds the name the parent registered at create time;
-    # the parent's unlink() retires it exactly once at the end.
+    # the parent's unlink() retires it exactly once at session teardown.
     shm = shared_memory.SharedMemory(name=meta["name"])
     slices = np.ndarray(
         (meta["m"], meta["n_words"]), dtype=np.uint64, buffer=shm.buf
@@ -213,66 +225,157 @@ def _make_engine(algorithm, bbs, threshold, database, result, max_size, seed_pac
     raise ConfigurationError(f"unknown parallel algorithm {algorithm!r}")
 
 
-def _init_mine_worker(meta, db_payload, algorithm, threshold, max_size, seed_pack):
+def _init_mine_worker(meta, db_payload):
+    """Pool initializer: the once-per-process part of worker setup.
+
+    Attaches the shared slice matrix and materialises the private
+    database copy.  Engine construction is deferred to the first task
+    (:func:`_ensure_engine`), so one pool serves any sequence of
+    algorithm/threshold configurations.
+    """
     shm, bbs = _attach_shared_index(meta)
     database = _database_from_payload(db_payload)
-    shell = MiningResult(algorithm, threshold, bbs.n_transactions)
-    engine = _make_engine(
-        algorithm, bbs, threshold, database, shell, max_size, seed_pack
-    )
-    prepared = engine.prepare()
     _WORKER.clear()
     _WORKER.update(
         shm=shm,  # keep the mapping alive for the worker's lifetime
         bbs=bbs,
         database=database,
-        engine=engine,
-        prepared=prepared,
-        algorithm=algorithm,
-        threshold=threshold,
+        config=None,
     )
 
 
-def _run_subtree(offset: int) -> dict:
-    """Mine one top-level subtree; returns its serialized output."""
-    crash_at = os.environ.get(CRASH_OFFSET_ENV)
-    if crash_at is not None and int(crash_at) == offset:
-        os._exit(17)  # simulate a hard worker crash (fault injection)
-    if not _WORKER.get("prepared"):
+def _ensure_engine(config: dict) -> None:
+    """Lazily (re)build the filter engine when the task config changes.
+
+    The expensive per-process state (shared matrix attach, database
+    copy) persists across mines; only the engine and its depth-1
+    ``prepare()`` rerun when algorithm/threshold/max_size/seed differ
+    from the previous task's config.
+    """
+    if _WORKER.get("config") == config and "engine" in _WORKER:
+        return
+    bbs = _WORKER["bbs"]
+    database = _WORKER["database"]
+    shell = MiningResult(
+        config["algorithm"], config["threshold"], bbs.n_transactions
+    )
+    engine = _make_engine(
+        config["algorithm"], bbs, config["threshold"], database, shell,
+        config["max_size"], config["seed_pack"],
+    )
+    prepared = engine.prepare()
+    _WORKER.update(engine=engine, prepared=prepared, config=dict(config))
+
+
+class _SubtreeMeter:
+    """Per-subtree output shells plus time/IO attribution for one batch.
+
+    ``FilterEngine.run_roots_batched`` interleaves work across the
+    batch's subtrees (root visits first, then the shared sibling
+    AND-pass, then the walks); :meth:`activate` swaps the engine's
+    output shell to the subtree about to be worked on and attributes the
+    elapsed time and IO deltas since the previous boundary to the
+    subtree that produced them.  Per-subtree payloads therefore merge in
+    the parent exactly like the old one-task-per-root payloads did.
+    """
+
+    def __init__(self, engine, database, bbs, config: dict):
+        self._engine = engine
+        self._database = database
+        self._bbs = bbs
+        self._algorithm = config["algorithm"]
+        self._threshold = config["threshold"]
+        self._shells: dict[int, dict] = {}
+        self._current: int | None = None
+        self._mark = None
+
+    def _shell(self, offset: int) -> dict:
+        entry = self._shells.get(offset)
+        if entry is None:
+            entry = {
+                "shell": MiningResult(
+                    self._algorithm, self._threshold, self._bbs.n_transactions
+                ),
+                "output": FilterOutput(),
+                "seconds": 0.0,
+                "io": IOStats(),
+            }
+            self._shells[offset] = entry
+        return entry
+
+    def activate(self, offset: int) -> None:
+        self.flush()
+        entry = self._shell(offset)
+        engine = self._engine
+        engine.output = entry["output"]
+        if hasattr(engine, "_result"):
+            engine._result = entry["shell"]  # probing engines stream here
+        self._current = offset
+        self._mark = (
+            time.perf_counter(),
+            self._database.stats.snapshot(),
+            self._bbs.stats.snapshot(),
+        )
+
+    def flush(self) -> None:
+        if self._current is None:
+            return
+        started, db_before, bbs_before = self._mark
+        entry = self._shells[self._current]
+        entry["seconds"] += time.perf_counter() - started
+        delta = (self._database.stats - db_before).merged(
+            self._bbs.stats - bbs_before
+        )
+        entry["io"] = entry["io"].merged(delta)
+        self._current = None
+
+    def payload(self, offset: int) -> dict:
+        entry = self._shell(offset)
+        shell, output = entry["shell"], entry["output"]
+        return {
+            "offset": offset,
+            "seconds": entry["seconds"],
+            "patterns": [
+                (itemset, pattern.count, pattern.exact)
+                for itemset, pattern in shell.patterns.items()
+            ],
+            "certain": [
+                (itemset, pattern.count, pattern.exact)
+                for itemset, pattern in output.certain.items()
+            ],
+            "candidates": list(output.candidates),
+            "filter_stats": dict(vars(output.stats)),
+            "refine_stats": dict(vars(shell.refine_stats)),
+            "io": entry["io"],
+        }
+
+
+def _run_subtree_batch(
+    config: dict, offsets: tuple, crash_at: int | None = None
+) -> dict:
+    """Mine a batch of sibling subtrees; returns per-subtree payloads.
+
+    ``crash_at`` is resolved by the *parent* from ``CRASH_OFFSET_ENV``
+    (persistent workers predate any later env change) and makes the
+    worker exit hard, simulating a crash for the fault-injection tests.
+    """
+    if crash_at is not None and crash_at in offsets:
+        os._exit(17)
+    _ensure_engine(config)
+    if not _WORKER["prepared"]:
         raise ParallelExecutionError(
-            "worker received a subtree but its depth-1 pass found no "
+            "worker received a subtree batch but its depth-1 pass found no "
             "surviving roots — parent/worker index views diverge"
         )
     engine = _WORKER["engine"]
-    database = _WORKER["database"]
-    bbs = _WORKER["bbs"]
-    db_before = database.stats.snapshot()
-    bbs_before = bbs.stats.snapshot()
-    shell = MiningResult(
-        _WORKER["algorithm"], _WORKER["threshold"], bbs.n_transactions
-    )
-    engine.output = FilterOutput()
-    if hasattr(engine, "_result"):
-        engine._result = shell  # probing engines stream into the shell
     started = time.perf_counter()
-    engine.run_roots([offset])
-    seconds = time.perf_counter() - started
-    output = engine.output
+    meter = _SubtreeMeter(engine, _WORKER["database"], _WORKER["bbs"], config)
+    engine.run_roots_batched(offsets, activate=meter.activate)
+    meter.flush()
     return {
-        "offset": offset,
-        "seconds": seconds,
-        "patterns": [
-            (itemset, pattern.count, pattern.exact)
-            for itemset, pattern in shell.patterns.items()
-        ],
-        "certain": [
-            (itemset, pattern.count, pattern.exact)
-            for itemset, pattern in output.certain.items()
-        ],
-        "candidates": list(output.candidates),
-        "filter_stats": dict(vars(output.stats)),
-        "refine_stats": dict(vars(shell.refine_stats)),
-        "io": (database.stats - db_before).merged(bbs.stats - bbs_before),
+        "pid": os.getpid(),
+        "seconds": time.perf_counter() - started,
+        "subtrees": [meter.payload(offset) for offset in sorted(offsets)],
     }
 
 
@@ -303,24 +406,125 @@ def _build_partition(transactions, family_desc) -> tuple:
     return bbs._raw_state()
 
 
-def _collect(futures: dict) -> dict:
-    """Gather ``{future: key}`` results, surfacing crashes as typed errors."""
-    payloads = {}
-    try:
-        for future in as_completed(futures):
-            payloads[futures[future]] = future.result()
-    except BrokenProcessPool as exc:
-        raise ParallelExecutionError(
-            "a parallel worker process died mid-run (crash or kill); "
-            "partial results were discarded"
-        ) from exc
-    except ReproError:
-        raise
-    except Exception as exc:
-        raise ParallelExecutionError(
-            f"a parallel worker task failed: {exc}"
-        ) from exc
-    return payloads
+# --------------------------------------------------------------------------
+# Persistent sessions and pools
+# --------------------------------------------------------------------------
+
+
+class _MiningSession:
+    """One shared-index export plus the persistent pool mining it.
+
+    Created on the first ``workers>1`` mine over a (bbs, database) pair
+    and reused by every later call with the same pair: the export and
+    the worker-side database copies are paid once, and only the engine's
+    depth-1 pass reruns when the mining config changes.
+    """
+
+    def __init__(self, database, bbs, workers: int, pool_size: int):
+        self.workers = workers  # as requested, for staleness checks
+        self.epoch = getattr(bbs, "epoch", None)
+        self.n_tx = bbs.n_transactions
+        self.db_len = len(database)
+        self.uses = 0
+        self.shm, self.meta = _export_shared_index(bbs)
+        try:
+            self.pool = WorkerPool(
+                pool_size,
+                initializer=_init_mine_worker,
+                initargs=(self.meta, _database_payload(database)),
+            )
+        except BaseException:
+            self._release_shm()
+            raise
+        self.pool.add_close_hook(self._release_shm)
+        self._released = False
+
+    @property
+    def shm_name(self) -> str:
+        return self.meta["name"]
+
+    def _release_shm(self) -> None:
+        if getattr(self, "_released", False):
+            return
+        self._released = True
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except OSError:  # pragma: no cover - already retired
+            pass
+
+    def close(self) -> None:
+        """Tear down the pool and unlink the shared segment; idempotent."""
+        self.pool.close()  # close hook releases the shared memory
+
+    def stale_for(self, database, bbs, workers: int, pool_size: int) -> bool:
+        """Whether this session can serve a new mine over (bbs, database)."""
+        return (
+            self.pool.closed
+            or self.workers != workers
+            or self.pool.workers < pool_size
+            or self.epoch != getattr(bbs, "epoch", None)
+            or self.n_tx != bbs.n_transactions
+            or self.db_len != len(database)
+            or self.pool.start_method != mp_context().get_start_method()
+        )
+
+
+#: Live mining sessions, keyed by (id(bbs), id(database)).  Entries are
+#: retired by staleness at lease time, by weakref finalizers when either
+#: object is garbage-collected, explicitly via shutdown_pools(), or by
+#: the pool layer's atexit hook.
+_SESSIONS: dict[tuple[int, int], _MiningSession] = {}
+
+#: Generic pools for partitioned builds, keyed by (workers, start method).
+_BUILD_POOLS: dict[tuple[int, str], WorkerPool] = {}
+
+
+def _retire_session(key: tuple[int, int], session: _MiningSession) -> None:
+    if _SESSIONS.get(key) is session:
+        del _SESSIONS[key]
+    session.close()
+
+
+def _lease_session(database, bbs, workers: int, pool_size: int) -> _MiningSession:
+    key = (id(bbs), id(database))
+    session = _SESSIONS.get(key)
+    if session is not None and session.stale_for(
+        database, bbs, workers, pool_size
+    ):
+        _retire_session(key, session)
+        session = None
+    if session is None:
+        session = _MiningSession(database, bbs, workers, pool_size)
+        _SESSIONS[key] = session
+        # Either side dying retires the session (and its shared memory).
+        weakref.finalize(bbs, _retire_session, key, session)
+        weakref.finalize(database, _retire_session, key, session)
+    return session
+
+
+def _lease_build_pool(workers: int) -> WorkerPool:
+    method = mp_context().get_start_method()
+    key = (workers, method)
+    cached = _BUILD_POOLS.get(key)
+    if cached is not None and not cached.closed:
+        return cached
+    created = WorkerPool(workers)
+    _BUILD_POOLS[key] = created
+    return created
+
+
+def active_sessions() -> list[_MiningSession]:
+    """The live mining sessions (diagnostics and lifecycle tests)."""
+    return [s for s in _SESSIONS.values() if not s.pool.closed]
+
+
+def shutdown_pools() -> None:
+    """Explicitly tear down every persistent session and build pool."""
+    for key in list(_SESSIONS):
+        _retire_session(key, _SESSIONS[key])
+    for key in list(_BUILD_POOLS):
+        _BUILD_POOLS.pop(key).close()
 
 
 # --------------------------------------------------------------------------
@@ -346,7 +550,8 @@ def build_partitioned(
     :meth:`BBS.concat` in partition order — producing an index
     bit-identical to a serial :meth:`BBS.from_database` build.
 
-    ``workers=1`` is exactly the serial build.
+    ``workers=1`` is exactly the serial build.  Worker pools persist
+    across calls (one per worker count and start method).
     """
     _validate_workers(workers)
     if partitions is not None and partitions < 1:
@@ -369,15 +574,12 @@ def build_partitioned(
     if workers == 1:
         raw_states = [_build_partition(chunk, family_desc) for chunk in chunks]
     else:
-        ctx = _mp_context()
-        with ProcessPoolExecutor(
-            max_workers=min(workers, n_parts), mp_context=ctx
-        ) as pool:
-            futures = {
-                pool.submit(_build_partition, chunk, family_desc): index
-                for index, chunk in enumerate(chunks)
-            }
-            payloads = _collect(futures)
+        pool = _lease_build_pool(min(workers, n_parts))
+        futures = {
+            pool.submit(_build_partition, chunk, family_desc): index
+            for index, chunk in enumerate(chunks)
+        }
+        payloads = pool.collect(futures)
         raw_states = [payloads[index] for index in range(len(chunks))]
     parts = [
         BBS._from_raw_state(family, slices, n_tx, counts, bits)
@@ -405,6 +607,63 @@ def _split_chunks(sequence, n_chunks: int) -> list:
 
 
 # --------------------------------------------------------------------------
+# Subtree batching (Geerts/Goethals-informed task sizing)
+# --------------------------------------------------------------------------
+
+
+def _subtree_weights(root_estimates, n_roots: int) -> list[int]:
+    """Per-root cost bounds used to size sibling batches.
+
+    Two bounds, take the min.  The Geerts/Goethals/Van den Bussche tight
+    candidate bound (PAPERS.md) caps how many candidate patterns the
+    enumeration can still generate below a node by a combinatorial
+    function of the surviving extension items; for a root at offset
+    ``o`` with ``r`` later siblings that collapses to at most
+    ``2^r - 1`` itemsets — tiny near the right edge of the item order,
+    which is exactly what lets dozens of tail subtrees share one batch
+    (and one sibling AND-pass) without unbalancing the schedule.  For
+    the broad left-edge subtrees the combinatorial bound is vacuous, so
+    the estimate-mass proxy ``est(root) * r`` (the pre-PR-7 LPT weight:
+    vector work per candidate times frontier width) takes over.
+    """
+    weights = []
+    for offset in range(n_roots):
+        remaining = n_roots - offset - 1
+        weight = max(1, int(root_estimates[offset])) * max(1, remaining)
+        if remaining < 60:  # beyond 2^60 the bound cannot bind
+            candidate_bound = (1 << remaining) - 1 if remaining else 1
+            weight = min(weight, candidate_bound)
+        weights.append(max(1, weight))
+    return weights
+
+
+def _pack_batches(weights: list[int], workers: int) -> list[tuple]:
+    """LPT-pack subtree offsets into ~4x``workers`` balanced batches.
+
+    Deterministic: offsets are assigned largest-weight-first (ties by
+    offset) to the least-loaded batch (ties by batch index).  Batches
+    are returned heaviest-first — the submission order — with offsets
+    ascending inside each batch.
+    """
+    n = len(weights)
+    n_batches = max(1, min(n, workers * _BATCH_OVERSUBSCRIPTION))
+    order = sorted(range(n), key=lambda o: (-weights[o], o))
+    bins: list[list[int]] = [[] for _ in range(n_batches)]
+    heap = [(0, index) for index in range(n_batches)]
+    heapq.heapify(heap)
+    for offset in order:
+        load, index = heapq.heappop(heap)
+        bins[index].append(offset)
+        heapq.heappush(heap, (load + weights[offset], index))
+    loads = {index: load for load, index in heap}
+    packed = sorted(
+        (index for index in range(n_batches) if bins[index]),
+        key=lambda index: (-loads[index], index),
+    )
+    return [tuple(sorted(bins[index])) for index in packed]
+
+
+# --------------------------------------------------------------------------
 # Subtree-parallel mining
 # --------------------------------------------------------------------------
 
@@ -422,10 +681,11 @@ def mine_parallel(
     """Mine with ``workers`` processes; exact-equal to the serial miner.
 
     The driver behind ``mine(..., workers=N)``: runs the depth-1 pass in
-    the parent, shares the slice matrix, fans the top-level subtrees out
-    largest-first, and merges per-worker outputs deterministically.  The
-    result's ``patterns`` (contents *and* insertion order), counts, and
-    exactness flags are identical to ``workers=1``.
+    the parent, leases the persistent session for (bbs, database), fans
+    sibling-subtree batches out largest-first, and merges per-subtree
+    outputs deterministically.  The result's ``patterns`` (contents
+    *and* insertion order), counts, and exactness flags are identical to
+    ``workers=1``.
     """
     from repro.core.mining import _check_alignment, _finish, _start
 
@@ -467,8 +727,12 @@ def _mine_into(
         "algorithm": algorithm,
         "subtrees": 0,
         "subtree_seconds": [],
+        "batches": 0,
+        "batch_seconds": [],
         "scan_chunks": 0,
         "scan_seconds": [],
+        "pool_reused": False,
+        "worker_pids": [],
     }
     result.parallel_info = info
 
@@ -484,45 +748,46 @@ def _mine_into(
     if not prepared:
         return worker_io
 
-    root_estimates = proto._root_estimates
     n_roots = len(proto._extensions)
     info["subtrees"] = n_roots
-    # Largest-first schedule: estimated subtree cost ~ root support x
-    # remaining extensions.  Ties (and the final merge) break by offset.
-    order = sorted(
-        range(n_roots),
-        key=lambda o: (-int(root_estimates[o]) * max(1, n_roots - o - 1), o),
-    )
-
     effective_workers = max(1, min(workers, n_roots))
-    shm, meta = _export_shared_index(bbs)
-    try:
-        ctx = _mp_context()
-        info["start_method"] = ctx.get_start_method()
-        with ProcessPoolExecutor(
-            max_workers=effective_workers,
-            mp_context=ctx,
-            initializer=_init_mine_worker,
-            initargs=(
-                meta, _database_payload(database), algorithm,
-                threshold, max_size, seed_pack,
-            ),
-        ) as pool:
-            futures = {
-                pool.submit(_run_subtree, offset): offset for offset in order
-            }
-            payloads = _collect(futures)
-            candidates = _merge_subtree_payloads(
-                result, algorithm, payloads, worker_io, info
-            )
-            if algorithm in ("sfs", "dfs") and candidates:
-                _parallel_scan(
-                    result, pool, candidates, threshold,
-                    memory_bytes, effective_workers, worker_io, info,
-                )
-    finally:
-        shm.close()
-        shm.unlink()
+    batches = _pack_batches(
+        _subtree_weights(proto._root_estimates, n_roots), effective_workers
+    )
+    info["batches"] = len(batches)
+
+    session = _lease_session(database, bbs, workers, effective_workers)
+    info["pool_reused"] = session.uses > 0
+    session.uses += 1
+    info["start_method"] = session.pool.start_method
+    config = {
+        "algorithm": algorithm,
+        "threshold": threshold,
+        "max_size": max_size,
+        "seed_pack": seed_pack,
+    }
+    crash_raw = os.environ.get(CRASH_OFFSET_ENV)
+    crash_at = int(crash_raw) if crash_raw is not None else None
+    futures = {
+        session.pool.submit(_run_subtree_batch, config, batch, crash_at): index
+        for index, batch in enumerate(batches)
+    }
+    payloads = session.pool.collect(futures)
+    info["worker_pids"] = session.pool.worker_pids()
+    per_offset: dict[int, dict] = {}
+    for index in range(len(batches)):
+        batch_payload = payloads[index]
+        info["batch_seconds"].append(batch_payload["seconds"])
+        for item in batch_payload["subtrees"]:
+            per_offset[item["offset"]] = item
+    candidates = _merge_subtree_payloads(
+        result, algorithm, per_offset, worker_io, info
+    )
+    if algorithm in ("sfs", "dfs") and candidates:
+        _parallel_scan(
+            result, session.pool, candidates, threshold,
+            memory_bytes, effective_workers, worker_io, info,
+        )
     return worker_io
 
 
@@ -556,7 +821,7 @@ def _parallel_scan(
         pool.submit(_run_scan_chunk, chunk, threshold, memory_bytes): index
         for index, chunk in enumerate(chunks)
     }
-    payloads = _collect(futures)
+    payloads = pool.collect(futures)
     for index in range(len(chunks)):
         payload = payloads[index]
         info["scan_seconds"].append(payload["seconds"])

@@ -6,7 +6,8 @@ for the serving layer.  A :class:`ChaosProxy` sits between a client and
 a real server, forwards whole protocol frames, and injects one
 scheduled fault class per accepted connection:
 
-* :class:`ResetOnConnect` — RST before a single byte is exchanged;
+* :class:`ResetOnConnect` — RST as soon as the first request byte
+  arrives, before anything is answered;
 * :class:`Delay` — hold the first N responses for a fixed time;
 * :class:`DropResponse` — forward the request (the server *applies*
   it), then swallow the response and RST.  The canonical lost-ACK:
@@ -49,7 +50,13 @@ class Passthrough:
 
 @dataclass(frozen=True)
 class ResetOnConnect:
-    """Reset the client connection before any bytes flow."""
+    """Reset the client connection before any bytes are answered.
+
+    The reset is held until the first request byte arrives, so the
+    client deterministically sees a torn connection *after* sending —
+    never a failure of ``connect()`` itself, which retrying clients
+    may legitimately treat as "nothing was sent" and retry.
+    """
 
 
 @dataclass(frozen=True)
@@ -233,6 +240,17 @@ class ChaosProxy:
         try:
             if isinstance(fault, ResetOnConnect):
                 self.faults_injected += 1
+                # Wait for the first request byte before resetting: an
+                # RST fired straight from accept() can race the client's
+                # connect() on loopback and get classified as a connect
+                # failure (retryable even for non-idempotent ops),
+                # making the fault nondeterministic.  Landing it after
+                # the first sent byte guarantees the client observes a
+                # reset *after* its request hit the wire.
+                try:
+                    client.recv(1)
+                except OSError:
+                    pass
                 self._reset(client)
                 return
             if isinstance(fault, Blackhole):

@@ -373,6 +373,83 @@ class TestNondeterministicPartitioning:
 
 
 # ---------------------------------------------------------------------------
+# RPR009 — sanctioned pool spawning
+
+
+class TestUnsanctionedPoolSpawn:
+    PATH = "src/repro/core/parallel.py"
+
+    def test_fires_on_executor_in_core(self):
+        findings = check(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(tasks):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(str, tasks))
+            """,
+            self.PATH,
+            "RPR009",
+        )
+        assert len(findings) == 1
+        assert "WorkerPool" in findings[0].message
+
+    def test_fires_on_raw_multiprocessing_pool(self):
+        findings = check(
+            """
+            import multiprocessing
+
+            def fan_out(tasks):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(str, tasks)
+            """,
+            self.PATH,
+            "RPR009",
+        )
+        assert len(findings) == 1
+
+    def test_pool_module_is_sanctioned(self):
+        assert not check(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class WorkerPool:
+                def __init__(self, workers):
+                    self._executor = ProcessPoolExecutor(max_workers=workers)
+            """,
+            "src/repro/core/pool.py",
+            "RPR009",
+        )
+
+    def test_scoped_to_core(self):
+        assert not check(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(tasks):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(str, tasks))
+            """,
+            "src/repro/bench/harness.py",
+            "RPR009",
+        )
+
+    def test_workerpool_usage_is_clean(self):
+        assert not check(
+            """
+            from repro.core.pool import WorkerPool
+
+            def fan_out(tasks):
+                pool = WorkerPool(4)
+                return pool.collect({pool.submit(str, t): i
+                                     for i, t in enumerate(tasks)})
+            """,
+            self.PATH,
+            "RPR009",
+        )
+
+
+# ---------------------------------------------------------------------------
 # RPR006 — swallowed exceptions
 
 

@@ -1,0 +1,293 @@
+"""Backend-equivalence suite: every kernel, numpy vs native, bit-identical.
+
+The native C backend is only allowed to exist because it is
+indistinguishable from the numpy reference; these tests are the
+enforcement.  Each kernel is fuzzed over random word arrays (dense,
+sparse, and degenerate shapes) plus the structured edge cases that
+caught real bugs during development: empty arrays, all-ones words,
+tail-word truncation, and every ``limit=`` regime of
+``indices_of_set_bits``.
+
+When no C compiler is available the equivalence half of the suite
+skips (the selection/fallback tests still run); CI forces the native
+backend in a dedicated job so the fuzz always runs somewhere.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import bitvec, kernels
+from repro.core.kernels.numpy_backend import NumpyKernels
+from repro.errors import ConfigurationError
+
+NATIVE = kernels.native_available()
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="native kernel backend unavailable (no C compiler)"
+)
+
+NUMPY = NumpyKernels()
+
+
+def _native():
+    from repro.core.kernels import native
+
+    backend = native.load()
+    assert backend is not None
+    return backend
+
+
+def _random_words(rng, n_words, density):
+    """Random packed words at an approximate bit density in [0, 1]."""
+    if density >= 1.0:
+        return np.full(n_words, ~np.uint64(0), dtype=np.uint64)
+    bits = rng.random((n_words, 64)) < density
+    return np.packbits(
+        bits, axis=1, bitorder="little"
+    ).view(np.uint64).reshape(n_words)
+
+
+@needs_native
+class TestFuzzEquivalence:
+    """Randomised numpy-vs-native comparison for every kernel."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_popcount_and_indices(self, seed):
+        rng = np.random.default_rng(seed)
+        native = _native()
+        for trial in range(50):
+            n_words = int(rng.integers(0, 40))
+            density = float(rng.choice([0.0, 0.01, 0.1, 0.5, 1.0]))
+            words = _random_words(rng, n_words, density)
+            assert native.popcount(words) == NUMPY.popcount(words)
+            np.testing.assert_array_equal(
+                native.indices_of_set_bits(words),
+                NUMPY.indices_of_set_bits(words),
+            )
+            limit = int(rng.integers(0, n_words * 64 + 2))
+            np.testing.assert_array_equal(
+                native.indices_of_set_bits(words, limit),
+                NUMPY.indices_of_set_bits(words, limit),
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_and_reduce_and_row_popcount(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        native = _native()
+        for trial in range(30):
+            n_rows = int(rng.integers(1, 12))
+            n_words = int(rng.integers(1, 30))
+            matrix = np.vstack([
+                _random_words(rng, n_words, float(rng.random()))
+                for _ in range(n_rows)
+            ])
+            np.testing.assert_array_equal(
+                native.and_reduce(matrix), NUMPY.and_reduce(matrix)
+            )
+            np.testing.assert_array_equal(
+                native.row_popcount(matrix), NUMPY.row_popcount(matrix)
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pack_unpack_roundtrip(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        native = _native()
+        for trial in range(30):
+            n_bits = int(rng.integers(1, 300))
+            n_set = int(rng.integers(0, n_bits + 1))
+            indices = np.sort(
+                rng.choice(n_bits, size=n_set, replace=False)
+            ).astype(np.int64)
+            n_words = bitvec.words_for_bits(n_bits)
+            np.testing.assert_array_equal(
+                native.pack_indices(indices, n_words),
+                NUMPY.pack_indices(indices, n_words),
+            )
+            words = _random_words(rng, n_words, 0.3)
+            np.testing.assert_array_equal(
+                native.unpack_bits(words, n_bits),
+                NUMPY.unpack_bits(words, n_bits),
+            )
+
+
+@needs_native
+class TestStructuredEdgeCases:
+    def test_empty_words(self):
+        native = _native()
+        empty = np.empty(0, dtype=np.uint64)
+        assert native.popcount(empty) == 0
+        assert native.indices_of_set_bits(empty).size == 0
+        assert native.unpack_bits(empty, 0).size == 0
+
+    def test_all_ones_words(self):
+        native = _native()
+        words = np.full(5, ~np.uint64(0), dtype=np.uint64)
+        assert native.popcount(words) == 320
+        np.testing.assert_array_equal(
+            native.indices_of_set_bits(words), np.arange(320, dtype=np.int64)
+        )
+
+    def test_tail_word_partial(self):
+        # A 70-bit vector: one full word plus 6 tail bits.
+        words = bitvec.ones(70)
+        native = _native()
+        assert native.popcount(words) == NUMPY.popcount(words) == 70
+        np.testing.assert_array_equal(
+            native.unpack_bits(words, 70), NUMPY.unpack_bits(words, 70)
+        )
+
+    @pytest.mark.parametrize("limit", [0, 1, 63, 64, 65, 127, 128, 10_000])
+    def test_indices_limit_regimes(self, limit):
+        native = _native()
+        words = bitvec.ones(128)
+        np.testing.assert_array_equal(
+            native.indices_of_set_bits(words, limit),
+            NUMPY.indices_of_set_bits(words, limit),
+        )
+
+    def test_limit_mid_word(self):
+        native = _native()
+        words = bitvec.pack_indices([0, 5, 63, 64, 100, 127], 128)
+        for limit in (0, 1, 5, 6, 64, 65, 101, 128):
+            np.testing.assert_array_equal(
+                native.indices_of_set_bits(words, limit),
+                NUMPY.indices_of_set_bits(words, limit),
+            )
+
+    def test_single_row_and_reduce(self):
+        native = _native()
+        row = _random_words(np.random.default_rng(7), 9, 0.4)[None, :]
+        np.testing.assert_array_equal(
+            native.and_reduce(row), NUMPY.and_reduce(row)
+        )
+
+
+class TestPublicApiDispatch:
+    """bitvec's public functions behave the same under either backend."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        before = bitvec.active_kernel_backend()
+        yield
+        bitvec.set_kernel_backend(before)
+
+    @pytest.mark.parametrize(
+        "backend", ["numpy"] + (["native"] if NATIVE else [])
+    )
+    def test_bitvec_functions_match_reference(self, backend):
+        assert bitvec.set_kernel_backend(backend) == backend
+        rng = np.random.default_rng(42)
+        words = _random_words(rng, 20, 0.2)
+        assert bitvec.popcount(words) == NUMPY.popcount(words)
+        np.testing.assert_array_equal(
+            bitvec.indices_of_set_bits(words, 1000),
+            NUMPY.indices_of_set_bits(words, 1000),
+        )
+        matrix = np.vstack([words, _random_words(rng, 20, 0.6)])
+        np.testing.assert_array_equal(
+            bitvec.and_reduce(matrix), NUMPY.and_reduce(matrix)
+        )
+        np.testing.assert_array_equal(
+            bitvec.row_popcount(matrix), NUMPY.row_popcount(matrix)
+        )
+        assert bitvec.to_bitstring(words, 100) == "".join(
+            "1" if b else "0" for b in NUMPY.unpack_bits(words, 100)
+        )
+
+    def test_pack_indices_still_validates_range(self):
+        if NATIVE:
+            bitvec.set_kernel_backend("native")
+        with pytest.raises(IndexError):
+            bitvec.pack_indices([64], 64)
+        with pytest.raises(IndexError):
+            bitvec.pack_indices([-1], 64)
+
+    def test_and_reduce_still_validates_shape(self):
+        if NATIVE:
+            bitvec.set_kernel_backend("native")
+        with pytest.raises(ValueError):
+            bitvec.and_reduce(np.empty((0, 4), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            bitvec.and_reduce(np.zeros(4, dtype=np.uint64))
+
+
+class TestBackendSelection:
+    def test_explicit_numpy_always_loads(self):
+        assert kernels.load_backend("numpy").name == "numpy"
+
+    def test_default_without_env_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert kernels.load_backend(None).name == "numpy"
+
+    def test_unknown_name_warns_and_falls_back(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = kernels.load_backend("vectorscope")
+        assert backend.name == "numpy"
+        assert any("unknown kernel backend" in str(w.message) for w in caught)
+
+    def test_unknown_name_strict_raises(self):
+        with pytest.raises(ConfigurationError):
+            kernels.load_backend("vectorscope", strict=True)
+
+    @needs_native
+    def test_native_loads_when_available(self):
+        assert kernels.load_backend("native").name == "native"
+
+    def test_auto_always_loads_something(self):
+        assert kernels.load_backend("auto").name in ("numpy", "native")
+
+    def test_env_knob_selects_backend_in_subprocess(self):
+        # A clean interpreter honours REPRO_KERNEL at bitvec import.
+        import os
+        from pathlib import Path
+
+        want = "native" if NATIVE else "numpy"
+        code = (
+            "from repro.core import bitvec; "
+            "print(bitvec.active_kernel_backend())"
+        )
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ, REPRO_KERNEL=want)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == want
+
+
+@needs_native
+class TestMiningEquivalenceAcrossBackends:
+    """End-to-end: a full mine is byte-identical under either backend."""
+
+    def test_mine_identical_patterns(self):
+        from repro.core.bbs import BBS
+        from repro.core.mining import mine
+        from tests.conftest import make_random_database
+
+        db = make_random_database(
+            seed=31, n_transactions=120, n_items=24, max_len=6
+        )
+        bbs = BBS.from_database(db, m=128)
+        before = bitvec.active_kernel_backend()
+        try:
+            surfaces = {}
+            for backend in ("numpy", "native"):
+                assert bitvec.set_kernel_backend(backend) == backend
+                result = mine(db, bbs, 0.05, "dfp")
+                surfaces[backend] = [
+                    (itemset, p.count, p.exact)
+                    for itemset, p in result.patterns.items()
+                ]
+            assert surfaces["numpy"] == surfaces["native"]
+        finally:
+            bitvec.set_kernel_backend(before)

@@ -227,3 +227,108 @@ class TestSplitChunks:
 
     def test_single_chunk(self):
         assert _split_chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+
+class TestPersistentPool:
+    """PR-7 pool lifecycle: sessions persist, crashes clean up fully."""
+
+    @pytest.fixture()
+    def fresh_pair(self):
+        from repro.core import parallel
+
+        db = make_random_database(seed=23, n_transactions=150, n_items=26)
+        bbs = BBS.from_database(db, m=128)
+        yield db, bbs
+        parallel.shutdown_pools()
+
+    def test_consecutive_mines_reuse_worker_pids(self, fresh_pair):
+        db, bbs = fresh_pair
+        first = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        second = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        assert first.parallel_info["worker_pids"], "no workers recorded"
+        assert (
+            first.parallel_info["worker_pids"]
+            == second.parallel_info["worker_pids"]
+        )
+        assert first.parallel_info["pool_reused"] is False
+        assert second.parallel_info["pool_reused"] is True
+        assert pattern_items(first) == pattern_items(second)
+
+    def test_config_change_reuses_pool_without_respawn(self, fresh_pair):
+        db, bbs = fresh_pair
+        first = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        # Different algorithm and threshold: workers reconfigure lazily,
+        # the processes themselves survive.
+        second = mine(db, bbs, 0.1, "sfs", workers=2)
+        assert second.parallel_info["pool_reused"] is True
+        assert (
+            first.parallel_info["worker_pids"]
+            == second.parallel_info["worker_pids"]
+        )
+        assert pattern_items(second) == pattern_items(
+            mine(db, bbs, 0.1, "sfs")
+        )
+
+    def test_batches_cover_all_subtrees(self, fresh_pair):
+        db, bbs = fresh_pair
+        result = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        info = result.parallel_info
+        assert 0 < info["batches"] <= info["subtrees"]
+        assert len(info["batch_seconds"]) == info["batches"]
+        assert len(info["subtree_seconds"]) == info["subtrees"]
+
+    def test_killed_worker_raises_typed_and_unlinks_shm(self, fresh_pair):
+        import os
+        import signal
+
+        from repro.core import parallel
+
+        db, bbs = fresh_pair
+        first = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        sessions = parallel.active_sessions()
+        assert len(sessions) == 1
+        session = sessions[0]
+        shm_path = f"/dev/shm/{session.shm_name}"
+        assert os.path.exists(shm_path)
+        victim = first.parallel_info["worker_pids"][0]
+        os.kill(victim, signal.SIGKILL)
+        with pytest.raises(ParallelExecutionError):
+            mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        # The broken session tore down completely: no shm leak, no
+        # zombie session, and the next mine starts a clean pool.
+        assert not os.path.exists(shm_path)
+        assert parallel.active_sessions() == []
+        recovered = mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        assert pattern_items(recovered) == pattern_items(first)
+
+    def test_shutdown_pools_releases_everything(self, fresh_pair):
+        import os
+
+        from repro.core import parallel
+        from repro.core.pool import live_pools
+
+        db, bbs = fresh_pair
+        mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        shm_paths = [
+            f"/dev/shm/{s.shm_name}" for s in parallel.active_sessions()
+        ]
+        assert shm_paths
+        parallel.shutdown_pools()
+        assert parallel.active_sessions() == []
+        assert live_pools() == []
+        for path in shm_paths:
+            assert not os.path.exists(path)
+
+    def test_crash_env_does_not_leak_shm(self, fresh_pair, monkeypatch):
+        import os
+
+        from repro.core import parallel
+
+        db, bbs = fresh_pair
+        before = set(os.listdir("/dev/shm"))
+        monkeypatch.setenv("REPRO_PARALLEL_CRASH_OFFSET", "0")
+        with pytest.raises(ParallelExecutionError):
+            mine(db, bbs, MIN_SUPPORT, "dfp", workers=2)
+        assert parallel.active_sessions() == []
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked, f"shared memory leaked: {sorted(leaked)}"
