@@ -335,6 +335,216 @@ def failover() -> None:
     print("failover smoke OK")
 
 
+# -- sharded scatter-gather smoke -------------------------------------------
+
+
+def build_sharded_fixture(workdir: Path, n_shards: int, *, m: int = 256):
+    """One generated database split into ``n_shards`` transaction files."""
+    from repro.data.diskdb import DiskDatabase
+    from repro.storage.txfile import TransactionFileWriter
+
+    full_path = str(workdir / "full.tx")
+    if cli_main(["generate", "--out", full_path, "--transactions", "300",
+                 "--items", "60", "--patterns", "20", "--seed", "13"]) != 0:
+        fail("fixture generation failed")
+    with DiskDatabase(full_path) as db:
+        transactions = [list(tx) for tx in db]
+    per_shard = -(-len(transactions) // n_shards)
+    shard_paths = []
+    for i in range(n_shards):
+        shard_path = workdir / f"shard-{i}.tx"
+        with TransactionFileWriter(shard_path) as writer:
+            for tx in transactions[i * per_shard:(i + 1) * per_shard]:
+                writer.append(tx)
+            writer.sync()
+        shard_paths.append(str(shard_path))
+    return transactions, shard_paths, m
+
+
+def sharded(n_shards: int, chaos_seed: int) -> None:
+    """Router + N shard servers: merged answers must match one node.
+
+    Counts and a full mine through the router are compared against an
+    in-process single-node index over the concatenated data; then the
+    chaos round kill -9s the tail shard, asserts reads fail with the
+    typed ``partial`` error (never a hang), restarts the shard over its
+    journal, and proves the ACKed tokened append survived exactly once.
+    """
+    from repro.core.bbs import BBS
+    from repro.core.mining import mine as mine_fn
+    from repro.data.database import TransactionDatabase
+    from repro.errors import PartialResultError
+    from repro.service.handlers import _serialise_result
+    from repro.service.resilience import TOKEN_MIN
+
+    if n_shards < 2:
+        fail("--sharded needs at least 2 shards")
+    with tempfile.TemporaryDirectory(prefix="repro-sharded-") as tmp:
+        workdir = Path(tmp)
+        transactions, shard_paths, m = build_sharded_fixture(
+            workdir, n_shards)
+        map_path = str(workdir / "shards.json")
+        shards: list[subprocess.Popen] = []
+        router = None
+        try:
+            ports = []
+            for shard_path in shard_paths:
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro", "shard-serve",
+                     "--db", shard_path, "--m", str(m), "--port", "0",
+                     "--scrub-interval", "0"],
+                    stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                    text=True,
+                )
+                shards.append(proc)
+                ports.append(wait_for_port(proc))
+            router = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--router",
+                 *(arg for port in ports
+                   for arg in ("--shard", f"127.0.0.1:{port}")),
+                 "--shardmap", map_path, "--port", "0"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            router_port = wait_for_port(router)
+
+            single = BBS.from_database(
+                TransactionDatabase(transactions), m=m)
+            full_db = TransactionDatabase(transactions)
+            with ServiceClient("127.0.0.1", router_port) as client:
+                status = client.status()
+                if not status.get("router"):
+                    fail("router status does not identify as a router")
+                if status["n_transactions"] != len(transactions):
+                    fail(f"router sees {status['n_transactions']} tx, "
+                         f"want {len(transactions)}")
+                if status["n_shards"] != n_shards:
+                    fail(f"router sees {status['n_shards']} shard(s), "
+                         f"want {n_shards}")
+                print(f"  router: {n_shards} shard(s), "
+                      f"{status['n_transactions']} tx, mode "
+                      f"{status['mode']}")
+
+                for items in ([3], [17], [3, 17], [5, 9, 21], [9999]):
+                    got = client.count(items, exact=True)
+                    want_est = single.count_itemset(items)
+                    want_exact = sum(
+                        1 for tx in transactions if set(items) <= set(tx))
+                    if got["estimate"] != want_est:
+                        fail(f"count {items}: router estimate "
+                             f"{got['estimate']} != single-node {want_est}")
+                    if got["exact"] != want_exact:
+                        fail(f"count {items}: router exact {got['exact']} "
+                             f"!= ground truth {want_exact}")
+                print("  counts: merged answers identical to one node")
+
+                job_id = client.mine(0.2, algorithm="sfp")
+                done = client.wait_for_job(job_id, timeout=300, top=0)
+                merged = done["result"]
+                expected = _serialise_result(
+                    mine_fn(full_db, single, 0.2, "sfp"))
+                got_patterns = [(tuple(p["items"]), p["count"])
+                                for p in merged["patterns"]]
+                want_patterns = [(tuple(p["items"]), p["count"])
+                                 for p in expected["patterns"]]
+                if got_patterns != want_patterns:
+                    fail(f"sharded mine produced {len(got_patterns)} "
+                         f"pattern(s) != single node's "
+                         f"{len(want_patterns)} (or ordering differs)")
+                if merged["min_support"] != expected["min_support"]:
+                    fail("merged mine resolved a different threshold")
+                print(f"  mine: {len(got_patterns)} pattern(s) identical "
+                      f"to one node, every count exact")
+
+                token = TOKEN_MIN + 7700
+                appended = client.append([7700], token=token)
+                if appended["position"] != len(transactions):
+                    fail(f"append landed at {appended['position']}, want "
+                         f"global position {len(transactions)}")
+
+            # Chaos: kill -9 the tail shard mid-deployment.
+            tail = shards[-1]
+            tail.kill()
+            tail.communicate()
+            print("  chaos: tail shard killed -9")
+            started = time.monotonic()
+            with ServiceClient("127.0.0.1", router_port) as client:
+                try:
+                    client.count([3, 17])
+                except PartialResultError as exc:
+                    print(f"  chaos: read failed typed partial ({exc})")
+                except ServiceError as exc:
+                    fail(f"outage read failed {exc.error_type!r}, "
+                         f"want 'partial'")
+                else:
+                    fail("read during the outage silently succeeded")
+                try:
+                    client.append([7701], token=TOKEN_MIN + 7701)
+                except PartialResultError:
+                    pass
+                else:
+                    fail("append during the outage was ACKed with the "
+                         "owning shard down")
+            elapsed = time.monotonic() - started
+            if elapsed > 60:
+                fail(f"outage round took {elapsed:.0f}s (hang, not a "
+                     f"typed failure)")
+
+            # Restart the tail over its surviving journal, same port.
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "shard-serve",
+                 "--db", shard_paths[-1], "--m", str(m),
+                 "--port", str(ports[-1]), "--scrub-interval", "0"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            shards[-1] = proc
+            wait_for_port(proc)
+            deadline = time.monotonic() + 60
+            with ServiceClient("127.0.0.1", router_port) as client:
+                while True:
+                    try:
+                        if client.status()["mode"] == "ok":
+                            break
+                    except ServiceError:
+                        pass
+                    if time.monotonic() >= deadline:
+                        fail("router never healed after the tail restart")
+                    time.sleep(0.25)
+                retried = client.append([7700], token=token)
+                if not retried.get("deduped"):
+                    fail("ACKed append was not deduped after the kill -9 "
+                         "(would double-apply)")
+                if retried["position"] != len(transactions):
+                    fail("deduped append reports a different position")
+                exact = client.count([7700], exact=True)["exact"]
+                if exact != 1:
+                    fail(f"marker 7700 counted {exact} times after the "
+                         f"restart (want exactly once)")
+                total = client.status()["n_transactions"]
+                if total != len(transactions) + 1:
+                    fail(f"cluster has {total} tx after the drill, want "
+                         f"{len(transactions) + 1}")
+            print("  chaos: ACKed append survived the kill -9 exactly once")
+
+            router.send_signal(signal.SIGTERM)
+            out, _ = router.communicate(timeout=DRAIN_TIMEOUT_S)
+            if router.returncode != 0 or "drained after" not in out:
+                fail(f"router did not drain cleanly ({router.returncode}): "
+                     f"{out}")
+            router = None
+            for proc in shards:
+                proc.send_signal(signal.SIGTERM)
+                out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
+                if proc.returncode != 0:
+                    fail(f"shard exited {proc.returncode} after SIGTERM")
+            shards = []
+        finally:
+            for proc in [router, *shards]:
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+    print(f"sharded smoke OK ({n_shards} shards)")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description="service smoke test")
     parser.add_argument("--chaos-seed", type=int, default=13,
@@ -342,9 +552,16 @@ def main(argv=None) -> None:
                              "(same seed = same fault sequence)")
     parser.add_argument("--failover", action="store_true",
                         help="run the replication failover smoke instead")
+    parser.add_argument("--sharded", type=int, default=None, metavar="N",
+                        help="run the scatter-gather smoke instead: a "
+                             "router over N shard servers, merged answers "
+                             "checked against a single node, plus a "
+                             "kill -9 chaos round")
     args = parser.parse_args(argv)
     if args.failover:
         failover()
+    elif args.sharded is not None:
+        sharded(args.sharded, args.chaos_seed)
     else:
         smoke(args.chaos_seed)
 

@@ -20,6 +20,7 @@ from repro.analysis.rules.errorhygiene import (
 )
 from repro.analysis.rules.estimates import EstimateSoundness
 from repro.analysis.rules.replication import JournalWriteOutsideLog
+from repro.analysis.rules.sharding import ShardFanoutOutsideRouter
 
 #: One instance per rule, in id order.
 ALL_RULES: list[Rule] = [
@@ -32,6 +33,7 @@ ALL_RULES: list[Rule] = [
     EstimateSoundness(),
     JournalWriteOutsideLog(),
     UnsanctionedPoolSpawn(),
+    ShardFanoutOutsideRouter(),
 ]
 
 

@@ -1,0 +1,67 @@
+"""RPR010 — shard fan-out stays behind the router and the clients.
+
+The scatter-gather contract (DESIGN.md §10) holds because exactly one
+place dials shards and merges their answers: the router
+(``service/shard/router.py``), whose merges are proven exact and whose
+failure handling converts unreachable shards into the typed ``partial``
+error.  The blocking clients (``service/client.py``) are the sanctioned
+caller-side transport.  Any *other* service module that opens its own
+socket or asyncio connection can reach a shard directly — bypassing the
+circuit breakers, the follower failover, the range bookkeeping, and the
+split-brain fencing the ShardMap provides — and serve an answer that
+silently covers a subset of the transaction range.
+
+The rule flags any call in ``service/`` modules whose final dotted
+component is ``open_connection``, ``create_connection``, or ``socket``
+outside the sanctioned homes.  ``service/replication.py`` predates the
+router and owns its own tailing connection; its one dial site is
+carried in the baseline with a justification rather than sanctioned
+wholesale, so new dial sites there still fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, call_name, dotted_name
+from repro.analysis.findings import Finding
+
+#: Callables that open a raw connection to a shard (or anything else).
+_RAW_DIAL_CALLS = {"open_connection", "create_connection", "socket"}
+
+#: The modules allowed to dial: the router's ShardLink and the blocking
+#: client transports.
+_SANCTIONED_SUFFIXES = ("service/shard/router.py", "service/client.py")
+
+
+class ShardFanoutOutsideRouter(Rule):
+    id = "RPR010"
+    name = "shard-fanout-outside-router"
+    severity = "error"
+    rationale = (
+        "service modules must not open their own connections; shard "
+        "fan-out belongs to the router (breakers, failover, range "
+        "accounting) and caller transport to the sanctioned clients"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "service/" in ctx.rel_path and not ctx.rel_path.endswith(
+            _SANCTIONED_SUFFIXES
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            for node in ctx.body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func) or call_name(node) or ""
+                if dotted.rsplit(".", 1)[-1] in _RAW_DIAL_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} called in {func.name}(): service modules "
+                        f"must not dial connections themselves — shard "
+                        f"fan-out goes through service/shard/router.py and "
+                        f"client transport through service/client.py",
+                    )

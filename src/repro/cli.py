@@ -153,7 +153,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a resident index over TCP (see `query`)",
     )
-    sv.add_argument("--db", required=True, help="transaction file")
+    sv.add_argument("--db", default=None,
+                    help="transaction file (required unless --router)")
     sv.add_argument("--index", default=None,
                     help="BBS slice file or DiskBBS segment log to hold "
                          "resident (omitted: build in memory with --m/--k)")
@@ -199,6 +200,49 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="with --supervise: when salvage fails (primary "
                          "storage lost), promote the warm standby at this "
                          "address instead of restarting")
+    sv.add_argument("--router", action="store_true",
+                    help="serve as a scatter-gather router over the --shard "
+                         "servers instead of holding an index resident; "
+                         "clients speak the same protocol and see one "
+                         "logical index over the concatenated ranges")
+    sv.add_argument("--shard", metavar="HOST:PORT", action="append",
+                    default=None,
+                    help="with --router: one shard server per flag, in "
+                         "global transaction-range order (the last shard "
+                         "is the append tail)")
+    sv.add_argument("--shard-follower", metavar="HOST:PORT", action="append",
+                    default=None,
+                    help="with --router: the replication follower of the "
+                         "corresponding --shard, one per flag in the same "
+                         "order ('-' for a shard with no follower)")
+    sv.add_argument("--shardmap", metavar="PATH", default=None,
+                    help="with --router: persist the range assignment here "
+                         "(reloaded on restart; served via `query shardmap`)")
+
+    shard_sv = sub.add_parser(
+        "shard-serve",
+        help="serve one shard of a sharded deployment (durable `serve` "
+             "with the flags a router expects)",
+    )
+    shard_sv.add_argument("--db", required=True, help="transaction file")
+    shard_sv.add_argument("--index", default=None,
+                          help="BBS slice file or DiskBBS segment log")
+    shard_sv.add_argument("--m", type=int, default=1600)
+    shard_sv.add_argument("--k", type=int, default=4)
+    shard_sv.add_argument("--host", default="127.0.0.1")
+    shard_sv.add_argument("--port", type=int, default=0)
+    shard_sv.add_argument("--max-connections", type=int, default=64)
+    shard_sv.add_argument("--timeout", type=float, default=30.0)
+    shard_sv.add_argument("--cache-entries", type=int, default=4096)
+    shard_sv.add_argument("--track", type=int, default=None,
+                          help="track the locally frequent patterns at this "
+                               "absolute min support (a router merges the "
+                               "shards' tracked sets)")
+    shard_sv.add_argument("--scrub-interval", type=float, default=0.25)
+    shard_sv.add_argument("--follower", metavar="HOST:PORT", default=None,
+                          help="serve as the read-only follower of the shard "
+                               "primary at HOST:PORT (what a router fails "
+                               "over to)")
 
     qr = sub.add_parser("query", help="query a running `serve` instance")
     qr.add_argument("--host", default="127.0.0.1")
@@ -240,6 +284,8 @@ def _build_parser() -> argparse.ArgumentParser:
     qsub.add_parser("promote",
                     help="promote a replication follower to a writable "
                          "primary (no-op on a primary)")
+    qsub.add_parser("shardmap",
+                    help="a router's persisted shard range assignment")
     qsub.add_parser("shutdown", help="ask the server to drain and exit")
 
     from repro.tools.lint import configure_parser as _configure_lint
@@ -400,6 +446,17 @@ def _cmd_serve(args) -> int:
     from repro.data.database import TransactionDatabase
     from repro.service import PatternService
     from repro.service.server import PatternServer
+
+    if getattr(args, "router", False):
+        return _cmd_serve_router(args)
+    if getattr(args, "shard", None) or getattr(args, "shard_follower", None):
+        raise ConfigurationError(
+            "--shard/--shard-follower only make sense with --router"
+        )
+    if args.db is None:
+        raise ConfigurationError(
+            "--db is required (only a --router serves without storage)"
+        )
 
     upstream = getattr(args, "follower", None)
     if upstream:
@@ -566,6 +623,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_router(args) -> int:
+    """``serve --router``: scatter-gather over the --shard servers."""
+    import asyncio
+
+    from repro.service.replication import parse_address
+    from repro.service.server import PatternServer
+    from repro.service.shard.router import ShardRouter
+
+    for flag in ("supervise", "durable"):
+        if getattr(args, flag, False):
+            raise ConfigurationError(
+                f"--{flag} does not apply to a router: it holds no storage "
+                f"of its own (run the shards with `shard-serve`)"
+            )
+    for flag in ("index", "track", "follower", "standby"):
+        if getattr(args, flag, None) is not None:
+            raise ConfigurationError(
+                f"--{flag} does not apply to a router; configure the "
+                f"shard servers instead"
+            )
+    if args.db is not None:
+        raise ConfigurationError(
+            "--db does not apply to a router; the shards own the storage"
+        )
+    if not args.shard:
+        raise ConfigurationError(
+            "--router needs at least one --shard HOST:PORT"
+        )
+    addresses = [parse_address(text) for text in args.shard]
+    followers = None
+    if args.shard_follower:
+        if len(args.shard_follower) != len(addresses):
+            raise ConfigurationError(
+                f"{len(addresses)} --shard flag(s) but "
+                f"{len(args.shard_follower)} --shard-follower flag(s); "
+                f"pass one per shard, '-' for none"
+            )
+        followers = [
+            None if text == "-" else parse_address(text)
+            for text in args.shard_follower
+        ]
+
+    holder = {}
+
+    async def _run() -> None:
+        router = await ShardRouter.discover(
+            addresses, followers=followers, map_path=args.shardmap
+        )
+        holder["router"] = router
+        server = PatternServer(
+            router,
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            request_timeout=args.timeout,
+        )
+        ranges = ", ".join(
+            entry.range_label(tail=entry is router.map.tail)
+            + f"@{entry.address}"
+            for entry in router.map.entries
+        )
+        print(
+            f"routing {len(addresses)} shard(s) "
+            f"(generation {router.map.generation}): {ranges}",
+            flush=True,
+        )
+        await server.run(announce=lambda msg: print(msg, flush=True))
+
+    asyncio.run(_run())
+    router = holder.get("router")
+    if router is not None:
+        print(
+            f"drained after {sum(router.request_counts.values())} request(s)",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_shard_serve(args) -> int:
+    """``shard-serve``: a durable `serve` with router-friendly defaults."""
+    args.durable = True
+    args.supervise = False
+    args.standby = None
+    args.router = False
+    args.shard = None
+    args.shard_follower = None
+    args.shardmap = None
+    args.max_restarts = 0
+    return _cmd_serve(args)
+
+
 def _reconcile_index(index, database) -> int:
     """Bring an index lagging its journal up to the database's count.
 
@@ -654,7 +802,7 @@ def _run_query_op(client, op, args):
             payload = client.cancel(args.job_id)
         elif op == "patterns":
             payload = client.patterns(top=args.top)
-        else:  # status / metrics / health / recover / promote / shutdown
+        else:  # status / metrics / health / recover / promote / shardmap / shutdown
             payload = client.request(op)
     return payload
 
@@ -817,6 +965,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "repair": _cmd_repair,
     "serve": _cmd_serve,
+    "shard-serve": _cmd_shard_serve,
     "query": _cmd_query,
     "lint": _cmd_lint,
     "example": _cmd_example,

@@ -18,7 +18,9 @@ the ``REPRO_KERNEL`` environment variable:
 ===========  ==============================================================
 value        behaviour
 ===========  ==============================================================
-unset        ``numpy`` (the reference backend)
+unset        ``native`` when a compiled build is already cached (loading
+             it is a cheap ``dlopen``; a RuntimeWarning if it then fails
+             to load), otherwise ``numpy`` — never a surprise compile
 ``numpy``    force the numpy backend
 ``native``   the C backend; falls back to numpy **with a RuntimeWarning**
              when no compiler is available or the build fails
@@ -62,7 +64,26 @@ def load_backend(name: str | None = None, *, strict: bool = False):
     from repro.errors import ConfigurationError
 
     requested = name if name is not None else os.environ.get(KERNEL_ENV)
-    requested = (requested or "numpy").strip().lower()
+    if requested is None or not requested.strip():
+        # No explicit choice: prefer the native backend when a compiled
+        # build is already cached (loading it is just a dlopen — the
+        # one-time compile was paid by an earlier REPRO_KERNEL=native or
+        # auto run).  Never compile implicitly, and warn if a cached
+        # build unexpectedly fails to load.
+        from repro.core.kernels import native
+
+        if native.has_cached_build():
+            backend = native.load()
+            if backend is not None:
+                return backend
+            warnings.warn(
+                "a cached native kernel build exists but failed to load; "
+                "using the numpy backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return NumpyKernels()
+    requested = requested.strip().lower()
     if requested not in BACKEND_NAMES:
         message = (
             f"unknown kernel backend {requested!r} "

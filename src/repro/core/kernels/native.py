@@ -119,10 +119,26 @@ def _find_compiler() -> str | None:
     return None
 
 
+def _cached_library_path() -> Path:
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    return _cache_dir() / f"repro_kernels_{digest}.so"
+
+
+def has_cached_build() -> bool:
+    """Whether a compiled library for *this* C source is already cached.
+
+    A pure path check — no compiler probe, no compilation — so callers
+    (backend selection with no explicit knob) can prefer the native
+    backend only when loading it is a cheap ``dlopen``, never a
+    surprise compile.  The digest in the file name ties the answer to
+    the exact embedded source: editing the C invalidates the cache.
+    """
+    return _cached_library_path().exists()
+
+
 def _build_library() -> Path | None:
     """Compile the embedded C source into a cached shared object."""
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    target = _cache_dir() / f"repro_kernels_{digest}.so"
+    target = _cached_library_path()
     if target.exists():
         return target
     compiler = _find_compiler()

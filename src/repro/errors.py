@@ -137,6 +137,23 @@ class DegradedError(ServiceError):
         super().__init__(message, error_type="degraded")
 
 
+class PartialResultError(ServiceError):
+    """A scatter-gather router could not reach every shard.
+
+    Raised (and answered on the wire as error type ``"partial"``) when
+    one or more shards — and their followers, where configured — were
+    unreachable, so a complete answer over the full transaction range
+    was impossible.  The router *fails* the request instead of serving
+    an under-count; ``missing`` lists the uncovered ranges as
+    ``(start, end, "host:port")`` tuples (``end`` is ``None`` for the
+    open-ended tail range).
+    """
+
+    def __init__(self, message: str, *, missing=()):
+        super().__init__(message, error_type="partial")
+        self.missing = list(missing)
+
+
 class CircuitOpenError(ServiceError):
     """The client's circuit breaker is open; the request was not sent.
 

@@ -25,7 +25,11 @@ concurrent clients over a tiny length-prefixed JSON protocol:
   crashed worker after storage salvage, or fail over to a standby;
 * :mod:`repro.service.replication` — journal-tailing replication:
   follower bootstrap (snapshot shipping + journal catch-up), the
-  serving-loop tailer, and promotion to primary.
+  serving-loop tailer, and promotion to primary;
+* :mod:`repro.service.shard` — scatter-gather sharding: a persisted
+  range assignment (:class:`ShardMap`), exact merge semantics, and the
+  asyncio router that serves the unchanged wire protocol over N shard
+  servers.
 
 See DESIGN.md ("Service layer", "Failure model") and
 docs/wire_protocol.md.
@@ -50,6 +54,7 @@ from repro.service.resilience import (
 )
 from repro.service.scrubber import Scrubber
 from repro.service.server import PatternServer, start_server_thread
+from repro.service.shard import ShardEntry, ShardMap, ShardRouter, build_map
 
 __all__ = [
     "CircuitBreaker",
@@ -65,7 +70,11 @@ __all__ = [
     "RetryingClient",
     "Scrubber",
     "ServiceClient",
+    "ShardEntry",
+    "ShardMap",
+    "ShardRouter",
     "bootstrap_follower",
+    "build_map",
     "canonical_itemset",
     "parse_address",
     "salvage_journal",

@@ -19,6 +19,7 @@ import time
 
 from repro.errors import (
     DegradedError,
+    PartialResultError,
     ServiceError,
     ServiceProtocolError,
     ServiceTimeoutError,
@@ -105,6 +106,8 @@ class ServiceClient:
         error_type = error.get("type", "internal")
         if error_type == "degraded":
             raise DegradedError(message)
+        if error_type == "partial":
+            raise PartialResultError(message)
         raise ServiceError(message, error_type=error_type)
 
     # -- operations ------------------------------------------------------------
@@ -112,6 +115,17 @@ class ServiceClient:
     def count(self, items, *, exact: bool = False) -> dict:
         """Estimated (and optionally exact) support of ``items``."""
         return self.request("count", {"items": list(items), "exact": exact})
+
+    def count_batch(self, itemsets, *, exact: bool = False) -> dict:
+        """Count many itemsets in one request (one result per itemset)."""
+        return self.request(
+            "count_batch",
+            {"itemsets": [list(items) for items in itemsets], "exact": exact},
+        )
+
+    def shardmap(self) -> dict:
+        """A scatter-gather router's persisted range assignment."""
+        return self.request("shardmap")
 
     def append(self, items, *, token: int | None = None) -> dict:
         """Insert one transaction; returns position and the new epoch.

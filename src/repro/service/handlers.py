@@ -57,6 +57,10 @@ from repro.tools.verify import quick_audit
 #: Finished jobs retained for polling before the oldest are dropped.
 MAX_RETAINED_JOBS = 64
 
+#: Itemsets accepted by one ``count_batch`` request.  Keeps the frame
+#: comfortably under MAX_FRAME_BYTES and bounds one request's work.
+MAX_COUNT_BATCH = 1024
+
 
 class LatencyHistogram:
     """Fixed-bucket log-scale latency histogram (milliseconds)."""
@@ -327,6 +331,38 @@ class PatternService:
             result["exact"] = exact
             result["epoch"] = exact_epoch
         return result
+
+    async def _op_count_batch(self, args: dict) -> dict:
+        """Count many itemsets in one request (scatter-gather phase 2).
+
+        The sub-counts run concurrently on the event loop, so the
+        :class:`MicroBatcher` coalesces their slice reads into shared
+        AND passes — a router verifying hundreds of candidates pays a
+        handful of index sweeps, not one per itemset.
+        """
+        itemsets = args.get("itemsets")
+        if not isinstance(itemsets, list) or not itemsets:
+            raise ServiceError(
+                "'itemsets' must be a non-empty JSON list of itemsets",
+                error_type=ERR_BAD_REQUEST,
+            )
+        if len(itemsets) > MAX_COUNT_BATCH:
+            raise ServiceError(
+                f"'itemsets' holds {len(itemsets)} entries, over the "
+                f"{MAX_COUNT_BATCH} per-request cap; split the batch",
+                error_type=ERR_BAD_REQUEST,
+            )
+        want_exact = bool(args.get("exact", False))
+        # Validate the whole batch before counting anything: a malformed
+        # entry rejects the request instead of cancelling mid-gather.
+        sub_args = [
+            {"items": list(_itemset_arg({"items": items})), "exact": want_exact}
+            for items in itemsets
+        ]
+        results = await asyncio.gather(
+            *(self._op_count(entry) for entry in sub_args)
+        )
+        return {"results": list(results), "epoch": self.index.epoch}
 
     # -- append ------------------------------------------------------------
 
@@ -982,6 +1018,7 @@ class PatternService:
 
     _OPS = {
         "count": _op_count,
+        "count_batch": _op_count_batch,
         "append": _op_append,
         "mine": _op_mine,
         "job": _op_job,

@@ -57,6 +57,10 @@ ERR_SHUTTING_DOWN = "shutting_down"
 ERR_DEGRADED = "degraded"
 #: The server is a replication follower; writes must go to the primary.
 ERR_NOT_PRIMARY = "not_primary"
+#: A scatter-gather router could not reach every shard; the message
+#: names the missing transaction ranges.  The answer was *not* served
+#: from partial data — the request failed rather than under-counting.
+ERR_PARTIAL = "partial"
 #: Anything unexpected server-side; the message carries the details.
 ERR_INTERNAL = "internal"
 

@@ -52,8 +52,9 @@ TOKEN_MAX = 1 << 63
 #: never mutate server state at all.
 IDEMPOTENT_OPS = frozenset(
     {
-        "count", "status", "metrics", "health", "job", "patterns",
-        "recover", "replicate", "snapshot", "snapshot_fetch", "promote",
+        "count", "count_batch", "status", "metrics", "health", "job",
+        "patterns", "recover", "replicate", "snapshot", "snapshot_fetch",
+        "promote", "shardmap",
     }
 )
 
@@ -289,6 +290,15 @@ class RetryingClient:
 
     def count(self, items, *, exact: bool = False) -> dict:
         return self.request("count", {"items": list(items), "exact": exact})
+
+    def count_batch(self, itemsets, *, exact: bool = False) -> dict:
+        return self.request(
+            "count_batch",
+            {"itemsets": [list(items) for items in itemsets], "exact": exact},
+        )
+
+    def shardmap(self) -> dict:
+        return self.request("shardmap")
 
     def append(self, items, *, token: int | None = None) -> dict:
         """Insert one transaction exactly once, however many retries.

@@ -1,0 +1,38 @@
+"""Scatter-gather sharding: one logical index, N shard servers.
+
+* :mod:`repro.service.shard.shardmap` — the persisted range assignment.
+* :mod:`repro.service.shard.merge` — pure, exact merge semantics.
+* :mod:`repro.service.shard.router` — the asyncio router service.
+"""
+
+from repro.service.shard.merge import (
+    candidate_itemsets,
+    local_threshold,
+    merge_count_payloads,
+    merged_mine_payload,
+    merged_patterns_payload,
+    sum_exact_counts,
+)
+from repro.service.shard.router import (
+    ROUTER_POLICY,
+    ShardLink,
+    ShardRouter,
+    ShardUnavailableError,
+)
+from repro.service.shard.shardmap import ShardEntry, ShardMap, build_map
+
+__all__ = [
+    "ROUTER_POLICY",
+    "ShardEntry",
+    "ShardLink",
+    "ShardMap",
+    "ShardRouter",
+    "ShardUnavailableError",
+    "build_map",
+    "candidate_itemsets",
+    "local_threshold",
+    "merge_count_payloads",
+    "merged_mine_payload",
+    "merged_patterns_payload",
+    "sum_exact_counts",
+]

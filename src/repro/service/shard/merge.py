@@ -1,0 +1,170 @@
+"""Pure merge semantics for scatter-gathered shard answers.
+
+Everything here is a plain function over JSON-shaped payloads — no I/O,
+no asyncio — so the bit-identity story is testable in isolation.
+
+Why the merges are exact
+------------------------
+The shards partition the logical database by contiguous transaction
+range, and every shard builds its index with the same deterministic
+``(m, k)`` hash family.  ``build_partitioned`` + ``concat`` (PR 2)
+prove that such a shard index is byte-identical to the row-restriction
+of the single-node index.  Three consequences carry the whole design:
+
+* **Estimates add.**  ``CountItemSet`` is a popcount of an AND of
+  bit-slices; restricted to disjoint row ranges, popcounts sum.  So
+  ``estimate(X) = Σ_i estimate_i(X)`` exactly — not approximately.
+* **Exact counts add.**  True supports over disjoint ranges sum
+  trivially.
+* **Mining merges by the Partition theorem** (Savasere et al., reused
+  by Grahne & Zhu's secondary-memory miner): with local threshold
+  ``t_i = max(1, ceil(s · n_i / N))`` on shard ``i``, any itemset
+  globally frequent at absolute support ``s`` is locally frequent on at
+  least one shard — if it missed every local cut, summing
+  ``count_i ≤ t_i − 1 < s·n_i/N`` over shards gives ``count < s``.
+  Phase 2 re-counts the union of local candidates *exactly* on every
+  shard and filters at ``s``, so the merged pattern set equals the
+  single-node frequent set and every reported count is the true
+  support.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import canonical_itemset
+
+
+def local_threshold(s_abs: int, n_shard: int, n_total: int) -> int:
+    """Shard-local absolute threshold preserving the Partition guarantee.
+
+    ``ceil(s_abs * n_shard / n_total)``, floored at 1 (an empty shard
+    still needs a positive threshold to be a valid mining parameter).
+    """
+    if n_total <= 0:
+        return 1
+    return max(1, -(-s_abs * n_shard // n_total))
+
+
+def merge_count_payloads(
+    items: list, payloads: list[dict], *, want_exact: bool
+) -> dict:
+    """Fold per-shard ``count`` results into the single-node shape.
+
+    ``estimate`` and ``exact`` are sums over the disjoint ranges (see
+    the module docstring for why that is bit-identical, not a bound).
+    ``epoch`` is the sum of shard epochs — monotonic under appends, and
+    comparable across answers from the same router the way a
+    single-node epoch is.  ``cached`` is true only when *every* shard
+    answered from its cache (provenance, not semantics).
+    """
+    merged = {
+        "items": list(items),
+        "estimate": sum(p["estimate"] for p in payloads),
+        "epoch": sum(p["epoch"] for p in payloads),
+        "cached": all(p.get("cached", False) for p in payloads),
+    }
+    if want_exact:
+        merged["exact"] = sum(p["exact"] for p in payloads)
+    return merged
+
+
+def candidate_itemsets(shard_results: list[dict]) -> list[tuple]:
+    """The deduplicated union of pattern itemsets across shard results.
+
+    Input payloads are serialised mining results (``{"patterns":
+    [{"items": [...]}, ...]}``); output is canonical tuples in sorted
+    order, so phase-2 verification fans out a deterministic batch.
+    """
+    union: set[tuple] = set()
+    for result in shard_results:
+        for pattern in result.get("patterns", []):
+            union.add(canonical_itemset(pattern["items"]))
+    return sorted(union)
+
+
+def sum_exact_counts(
+    candidates: list[tuple], per_shard_counts: list[dict[tuple, int]]
+) -> dict[tuple, int]:
+    """Total exact support per candidate: the sum over all shards."""
+    totals: dict[tuple, int] = {}
+    for key in candidates:
+        totals[key] = sum(counts[key] for counts in per_shard_counts)
+    return totals
+
+
+def merged_mine_payload(
+    *,
+    algorithm: str,
+    min_support_abs: int,
+    n_transactions: int,
+    totals: dict[tuple, int],
+    elapsed_seconds: float,
+) -> dict:
+    """The phase-2 output in the exact shape of a single-node result.
+
+    Filters ``totals`` at the global threshold and ranks by
+    ``(-count, canonical itemset)`` — the ordering
+    ``handlers._serialise_result`` uses — so the payload is
+    byte-comparable to a single-node answer field by field.  Every
+    pattern is ``exact: true``: the router always serves fully verified
+    counts (a strict refinement of dfp/dfs, identical to sfs/sfp).
+    """
+    frequent = [
+        (key, count)
+        for key, count in totals.items()
+        if count >= min_support_abs
+    ]
+    ranked = sorted(frequent, key=lambda kv: (-kv[1], kv[0]))
+    return {
+        "algorithm": algorithm,
+        "min_support": min_support_abs,
+        "n_transactions": n_transactions,
+        "n_patterns": len(ranked),
+        "elapsed_seconds": elapsed_seconds,
+        "patterns": [
+            {"items": list(key), "count": count, "exact": True}
+            for key, count in ranked
+        ],
+    }
+
+
+def merged_patterns_payload(
+    *,
+    shard_payloads: list[dict],
+    totals: dict[tuple, int],
+    global_threshold: int,
+) -> dict:
+    """Merge tracked (`patterns` op) sets at ``Σ`` of shard thresholds.
+
+    Each shard tracks its locally frequent set at its own absolute
+    threshold ``t_i``; by the same pigeonhole as mining, any itemset
+    with global support ``≥ Σ t_i`` is tracked on at least one shard.
+    ``totals`` must hold phase-2 verified exact counts for the union of
+    tracked itemsets; the result filters at ``Σ t_i`` and reports the
+    verified counts.
+    """
+    frequent = [
+        (key, count)
+        for key, count in totals.items()
+        if count >= global_threshold
+    ]
+    ranked = sorted(frequent, key=lambda kv: (-kv[1], kv[0]))
+    return {
+        "epoch": sum(p["epoch"] for p in shard_payloads),
+        "min_support": global_threshold,
+        "n_patterns": len(ranked),
+        "border_size": sum(p.get("border_size", 0) for p in shard_payloads),
+        "promotions": sum(p.get("promotions", 0) for p in shard_payloads),
+        "patterns": [
+            {"items": list(key), "count": count} for key, count in ranked
+        ],
+    }
+
+
+__all__ = [
+    "candidate_itemsets",
+    "local_threshold",
+    "merge_count_payloads",
+    "merged_mine_payload",
+    "merged_patterns_payload",
+    "sum_exact_counts",
+]

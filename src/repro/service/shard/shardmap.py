@@ -1,0 +1,293 @@
+"""The persisted range assignment behind the scatter-gather router.
+
+A :class:`ShardMap` records which shard server owns which contiguous
+range of global transaction positions.  Ranges are disjoint and
+contiguous: shard ``i`` owns ``[start_i, start_i + count_i)``, shard
+``i+1`` starts exactly where shard ``i`` ends, and the **last** shard's
+range is open-ended — it is the *tail* shard, the only one that accepts
+appends, so every global position keeps its meaning forever (a sealed
+shard's range never changes; the tail's grows).
+
+The map is durably persisted as JSON (:func:`ShardMap.save` uses the
+crash-atomic :func:`~repro.storage.durable.durable_write_bytes`), loaded
+at router boot, and served to clients verbatim through the ``shardmap``
+wire op, so a restarted router and its clients always agree on the
+assignment.  ``generation`` increments whenever the assignment itself
+changes (a rebuild from a changed shard list); each entry's ``epoch``
+increments when that shard's serving address changes (a follower
+promotion after the primary died), so a stale client can detect both
+kinds of drift with one integer compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.durable import durable_write_bytes
+
+FORMAT = "repro-shardmap"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's range assignment and serving addresses.
+
+    ``count`` is the number of transactions the shard owned when the
+    map was last saved; for the tail shard the live count grows past it
+    (appends land there), for sealed shards it is exact and final.
+    """
+
+    shard_id: int
+    host: str
+    port: int
+    start: int
+    count: int
+    epoch: int = 0
+    follower_host: str | None = None
+    follower_port: int | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def follower_address(self) -> str | None:
+        if self.follower_host is None or self.follower_port is None:
+            return None
+        return f"{self.follower_host}:{self.follower_port}"
+
+    def range_label(self, *, tail: bool) -> str:
+        """Human-readable global range, e.g. ``[200, 400)`` or ``[400, ...)``."""
+        if tail:
+            return f"[{self.start}, ...)"
+        return f"[{self.start}, {self.start + self.count})"
+
+    def as_dict(self) -> dict:
+        payload = {
+            "shard_id": self.shard_id,
+            "host": self.host,
+            "port": self.port,
+            "start": self.start,
+            "count": self.count,
+            "epoch": self.epoch,
+        }
+        if self.follower_address is not None:
+            payload["follower_host"] = self.follower_host
+            payload["follower_port"] = self.follower_port
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardEntry":
+        try:
+            return cls(
+                shard_id=int(payload["shard_id"]),
+                host=str(payload["host"]),
+                port=int(payload["port"]),
+                start=int(payload["start"]),
+                count=int(payload["count"]),
+                epoch=int(payload.get("epoch", 0)),
+                follower_host=payload.get("follower_host"),
+                follower_port=(
+                    int(payload["follower_port"])
+                    if payload.get("follower_port") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed shard map entry {payload!r}: {exc}"
+            ) from exc
+
+
+@dataclass
+class ShardMap:
+    """The full assignment: entries in ascending ``start`` order."""
+
+    entries: list[ShardEntry] = field(default_factory=list)
+    generation: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- invariants ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Ranges must tile ``[0, N)`` contiguously, one shard each."""
+        if not self.entries:
+            raise ConfigurationError("a shard map needs at least one shard")
+        expected_start = 0
+        seen_ids: set[int] = set()
+        for entry in self.entries:
+            if entry.shard_id in seen_ids:
+                raise ConfigurationError(
+                    f"duplicate shard id {entry.shard_id} in the shard map"
+                )
+            seen_ids.add(entry.shard_id)
+            if entry.start != expected_start:
+                raise ConfigurationError(
+                    f"shard {entry.shard_id} starts at {entry.start}, "
+                    f"expected {expected_start}: ranges must be contiguous"
+                )
+            if entry.count < 0:
+                raise ConfigurationError(
+                    f"shard {entry.shard_id} has negative count {entry.count}"
+                )
+            expected_start = entry.start + entry.count
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def tail(self) -> ShardEntry:
+        """The open-ended last shard — the only one accepting appends."""
+        return self.entries[-1]
+
+    @property
+    def n_transactions(self) -> int:
+        """Total transactions covered at save time (tail may have grown)."""
+        return self.tail.start + self.tail.count
+
+    def shard_for_position(self, position: int) -> ShardEntry:
+        """The shard owning global ``position`` (tail owns everything past)."""
+        if position < 0:
+            raise ConfigurationError(f"negative position {position}")
+        for entry in self.entries[:-1]:
+            if position < entry.start + entry.count:
+                return entry
+        return self.tail
+
+    def replace_entry(self, updated: ShardEntry) -> None:
+        """Swap the entry with ``updated.shard_id`` for ``updated``."""
+        for i, entry in enumerate(self.entries):
+            if entry.shard_id == updated.shard_id:
+                self.entries[i] = updated
+                return
+        raise ConfigurationError(
+            f"shard id {updated.shard_id} is not in the map"
+        )
+
+    def promote_follower(self, shard_id: int) -> ShardEntry:
+        """Record a failover: the follower becomes the shard's primary.
+
+        Bumps the entry's epoch so clients holding the old map can see
+        the address changed.  The dead primary is *not* kept as the new
+        follower — it may come back believing it is a primary, and the
+        router must never read from it again (split-brain fencing is
+        the map: once promoted, only the new address is dialled).
+        """
+        for entry in self.entries:
+            if entry.shard_id != shard_id:
+                continue
+            if entry.follower_address is None:
+                raise ConfigurationError(
+                    f"shard {shard_id} has no follower to promote"
+                )
+            updated = replace(
+                entry,
+                host=entry.follower_host,
+                port=entry.follower_port,
+                follower_host=None,
+                follower_port=None,
+                epoch=entry.epoch + 1,
+            )
+            self.replace_entry(updated)
+            return updated
+        raise ConfigurationError(f"shard id {shard_id} is not in the map")
+
+    # -- serialisation -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "version": VERSION,
+            "generation": self.generation,
+            "n_shards": len(self.entries),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMap":
+        if payload.get("format") != FORMAT:
+            raise ConfigurationError(
+                f"not a shard map payload (format {payload.get('format')!r})"
+            )
+        if payload.get("version") != VERSION:
+            raise ConfigurationError(
+                f"unsupported shard map version {payload.get('version')!r}"
+            )
+        entries = [
+            ShardEntry.from_dict(entry) for entry in payload.get("entries", [])
+        ]
+        return cls(entries=entries, generation=int(payload.get("generation", 1)))
+
+    def save(self, path) -> None:
+        """Persist crash-atomically (old map or new map, never a tear)."""
+        blob = json.dumps(self.as_dict(), indent=2, sort_keys=True).encode()
+        durable_write_bytes(path, blob)
+
+    @classmethod
+    def load(cls, path) -> "ShardMap":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read shard map {path}: {exc}", path=path
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"shard map {path} is not valid JSON: {exc}", path=path
+            ) from exc
+        return cls.from_dict(payload)
+
+
+def build_map(
+    addresses: list[tuple[str, int]],
+    counts: list[int],
+    *,
+    followers: list[tuple[str, int] | None] | None = None,
+    generation: int = 1,
+) -> ShardMap:
+    """Assign contiguous ranges to ``addresses`` in order.
+
+    ``counts[i]`` is shard i's current transaction count (from its
+    ``status`` op at discovery time); starts are the running prefix sum,
+    so the global order is exactly the concatenation order — the same
+    construction ``build_partitioned`` + ``concat`` prove bit-identical
+    to a single index.
+    """
+    if not addresses:
+        raise ConfigurationError("at least one shard address is required")
+    if len(counts) != len(addresses):
+        raise ConfigurationError(
+            f"{len(addresses)} shard(s) but {len(counts)} count(s)"
+        )
+    followers = followers or [None] * len(addresses)
+    if len(followers) != len(addresses):
+        raise ConfigurationError(
+            f"{len(addresses)} shard(s) but {len(followers)} follower(s); "
+            f"pass one --shard-follower per --shard (use '-' for none)"
+        )
+    entries = []
+    start = 0
+    for shard_id, ((host, port), count) in enumerate(zip(addresses, counts)):
+        follower = followers[shard_id]
+        entries.append(
+            ShardEntry(
+                shard_id=shard_id,
+                host=host,
+                port=port,
+                start=start,
+                count=count,
+                follower_host=follower[0] if follower else None,
+                follower_port=follower[1] if follower else None,
+            )
+        )
+        start += count
+    return ShardMap(entries=entries, generation=generation)
+
+
+__all__ = ["FORMAT", "VERSION", "ShardEntry", "ShardMap", "build_map"]

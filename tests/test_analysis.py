@@ -677,6 +677,96 @@ class TestJournalWriteOutsideLog:
         )
 
 
+class TestShardFanoutOutsideRouter:
+    PATH = "src/repro/service/fake.py"
+
+    def test_fires_on_asyncio_open_connection(self):
+        findings = check(
+            """
+            import asyncio
+
+            async def dial(host, port):
+                return await asyncio.open_connection(host, port)
+            """,
+            self.PATH,
+            "RPR010",
+        )
+        assert len(findings) == 1
+        assert "service/shard/router.py" in findings[0].message
+
+    def test_fires_on_socket_create_connection(self):
+        findings = check(
+            """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port), timeout=1.0)
+            """,
+            self.PATH,
+            "RPR010",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_raw_socket_construction(self):
+        findings = check(
+            """
+            import socket
+
+            def make(host, port):
+                return socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            """,
+            self.PATH,
+            "RPR010",
+        )
+        assert len(findings) == 1
+
+    def test_router_module_is_sanctioned(self):
+        assert not check(
+            """
+            import asyncio
+
+            async def dial(host, port):
+                return await asyncio.open_connection(host, port)
+            """,
+            "src/repro/service/shard/router.py",
+            "RPR010",
+        )
+
+    def test_client_module_is_sanctioned(self):
+        assert not check(
+            """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+            """,
+            "src/repro/service/client.py",
+            "RPR010",
+        )
+
+    def test_scoped_to_the_service_layer(self):
+        assert not check(
+            """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+            """,
+            "src/repro/tools/fake.py",
+            "RPR010",
+        )
+
+    def test_quiet_through_the_shard_link(self):
+        assert not check(
+            """
+            async def fan_out(router, op, args):
+                return await router._fanout(op, args)
+            """,
+            self.PATH,
+            "RPR010",
+        )
+
+
 # ---------------------------------------------------------------------------
 # Suppression
 

@@ -220,9 +220,61 @@ class TestBackendSelection:
     def test_explicit_numpy_always_loads(self):
         assert kernels.load_backend("numpy").name == "numpy"
 
-    def test_default_without_env_is_numpy(self, monkeypatch):
+    def test_default_without_env_is_numpy_when_no_cached_build(
+        self, monkeypatch
+    ):
+        from repro.core.kernels import native
+
         monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(native, "has_cached_build", lambda: False)
         assert kernels.load_backend(None).name == "numpy"
+
+    def test_default_prefers_native_when_build_is_cached(self, monkeypatch):
+        from repro.core.kernels import native
+
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(native, "has_cached_build", lambda: True)
+        sentinel = kernels.NumpyKernels()
+        sentinel.name = "native"  # stand-in: loading must not compile
+        monkeypatch.setattr(native, "load", lambda: sentinel)
+        assert kernels.load_backend(None) is sentinel
+
+    def test_default_warns_when_cached_build_fails_to_load(self, monkeypatch):
+        from repro.core.kernels import native
+
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(native, "has_cached_build", lambda: True)
+        monkeypatch.setattr(native, "load", lambda: None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = kernels.load_backend(None)
+        assert backend.name == "numpy"
+        assert any("failed to load" in str(w.message) for w in caught)
+
+    def test_default_never_compiles_implicitly(self, monkeypatch):
+        # With no cached build the selection must not even look for a
+        # compiler, let alone run one.
+        from repro.core.kernels import native
+
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(native, "has_cached_build", lambda: False)
+
+        def _boom():  # pragma: no cover - failing is the assertion
+            raise AssertionError("default selection must not call load()")
+
+        monkeypatch.setattr(native, "load", _boom)
+        assert kernels.load_backend(None).name == "numpy"
+
+    def test_has_cached_build_tracks_the_source_digest(self, tmp_path,
+                                                       monkeypatch):
+        from repro.core.kernels import native
+
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert native.has_cached_build() is False
+        expected = native._cached_library_path()
+        expected.parent.mkdir(parents=True, exist_ok=True)
+        expected.write_bytes(b"not a real .so, existence is the contract")
+        assert native.has_cached_build() is True
 
     def test_unknown_name_warns_and_falls_back(self):
         with warnings.catch_warnings(record=True) as caught:
