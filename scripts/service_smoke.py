@@ -19,6 +19,15 @@ kill -9 of the primary, promotion of the follower, and exactly-once /
 fresh-rebuild-equivalence checks on the survivor:
 
     python scripts/service_smoke.py --failover
+
+``--overload`` runs the overload-robustness smoke: a server with a
+zero-length mine backlog must shed typed ``overloaded`` frames with
+``retry_after`` in milliseconds, brown out after repeated sheds and
+answer ``mine`` from the degraded (approximate) path, refuse or cancel
+work past a client-stamped ``deadline_ms``, and stay healthy while a
+slow-loris connection dribbles its frame in:
+
+    python scripts/service_smoke.py --overload
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -195,6 +205,181 @@ def smoke(chaos_seed: int) -> None:
         if "drained after" not in out:
             fail(f"server exited without reporting a drain: {out}")
     print("service smoke OK")
+
+
+# -- overload robustness smoke ----------------------------------------------
+
+
+def overload_rounds(port: int) -> None:
+    from repro.errors import OverloadedError
+    from repro.testing.netfaults import Stall
+
+    with ServiceClient("127.0.0.1", port) as client:
+        # Round 1: a zero-length mine backlog sheds every submission —
+        # typed, carrying retry_after, and fast (nothing was enqueued).
+        for attempt in range(2):
+            started = time.monotonic()
+            try:
+                client.mine(0.08)
+            except OverloadedError as exc:
+                elapsed = time.monotonic() - started
+                if exc.retry_after is None or exc.retry_after <= 0:
+                    fail(f"shed #{attempt + 1} carried retry_after="
+                         f"{exc.retry_after!r} (want a positive hint)")
+                if elapsed > 1.0:
+                    fail(f"shed #{attempt + 1} took {elapsed:.3f}s; a "
+                         f"queue-full shed must be near-instant")
+            else:
+                fail("mine was admitted despite --mine-queue 0")
+        print("  overload: 2 mine submissions shed typed with retry_after")
+
+        # Round 2: two sheds inside the window brown the server out;
+        # the next mine must answer from the degraded path instead of
+        # shedding a third time.
+        degraded = client.request(
+            "mine", {"min_support": 0.08, "algorithm": "dfp"}
+        )
+        if not degraded.get("degraded_load"):
+            fail(f"browned-out mine was not served degraded: {degraded}")
+        done = client.wait_for_job(degraded["job_id"], timeout=60)
+        if not done.get("degraded_load"):
+            fail("degraded job poll lost its degraded_load marker")
+        if done["result"]["n_patterns"] < 1:
+            fail("degraded mine produced no patterns at all")
+        print(f"  overload: browned out, mine answered degraded_load "
+              f"({done['result']['n_patterns']} approximate pattern(s))")
+
+        # Round 3: an already-expired propagated deadline is refused
+        # unstarted (pre-dispatch), typed `timeout`.
+        try:
+            client.request("count", {"items": [3]}, deadline_ms=0.0001)
+        except ServiceError as exc:
+            if exc.error_type != "timeout" or "deadline" not in str(exc):
+                fail(f"expired deadline answered [{exc.error_type}] {exc}, "
+                     f"want a typed deadline timeout")
+        else:
+            fail("a request with an expired deadline was served")
+
+        # Round 4: a deadline that expires mid-handler cancels the work
+        # promptly — the replicate long-poll would otherwise hold the
+        # connection for its full wait_s.
+        position = client.status()["n_transactions"]
+        started = time.monotonic()
+        try:
+            client.request(
+                "replicate",
+                {"from_position": position, "wait_s": 8.0},
+                deadline_ms=400.0,
+            )
+        except ServiceError as exc:
+            elapsed = time.monotonic() - started
+            if exc.error_type != "timeout":
+                fail(f"deadline-bounded long-poll failed "
+                     f"[{exc.error_type}] {exc}, want 'timeout'")
+            if elapsed > 3.0:
+                fail(f"long-poll outlived its 0.4s deadline by "
+                     f"{elapsed - 0.4:.1f}s")
+        else:
+            fail("long-poll outlived its propagated deadline")
+        print("  overload: propagated deadlines refused pre-dispatch and "
+              "cancelled mid-handler")
+
+        metrics = client.metrics()
+        signals = metrics.get("overload")
+        if not signals:
+            fail("metrics payload is missing the overload section")
+        if signals["mine_jobs"]["sheds"] < 2:
+            fail(f"metrics report {signals['mine_jobs']['sheds']} mine "
+                 f"shed(s), want >= 2")
+        if signals["brownout"]["state"] != "browned_out":
+            fail(f"brownout state {signals['brownout']['state']!r} after "
+                 f"sustained sheds, want 'browned_out'")
+        expired = signals["deadline_expired"]
+        if expired["pre_dispatch"] < 1 or expired["running"] < 1:
+            fail(f"deadline_expired counters {expired} missed the rounds")
+        load = client.status().get("load")
+        if not load or load["state"] != "browned_out":
+            fail(f"status load section {load!r} does not report brownout")
+        print(f"  overload: metrics expose sheds_total="
+              f"{signals['sheds_total']}, deadline_expired={expired}, "
+              f"brownout={signals['brownout']['state']}")
+
+    # Round 5: slow-loris.  A response trickled slower than the client's
+    # read timeout resolves through that timeout; a request dribbling in
+    # must not delay a healthy direct connection (the reader is not
+    # holding any admission slot while it waits for the frame).
+    with ChaosProxy("127.0.0.1", port).start() as proxy:
+        proxy.schedule(Stall(bytes_per_second=2.0, frames=1,
+                             direction="response"))
+        try:
+            with ServiceClient("127.0.0.1", proxy.port, timeout=1.0) as slow:
+                slow.count([3])
+        except (ServiceError, OSError):
+            pass
+        else:
+            fail("a stalled response was read within a 1s client timeout")
+    with ChaosProxy("127.0.0.1", port).start() as proxy:
+        proxy.schedule(Stall(bytes_per_second=30.0, frames=1,
+                             direction="request", chunk=4))
+        outcome: dict = {}
+
+        def _dribble() -> None:
+            try:
+                with ServiceClient(
+                    "127.0.0.1", proxy.port, timeout=30.0
+                ) as trickling:
+                    outcome["estimate"] = trickling.count([3])["estimate"]
+            except Exception as exc:  # surfaced after the join below
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=_dribble)
+        worker.start()
+        time.sleep(0.3)  # the dribbled request frame is now in flight
+        with ServiceClient("127.0.0.1", port, timeout=5.0) as direct:
+            healthy_started = time.monotonic()
+            direct.count([3])
+            healthy_elapsed = time.monotonic() - healthy_started
+        if healthy_elapsed > 2.0:
+            fail(f"a dribbling slow-loris delayed a healthy connection "
+                 f"by {healthy_elapsed:.1f}s")
+        worker.join(timeout=30.0)
+        if worker.is_alive():
+            fail("the dribbled request never completed")
+        if "error" in outcome:
+            fail(f"the dribbled request failed: {outcome['error']}")
+    print("  overload: slow-loris bounded by client deadline; healthy "
+          "connections unaffected")
+
+
+def overload(chaos_seed: int) -> None:
+    """Admission, brownout, deadline propagation, slow-loris — one server."""
+    with tempfile.TemporaryDirectory(prefix="repro-overload-") as tmp:
+        workdir = Path(tmp)
+        db_path, idx_path = build_fixture(workdir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--db", db_path, "--index", idx_path, "--port", "0",
+             "--durable",
+             "--mine-queue", "0", "--brownout-after", "2",
+             "--brownout-recover", "60"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            port = wait_for_port(proc)
+            overload_rounds(port)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=DRAIN_TIMEOUT_S)
+        except Exception:
+            proc.kill()
+            proc.communicate()
+            raise
+        print(f"  server: {out.rstrip()}")
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode} after SIGTERM "
+                 f"(expected a graceful drain): {out}")
+        if "drained after" not in out:
+            fail(f"server exited without reporting a drain: {out}")
+    print("overload smoke OK")
 
 
 # -- replication failover smoke ---------------------------------------------
@@ -557,11 +742,18 @@ def main(argv=None) -> None:
                              "router over N shard servers, merged answers "
                              "checked against a single node, plus a "
                              "kill -9 chaos round")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the overload-robustness smoke instead: "
+                             "typed sheds with retry_after, brownout "
+                             "degradation, deadline propagation, and a "
+                             "slow-loris round")
     args = parser.parse_args(argv)
     if args.failover:
         failover()
     elif args.sharded is not None:
         sharded(args.sharded, args.chaos_seed)
+    elif args.overload:
+        overload(args.chaos_seed)
     else:
         smoke(args.chaos_seed)
 

@@ -19,6 +19,7 @@ from repro.analysis.rules.errorhygiene import (
     SwallowedException,
 )
 from repro.analysis.rules.estimates import EstimateSoundness
+from repro.analysis.rules.loadsafety import UnboundedAwaitInService
 from repro.analysis.rules.replication import JournalWriteOutsideLog
 from repro.analysis.rules.sharding import ShardFanoutOutsideRouter
 
@@ -34,6 +35,7 @@ ALL_RULES: list[Rule] = [
     JournalWriteOutsideLog(),
     UnsanctionedPoolSpawn(),
     ShardFanoutOutsideRouter(),
+    UnboundedAwaitInService(),
 ]
 
 

@@ -1,0 +1,85 @@
+"""RPR011 — no unbounded awaits on the serving path.
+
+The overload model (DESIGN.md §11) only holds if every wait the
+serving layer performs is *bounded*: an ``await`` on a queue, lock,
+stream read, or drain with no deadline around it is a place where a
+slow or dead peer pins a connection slot (or the whole serving loop's
+progress on that task) forever — precisely the hang the deadline
+propagation and admission machinery exist to rule out.
+
+The rule flags ``await`` expressions in ``service/`` modules whose
+awaited call's final dotted component is a known potentially-unbounded
+primitive (``get``, ``acquire``, ``wait``, ``readexactly``, ``drain``,
+``read_frame``...).  Awaits routed through ``asyncio.*`` combinators
+(``asyncio.wait_for``, ``asyncio.wait``, ``asyncio.gather``) are
+exempt: ``wait_for`` *is* the bounding construct, and the others
+compose already-created tasks.  Sites that are bounded by an enclosing
+construct the AST cannot see locally (a ``wait_for`` in the caller, a
+socket timeout set at connect) are carried in the baseline with a
+justification naming the bound — the point is that every such site is
+*reviewed*, not that none exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, dotted_name
+from repro.analysis.findings import Finding
+
+#: Final dotted components that can block without bound when awaited
+#: bare: queue/lock primitives, stream reads, flow-control drains, and
+#: this repo's own frame codec.
+_UNBOUNDED_WAITS = {
+    "get",
+    "put",
+    "acquire",
+    "wait",
+    "join",
+    "readexactly",
+    "readuntil",
+    "readline",
+    "read",
+    "drain",
+    "wait_closed",
+    "read_frame",
+    "write_frame",
+}
+
+
+class UnboundedAwaitInService(Rule):
+    id = "RPR011"
+    name = "unbounded-await-in-service"
+    severity = "error"
+    rationale = (
+        "serving-path awaits on queues, locks, streams, and drains must "
+        "be bounded (asyncio.wait_for, a propagated deadline, or a "
+        "baseline-documented enclosing bound) or a slow peer pins the "
+        "connection forever"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "service/" in ctx.rel_path
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            for node in ctx.body_nodes(func):
+                if not isinstance(node, ast.Await):
+                    continue
+                call = node.value
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = dotted_name(call.func) or ""
+                if dotted.startswith("asyncio."):
+                    continue  # wait_for/wait/gather are the bounders
+                if dotted.rsplit(".", 1)[-1] not in _UNBOUNDED_WAITS:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare `await {dotted}(...)` in {func.name}() has no "
+                    f"deadline: wrap it in asyncio.wait_for (or document "
+                    f"the enclosing bound in the baseline) so a slow peer "
+                    f"cannot pin this task forever",
+                )

@@ -19,7 +19,7 @@ After a crash, ``repro-mine check <file>`` classifies the damage
 BBS slice files, and transaction-file pairs.
 
 ``repro-mine lint`` runs the AST-based invariant linter
-(:mod:`repro.analysis`) over the tree — rules RPR001-RPR008, with
+(:mod:`repro.analysis`) over the tree — rules RPR001-RPR011, with
 ``--format github`` for CI annotations.
 
 ``repro-mine serve`` keeps an index resident and answers concurrent
@@ -56,6 +56,52 @@ from repro.storage.txfile import TransactionFileWriter
 def _parse_min_support(text: str):
     value = float(text)
     return int(value) if value >= 1 else value
+
+
+def _add_overload_flags(parser) -> None:
+    """Admission / brownout knobs shared by ``serve`` and ``shard-serve``."""
+    parser.add_argument("--read-queue", type=int, default=512,
+                        help="reads allowed to wait for a dispatch slot "
+                             "before shedding (typed `overloaded`)")
+    parser.add_argument("--write-queue", type=int, default=256,
+                        help="appends allowed to wait before shedding")
+    parser.add_argument("--mine-queue", type=int, default=32,
+                        help="mining jobs allowed outstanding in the worker "
+                             "backlog before submissions shed (0 = shed "
+                             "every mine that cannot start immediately)")
+    parser.add_argument("--brownout-after", type=int, default=4,
+                        help="sheds inside a 5s window before the server "
+                             "browns out (mine answers from the cached/"
+                             "approximate path, marked degraded_load)")
+    parser.add_argument("--brownout-recover", type=float, default=2.0,
+                        help="shed-free seconds (with drained queues) "
+                             "before a brownout clears")
+
+
+def _build_admission(args):
+    """An AdmissionController from the overload flags (or their defaults)."""
+    from repro.service.server import (
+        DEFAULT_ADMISSION_LIMITS,
+        AdmissionController,
+        AdmissionLimits,
+    )
+
+    limits = {
+        "read": AdmissionLimits(
+            DEFAULT_ADMISSION_LIMITS["read"].max_concurrent,
+            getattr(args, "read_queue", 512),
+        ),
+        "write": AdmissionLimits(
+            DEFAULT_ADMISSION_LIMITS["write"].max_concurrent,
+            getattr(args, "write_queue", 256),
+        ),
+    }
+    return AdmissionController(
+        limits,
+        mine_backlog=getattr(args, "mine_queue", 32),
+        brownout_after=getattr(args, "brownout_after", 4),
+        brownout_recover_s=getattr(args, "brownout_recover", 2.0),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -218,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--shardmap", metavar="PATH", default=None,
                     help="with --router: persist the range assignment here "
                          "(reloaded on restart; served via `query shardmap`)")
+    _add_overload_flags(sv)
 
     shard_sv = sub.add_parser(
         "shard-serve",
@@ -243,6 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="serve as the read-only follower of the shard "
                                "primary at HOST:PORT (what a router fails "
                                "over to)")
+    _add_overload_flags(shard_sv)
 
     qr = sub.add_parser("query", help="query a running `serve` instance")
     qr.add_argument("--host", default="127.0.0.1")
@@ -252,6 +300,11 @@ def _build_parser() -> argparse.ArgumentParser:
     qr.add_argument("--retries", type=int, default=0,
                     help="retry idempotent requests up to this many times "
                          "with backoff (uses the resilient client)")
+    qr.add_argument("--deadline", type=float, default=None,
+                    help="stamp every request with this remaining-budget "
+                         "deadline in seconds; the server (and, through a "
+                         "router, every shard) refuses or cancels work "
+                         "that outlives it")
     qsub = qr.add_subparsers(dest="query_op", required=True)
     qc = qsub.add_parser("count", help="estimated support of one itemset")
     qc.add_argument("--items", required=True,
@@ -292,7 +345,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _configure_lint(sub.add_parser(
         "lint",
-        help="run the repo invariant linter (rules RPR001-RPR008)",
+        help="run the repo invariant linter (rules RPR001-RPR011)",
     ))
 
     sub.add_parser("example", help="replay the paper's running example")
@@ -598,6 +651,7 @@ def _cmd_serve(args) -> int:
             request_timeout=args.timeout,
             scrubber=scrubber,
             tailer=tailer,
+            admission=_build_admission(args),
         )
         print(
             f"resident index: {type(index).__name__} m={index.m} k={index.k} "
@@ -678,6 +732,7 @@ def _cmd_serve_router(args) -> int:
             port=args.port,
             max_connections=args.max_connections,
             request_timeout=args.timeout,
+            admission=_build_admission(args),
         )
         ranges = ", ".join(
             entry.range_label(tail=entry is router.map.tail)
@@ -747,16 +802,31 @@ def _cmd_query(args) -> int:
     from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
+    deadline_s = getattr(args, "deadline", None)
     if args.retries > 0:
         from repro.service.resilience import RetryingClient, RetryPolicy
 
+        # A --deadline tightens the whole-operation budget: the policy
+        # already stamps each attempt with the remaining budget.
+        op_deadline = (
+            min(args.timeout, deadline_s)
+            if deadline_s is not None
+            else args.timeout
+        )
         policy = RetryPolicy(
-            max_attempts=args.retries + 1, op_deadline=args.timeout
+            max_attempts=args.retries + 1, op_deadline=op_deadline
         )
         client = RetryingClient(args.host, args.port, policy=policy)
     else:
         try:
-            client = ServiceClient(args.host, args.port, timeout=args.timeout)
+            client = ServiceClient(
+                args.host,
+                args.port,
+                timeout=args.timeout,
+                deadline_ms=(
+                    deadline_s * 1000.0 if deadline_s is not None else None
+                ),
+            )
         except OSError as exc:
             print(
                 f"error: cannot connect to {args.host}:{args.port}: {exc}",

@@ -154,6 +154,22 @@ class PartialResultError(ServiceError):
         self.missing = list(missing)
 
 
+class OverloadedError(ServiceError):
+    """The server shed the request at admission time.
+
+    Answered on the wire as error type ``"overloaded"`` *without*
+    dispatching the operation — nothing ran, so any request (even a
+    tokenless ``append`` or a ``mine``) is safe to resend after
+    backing off.  ``retry_after`` is the server's estimate, in
+    seconds, of when capacity should free up; clients should wait at
+    least that long before retrying.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message, error_type="overloaded")
+        self.retry_after = retry_after
+
+
 class CircuitOpenError(ServiceError):
     """The client's circuit breaker is open; the request was not sent.
 

@@ -9,6 +9,13 @@ Two mechanisms keep a hot ``count`` workload off the index:
   of the LRU.  No sweep, no per-entry dirty bit, no lock ordering
   against the writer.
 
+* :class:`MineResultCache` — a small LRU of *completed* mining results
+  keyed by the submission parameters, with the epoch each result was
+  computed at.  This is the brownout relief valve: a browned-out
+  server answers a repeated ``mine`` from here (marked
+  ``degraded_load``, with honest staleness) instead of queueing
+  another full mine it cannot afford.
+
 * :class:`MicroBatcher` — coalesces ``count`` requests that arrive in
   the same event-loop window into one drain pass.  Duplicate itemsets
   collapse to a single computation, and distinct itemsets are evaluated
@@ -22,6 +29,7 @@ Two mechanisms keep a hot ``count`` workload off the index:
 from __future__ import annotations
 
 import asyncio
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -111,6 +119,59 @@ class CountCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+
+class MineResultCache:
+    """LRU of completed mining results keyed by submission parameters.
+
+    Written from mine-job worker threads (a job stores its result the
+    moment it finishes) and read from the serving loop (the brownout
+    path), so the tiny critical sections take a lock — unlike the rest
+    of this module, which is loop-confined.
+
+    Entries deliberately do *not* carry the epoch in the key: a
+    browned-out server would rather serve a slightly stale mine marked
+    ``degraded_load`` than none at all.  The stored epoch rides along
+    so the answer's ``stale`` flag stays honest.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"mine cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        """``(result, epoch)`` for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, result, epoch: int) -> None:
+        with self._lock:
+            self._entries[key] = (result, epoch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 class MicroBatcher:

@@ -19,6 +19,7 @@ import time
 
 from repro.errors import (
     DegradedError,
+    OverloadedError,
     PartialResultError,
     ServiceError,
     ServiceProtocolError,
@@ -39,9 +40,15 @@ class ServiceClient:
         *,
         timeout: float = DEFAULT_TIMEOUT_S,
         connect_timeout: float | None = None,
+        deadline_ms: float | None = None,
     ):
         self.host = host
         self.port = port
+        #: When set, every request is stamped with this remaining-budget
+        #: deadline (per request, in milliseconds) unless the call
+        #: passes its own.  The server refuses expired work unstarted
+        #: and cancels work that outlives the budget.
+        self.deadline_ms = deadline_ms
         self._next_id = 1
         try:
             self._sock = socket.create_connection(
@@ -77,8 +84,18 @@ class ServiceClient:
 
     # -- the request core ------------------------------------------------------
 
-    def request(self, op: str, args: dict | None = None) -> dict:
+    def request(
+        self,
+        op: str,
+        args: dict | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
         """Send one request and return the ``result`` payload.
+
+        ``deadline_ms`` stamps the frame with the caller's remaining
+        budget (falling back to the client-wide :attr:`deadline_ms`);
+        the server — and, through a router, every shard — enforces it.
 
         Raises :class:`ServiceError` for error frames and
         :class:`ServiceProtocolError` for wire-level violations.
@@ -87,9 +104,11 @@ class ServiceClient:
             raise ServiceError("client is closed", error_type="protocol")
         request_id = self._next_id
         self._next_id += 1
-        write_frame_sock(
-            self._sock, {"id": request_id, "op": op, "args": args or {}}
-        )
+        frame: dict = {"id": request_id, "op": op, "args": args or {}}
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            frame["deadline_ms"] = budget
+        write_frame_sock(self._sock, frame)
         payload = read_frame_sock(self._sock)
         frame_id = payload.get("id")
         if frame_id not in (request_id, -1):
@@ -108,6 +127,8 @@ class ServiceClient:
             raise DegradedError(message)
         if error_type == "partial":
             raise PartialResultError(message)
+        if error_type == "overloaded":
+            raise OverloadedError(message, retry_after=error.get("retry_after"))
         raise ServiceError(message, error_type=error_type)
 
     # -- operations ------------------------------------------------------------

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 
 from repro.core.bbs import BBS
 from repro.core.mining import ALGORITHMS, mine
-from repro.core.refine import probe
+from repro.core.approximate import mine_approximate
+from repro.core.refine import probe, resolve_threshold
 from repro.data.database import TransactionDatabase
 from repro.errors import (
     ConfigurationError,
@@ -40,6 +41,7 @@ from repro.service.cache import (
     DEFAULT_CACHE_ENTRIES,
     CountCache,
     MicroBatcher,
+    MineResultCache,
     canonical_itemset,
 )
 from repro.service.protocol import ERR_BAD_REQUEST, ERR_NOT_PRIMARY, ERR_QUERY
@@ -117,6 +119,11 @@ class MineJob:
     result: object = None
     error: str | None = None
     elapsed_seconds: float | None = None
+    #: Candidate-bound cost units charged against the mine backlog.
+    cost: int = 0
+    #: True for brownout answers (cached or approximate) so clients can
+    #: tell a degraded-under-load result from a full mine.
+    degraded: bool = False
     future: object = field(default=None, repr=False)
 
 
@@ -203,6 +210,13 @@ class PatternService:
         self.scrubber = None
         self.last_request_monotonic = time.monotonic()
         self.cache = CountCache(cache_entries)
+        #: Completed mine results by parameter key — the brownout path
+        #: serves from here before falling back to the approximate miner.
+        self.mine_cache = MineResultCache()
+        #: Set by the server: the :class:`AdmissionController` whose
+        #: brownout flag and mine-job backlog the handlers consult.
+        #: ``None`` when the service runs without a server (tests).
+        self.admission = None
         self.batcher = MicroBatcher(index)
         self.histograms: dict[str, LatencyHistogram] = {}
         self.request_counts: Counter = Counter()
@@ -224,8 +238,15 @@ class PatternService:
 
     # -- dispatch ----------------------------------------------------------
 
-    async def handle(self, op: str, args: dict) -> dict:
-        """Run one operation; raises :class:`ServiceError` on bad input."""
+    async def handle(self, op: str, args: dict, deadline=None) -> dict:
+        """Run one operation; raises :class:`ServiceError` on bad input.
+
+        ``deadline`` is the caller's propagated
+        :class:`~repro.service.protocol.Deadline`, if any.  The server
+        already bounds the whole dispatch with it (and publishes it via
+        ``CURRENT_DEADLINE`` for downstream hops); it is accepted here
+        so handlers that fan work out can consult the live budget.
+        """
         handler = self._OPS.get(op)
         if handler is None:
             raise ServiceError(
@@ -805,7 +826,18 @@ class PatternService:
     # -- mining jobs ---------------------------------------------------------
 
     async def _op_mine(self, args: dict) -> dict:
-        """Submit a background mining job over a consistent snapshot."""
+        """Submit a background mining job over a consistent snapshot.
+
+        Under brownout the submission is downgraded instead of queued:
+        a matching completed result in :attr:`mine_cache` is answered
+        as an already-``done`` job, otherwise the job runs the
+        index-only approximate miner.  Either way the response (and
+        every later poll) carries ``degraded_load: true`` so the caller
+        knows it traded exactness for latency.  Full mines are charged
+        against the admission controller's job backlog using the
+        Geerts–Goethals candidate-bound cost estimate and shed typed
+        when it is full.
+        """
         min_support = args.get("min_support")
         if not isinstance(min_support, (int, float)) or isinstance(min_support, bool):
             raise ServiceError(
@@ -825,6 +857,13 @@ class PatternService:
             "max_size": max_size,
             "workers": workers,
         }
+        if self.admission is not None and self.admission.browned_out:
+            return self._submit_degraded_mine(params)
+        cost = self.mine_cost_units(min_support, max_size)
+        if self.admission is not None:
+            # Raises a typed OverloadedError (with retry_after) when the
+            # backlog is full — before any snapshot is taken.
+            self.admission.admit_mine_job(cost)
         # Snapshot synchronously: no await between here and submit, so
         # the copies are consistent with each other and with the epoch.
         job = MineJob(
@@ -832,6 +871,7 @@ class PatternService:
             params=params,
             submitted_epoch=self.index.epoch,
             submitted_at=time.monotonic(),
+            cost=cost,
         )
         db_snapshot = TransactionDatabase(iter(self.database))
         index_snapshot = self._index_snapshot()
@@ -841,6 +881,83 @@ class PatternService:
             self._run_job, job, db_snapshot, index_snapshot
         )
         return {"job_id": job.id, "epoch": job.submitted_epoch}
+
+    def mine_cost_units(self, min_support, max_size) -> int:
+        """Estimate one mine's cost in candidate-bound units.
+
+        The same shape the parallel layer's LPT batching uses: the
+        frequency-mass frontier estimate ``sum(freq_counts) //
+        threshold`` scaled by the achievable depth, capped by the
+        Geerts–Goethals bound ``2**depth - 1`` on how many candidates
+        can exist at all.  Coarse on purpose — it ranks cheap mines
+        below expensive ones and bounds the backlog in work, not jobs.
+        """
+        n = len(self.database)
+        if n == 0:
+            return 1
+        threshold = max(1, resolve_threshold(min_support, n))
+        frequent = [
+            count
+            for count in self.database.item_counts().values()
+            if count >= threshold
+        ]
+        if not frequent:
+            return 1
+        depth = len(frequent)
+        if max_size is not None:
+            depth = min(depth, int(max_size))
+        depth = max(1, depth)
+        est = max(1, sum(frequent) // threshold)
+        weight = est * depth
+        if depth < 60:
+            weight = min(weight, (1 << depth) - 1)
+        return max(1, min(weight, 1 << 60))
+
+    def _submit_degraded_mine(self, params: dict) -> dict:
+        """The brownout mine path: cached result or approximate job."""
+        key = (
+            params["min_support"],
+            params["algorithm"],
+            params["max_size"],
+        )
+        cached = self.mine_cache.get(key)
+        job = MineJob(
+            id=f"job-{next(self._job_ids)}",
+            params=params,
+            submitted_epoch=self.index.epoch,
+            submitted_at=time.monotonic(),
+            degraded=True,
+        )
+        if cached is not None:
+            result, result_epoch = cached
+            # Served as an already-finished job: zero queueing, zero
+            # mining.  ``submitted_epoch`` records the epoch the cached
+            # result was computed at so the poll's ``stale`` flag is
+            # honest about its age.
+            job.state = "done"
+            job.result = result
+            job.submitted_epoch = result_epoch
+            job.elapsed_seconds = 0.0
+            self._jobs[job.id] = job
+            self._evict_finished_jobs()
+            return {
+                "job_id": job.id,
+                "epoch": job.submitted_epoch,
+                "degraded_load": True,
+                "cached": True,
+            }
+        index_snapshot = self._index_snapshot()
+        self._jobs[job.id] = job
+        self._evict_finished_jobs()
+        job.future = self._executor.submit(
+            self._run_approximate_job, job, index_snapshot, len(self.database)
+        )
+        return {
+            "job_id": job.id,
+            "epoch": job.submitted_epoch,
+            "degraded_load": True,
+            "cached": False,
+        }
 
     def _index_snapshot(self) -> BBS:
         if isinstance(self.index, BBS):
@@ -853,22 +970,67 @@ class PatternService:
         job.state = "running"
         started = time.perf_counter()
         try:
-            result = mine(
-                database,
+            try:
+                result = mine(
+                    database,
+                    index,
+                    job.params["min_support"],
+                    job.params["algorithm"],
+                    max_size=job.params["max_size"],
+                    workers=job.params["workers"],
+                )
+            except Exception as exc:  # surfaces via the job poll, not a crash
+                job.elapsed_seconds = time.perf_counter() - started
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "cancelled" if job.cancel_requested else "error"
+                return
+            job.elapsed_seconds = time.perf_counter() - started
+            if job.cancel_requested:
+                job.state = "cancelled"  # result discarded, as promised
+                return
+            job.result = result
+            job.state = "done"
+            # Feed the brownout cache: the next overload serves this
+            # result instead of queueing another full mine.
+            self.mine_cache.put(
+                (
+                    job.params["min_support"],
+                    job.params["algorithm"],
+                    job.params["max_size"],
+                ),
+                result,
+                job.submitted_epoch,
+            )
+        finally:
+            if self.admission is not None:
+                self.admission.finish_mine_job(job.cost, job.elapsed_seconds)
+
+    def _run_approximate_job(self, job: MineJob, index, n_transactions) -> None:
+        """The brownout worker: index-only estimates, no refinement.
+
+        Runs :func:`mine_approximate` over the snapshot — every count
+        is an upper-bound estimate (``exact: false``), which is the
+        trade the browned-out server makes to keep answering at all.
+        Deliberately not charged against the mine backlog: this *is*
+        the relief valve, its cost is bounded by the index scan, and
+        the executor's thread count still caps real concurrency.
+        """
+        job.state = "running"
+        started = time.perf_counter()
+        try:
+            result, _confidences = mine_approximate(
                 index,
                 job.params["min_support"],
-                job.params["algorithm"],
                 max_size=job.params["max_size"],
-                workers=job.params["workers"],
             )
-        except Exception as exc:  # surfaces via the job poll, not a crash
+        except Exception as exc:
             job.elapsed_seconds = time.perf_counter() - started
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = "cancelled" if job.cancel_requested else "error"
             return
         job.elapsed_seconds = time.perf_counter() - started
         if job.cancel_requested:
-            job.state = "cancelled"  # result discarded, as promised
+            job.state = "cancelled"
             return
         job.result = result
         job.state = "done"
@@ -901,6 +1063,8 @@ class PatternService:
             "epoch": job.submitted_epoch,
             "elapsed_seconds": job.elapsed_seconds,
         }
+        if job.degraded:
+            payload["degraded_load"] = True
         if job.state == "error":
             payload["error"] = job.error
         if job.state == "done":
@@ -914,6 +1078,10 @@ class PatternService:
         job = self._get_job(args)
         if job.state == "pending" and job.future is not None and job.future.cancel():
             job.state = "cancelled"
+            # The worker will never run, so release its backlog share
+            # here (a run job releases in its own ``finally``).
+            if self.admission is not None and not job.degraded:
+                self.admission.finish_mine_job(job.cost)
         elif job.state in ("pending", "running"):
             # The worker checks the flag after mining; the result is
             # discarded even though the CPU work may run to completion.
@@ -954,7 +1122,20 @@ class PatternService:
 
     async def _op_status(self, args: dict) -> dict:
         states = Counter(job.state for job in self._jobs.values())
+        load = None
+        if self.admission is not None:
+            overload = self.admission.as_dict()
+            load = {
+                "state": overload["brownout"]["state"],
+                "queued": {
+                    name: cls["queued"]
+                    for name, cls in overload["classes"].items()
+                },
+                "sheds_total": overload["sheds_total"],
+                "mine_outstanding": overload["mine_jobs"]["outstanding"],
+            }
         return {
+            "load": load,
             "n_transactions": len(self.database),
             "epoch": self.index.epoch,
             "index": type(self.index).__name__,
@@ -990,7 +1171,10 @@ class PatternService:
             "idempotency": self.idempotency.as_dict(),
             "role": self.replication.role,
             "replication": self.replication.as_dict(len(self.database)),
+            "mine_cache": self.mine_cache.as_dict(),
         }
+        if self.admission is not None:
+            payload["overload"] = self.admission.as_dict()
         if self.degraded_since is not None:
             payload["degraded_seconds"] = time.monotonic() - self.degraded_since
         if self.scrubber is not None:

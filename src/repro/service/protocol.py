@@ -23,9 +23,11 @@ docs/wire_protocol.md.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import socket
 import struct
+import time
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -67,11 +69,69 @@ ERR_INTERNAL = "internal"
 
 @dataclass(frozen=True)
 class Request:
-    """A parsed request frame."""
+    """A parsed request frame.
+
+    ``deadline_ms`` is the caller's *remaining budget* in milliseconds,
+    stamped at send time.  It is a relative duration, not a wall-clock
+    timestamp, so the two ends of a connection never need agreeing
+    clocks; each hop converts it to a monotonic :class:`Deadline` on
+    arrival and re-stamps whatever is left when it forwards work.
+    """
 
     id: int
     op: str
     args: dict
+    deadline_ms: float | None = None
+
+
+class Deadline:
+    """A monotonic-clock deadline derived from a wire budget.
+
+    Constructed once at frame arrival (``from_budget_ms``); every later
+    check compares against ``time.monotonic()``, so in-process clock
+    reads are cheap and a slow network hop eats into the budget exactly
+    as the caller intended.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = expires_at
+
+    @classmethod
+    def from_budget_ms(cls, budget_ms: float) -> Deadline:
+        return cls(time.monotonic() + budget_ms / 1000.0)
+
+    @classmethod
+    def after(cls, seconds: float) -> Deadline:
+        return cls(time.monotonic() + seconds)
+
+    @property
+    def remaining_s(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def remaining_ms(self) -> float:
+        return self.remaining_s * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining_s:.3f}s)"
+
+
+#: The deadline governing the request currently being served, if any.
+#: The server sets this for the duration of each handler invocation;
+#: because every request runs in its own asyncio task (and sub-tasks
+#: copy the context at creation), downstream code — most importantly
+#: the router's shard links — can read the live budget without every
+#: intermediate call signature threading it through.
+CURRENT_DEADLINE: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro_service_deadline", default=None
+)
 
 
 def encode_frame(payload: dict) -> bytes:
@@ -109,7 +169,18 @@ def parse_request(payload: dict) -> Request:
     args = payload.get("args", {})
     if not isinstance(args, dict):
         raise ServiceProtocolError("request 'args' must be an object")
-    return Request(id=request_id, op=op, args=args)
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ServiceProtocolError(
+                "request 'deadline_ms' must be a positive number"
+            )
+        deadline_ms = float(deadline_ms)
+    return Request(id=request_id, op=op, args=args, deadline_ms=deadline_ms)
 
 
 def ok_frame(request_id: int, result: dict) -> dict:
@@ -117,12 +188,26 @@ def ok_frame(request_id: int, result: dict) -> dict:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_frame(request_id: int, error_type: str, message: str) -> dict:
-    """An error response payload for ``request_id``."""
+def error_frame(
+    request_id: int,
+    error_type: str,
+    message: str,
+    *,
+    retry_after: float | None = None,
+) -> dict:
+    """An error response payload for ``request_id``.
+
+    ``retry_after`` (seconds) rides along on ``overloaded`` sheds: the
+    server's estimate of when capacity frees up, which well-behaved
+    clients honour as a backoff floor.
+    """
+    error: dict = {"type": error_type, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(float(retry_after), 4)
     return {
         "id": request_id,
         "ok": False,
-        "error": {"type": error_type, "message": message},
+        "error": error,
     }
 
 

@@ -29,11 +29,13 @@ change its mind.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 
 from repro.errors import (
     CircuitOpenError,
+    OverloadedError,
     ServiceError,
     ServiceTimeoutError,
 )
@@ -149,6 +151,85 @@ class CircuitBreaker:
         }
 
 
+class AIMDLimiter:
+    """Additive-increase / multiplicative-decrease concurrency limiter.
+
+    The client-side half of the server's admission control: the allowed
+    in-flight concurrency grows by ``~1/limit`` per success (one extra
+    slot per round-trip-full of successes) and halves on every
+    ``overloaded`` shed, the same control law TCP uses for congestion
+    windows.  Shared by every thread using one :class:`RetryingClient`
+    (or a pool of them against the same server), so a fleet of callers
+    converges onto the capacity the server actually has instead of
+    hammering it into further shedding.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial: float = 8.0,
+        min_limit: float = 1.0,
+        max_limit: float = 64.0,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+    ):
+        self._cond = threading.Condition()
+        self.limit = float(initial)
+        self.min_limit = float(min_limit)
+        self.max_limit = float(max_limit)
+        self.increase = increase
+        self.decrease = decrease
+        self.in_flight = 0
+        self.acquired = 0
+        self.acquire_timeouts = 0
+        self.decreases = 0
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Take one slot; False if the window stayed full past ``timeout``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self.in_flight >= int(self.limit):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self.acquire_timeouts += 1
+                    return False
+                self._cond.wait(remaining)
+            self.in_flight += 1
+            self.acquired += 1
+            return True
+
+    def release(self) -> None:
+        with self._cond:
+            self.in_flight = max(0, self.in_flight - 1)
+            self._cond.notify()
+
+    def on_success(self) -> None:
+        """Additive increase: ~one extra slot per window of successes."""
+        with self._cond:
+            self.limit = min(
+                self.max_limit, self.limit + self.increase / max(1.0, self.limit)
+            )
+            self._cond.notify()
+
+    def on_overloaded(self) -> None:
+        """Multiplicative decrease on a shed."""
+        with self._cond:
+            self.limit = max(self.min_limit, self.limit * self.decrease)
+            self.decreases += 1
+
+    def as_dict(self) -> dict:
+        with self._cond:
+            return {
+                "limit": round(self.limit, 2),
+                "in_flight": self.in_flight,
+                "acquired": self.acquired,
+                "acquire_timeouts": self.acquire_timeouts,
+                "decreases": self.decreases,
+            }
+
+
 class RetryingClient:
     """A reconnecting, retrying, deadline-bound service client.
 
@@ -165,16 +246,22 @@ class RetryingClient:
         *,
         policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        limiter: AIMDLimiter | None = None,
         seed: int | None = None,
     ):
         self.host = host
         self.port = port
         self.policy = policy or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
+        #: Optional shared AIMD window; when set, every logical
+        #: operation holds one slot for its whole duration and the
+        #: window reacts to ``overloaded`` sheds / successes.
+        self.limiter = limiter
         self._rng = random.Random(seed)
         self._client: ServiceClient | None = None
         self.retries = 0
         self.reconnects = 0
+        self.sheds_seen = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -219,6 +306,33 @@ class RetryingClient:
         deadline_ts = time.monotonic() + (
             deadline if deadline is not None else policy.op_deadline
         )
+        if self.limiter is not None:
+            if not self.limiter.acquire(
+                timeout=max(0.0, deadline_ts - time.monotonic())
+            ):
+                raise ServiceTimeoutError(
+                    f"operation {op!r} deadline exhausted waiting for an "
+                    f"AIMD concurrency slot"
+                )
+            try:
+                return self._request_attempts(
+                    op, args, idempotent=idempotent, deadline_ts=deadline_ts
+                )
+            finally:
+                self.limiter.release()
+        return self._request_attempts(
+            op, args, idempotent=idempotent, deadline_ts=deadline_ts
+        )
+
+    def _request_attempts(
+        self,
+        op: str,
+        args: dict | None,
+        *,
+        idempotent: bool,
+        deadline_ts: float,
+    ) -> dict:
+        policy = self.policy
         attempt = 0
         last_exc: Exception | None = None
         while True:
@@ -248,7 +362,23 @@ class RetryingClient:
                 else:
                     self._client.settimeout(min(policy.request_timeout, remaining))
                 sent = True  # past this point the request may have been applied
-                result = self._client.request(op, args)
+                # Stamp the attempt with whatever budget is left, so the
+                # server (and every hop behind it) stops working for this
+                # request the moment we would stop waiting for it.
+                budget_ms = max(
+                    1.0, (deadline_ts - time.monotonic()) * 1000.0
+                )
+                result = self._client.request(op, args, deadline_ms=budget_ms)
+            except OverloadedError as exc:
+                # A request-level shed: the server is healthy, answered
+                # typed, and provably dispatched nothing — safe to
+                # resend even for non-idempotent ops.  Feeds the AIMD
+                # window instead of the circuit breaker (the server
+                # spoke; it is not down).
+                self.sheds_seen += 1
+                if self.limiter is not None:
+                    self.limiter.on_overloaded()
+                caught, retryable = exc, True
             except ServiceTimeoutError as exc:
                 self._note_failure(exc)
                 caught, retryable = exc, idempotent or not sent
@@ -270,14 +400,19 @@ class RetryingClient:
                 caught, retryable = exc, idempotent or not sent
             else:
                 self.breaker.record_success()
+                if self.limiter is not None:
+                    self.limiter.on_success()
                 return result
             last_exc = caught
             if not retryable or attempt >= policy.max_attempts:
                 raise caught
-            pause = min(
-                policy.backoff(attempt, self._rng),
-                max(0.0, deadline_ts - time.monotonic()),
-            )
+            pause = policy.backoff(attempt, self._rng)
+            retry_after = getattr(caught, "retry_after", None)
+            if retry_after:
+                # The server's own capacity estimate is a *floor* on the
+                # backoff, never a ceiling.
+                pause = max(pause, float(retry_after))
+            pause = min(pause, max(0.0, deadline_ts - time.monotonic()))
             if pause:
                 time.sleep(pause)
             self.retries += 1

@@ -16,6 +16,21 @@ capped exponential backoff with jitter, bounded attempts), the same
 transport failures and transient error frames retry for idempotent
 operations, definitive answers never do.
 
+Overload handling (PR 9): the router is itself served by a
+:class:`PatternServer`, so it inherits admission control and brownout
+for free; what this module adds is *propagation*.  A client-stamped
+``deadline_ms`` survives the extra hop — the server parks the live
+budget in :data:`~repro.service.protocol.CURRENT_DEADLINE` and every
+:class:`ShardLink` re-stamps the *remaining* budget onto its shard
+frames, refusing to dial at all once it has expired (an expired request
+provably spawns zero shard-side work).  And a shard that sheds with a
+typed ``overloaded`` error is *healthy*, just saturated: the link does
+not trip its breaker or fail over to the follower — instead the whole
+fan-out is cancelled promptly and the router answers with its own typed
+``overloaded`` carrying the largest shard ``retry_after``, so one
+saturated shard cannot make the others burn work that will be thrown
+away.
+
 Failure handling (the "never a hang" contract): every fan-out runs
 under the per-shard deadline; a shard that stays unreachable past its
 retries fails over to its configured follower for reads (PR 6
@@ -40,6 +55,7 @@ from repro.errors import (
     CircuitOpenError,
     ConfigurationError,
     ConnectionClosedError,
+    OverloadedError,
     PartialResultError,
     ReproError,
     ServiceError,
@@ -49,6 +65,7 @@ from repro.errors import (
 from repro.service.cache import canonical_itemset
 from repro.service.handlers import MAX_RETAINED_JOBS, LatencyHistogram, _itemset_arg
 from repro.service.protocol import (
+    CURRENT_DEADLINE,
     ERR_BAD_REQUEST,
     ERR_QUERY,
     read_frame,
@@ -148,6 +165,9 @@ class ShardLink:
         self._next_id = 1
         self.retries = 0
         self.reconnects = 0
+        #: Requests refused before dialling because the propagated
+        #: deadline had already expired — the zero-orphaned-work proof.
+        self.deadline_preempts = 0
 
     @property
     def address(self) -> str:
@@ -174,9 +194,17 @@ class ShardLink:
     async def _roundtrip(self, op: str, args: dict) -> dict:
         request_id = self._next_id
         self._next_id += 1
-        await write_frame(
-            self._writer, {"id": request_id, "op": op, "args": args}
-        )
+        frame: dict = {"id": request_id, "op": op, "args": args}
+        budget = CURRENT_DEADLINE.get()
+        if budget is not None:
+            # Re-stamp the *remaining* budget so the shard enforces the
+            # same wall-clock deadline the client asked for, minus the
+            # hops already spent.  The floor keeps an almost-expired
+            # request parseable; the shard's own pre-dispatch check
+            # refuses it there if the last millisecond runs out in
+            # flight.
+            frame["deadline_ms"] = max(budget.remaining_ms, 1.0)
+        await write_frame(self._writer, frame)
         payload = await read_frame(self._reader)
         if payload is None:
             raise ConnectionClosedError("connection closed between frames")
@@ -193,10 +221,11 @@ class ShardLink:
                 )
             return result
         error = payload.get("error") or {}
-        raise ServiceError(
-            error.get("message", "unspecified server error"),
-            error_type=error.get("type", "internal"),
-        )
+        message = error.get("message", "unspecified server error")
+        error_type = error.get("type", "internal")
+        if error_type == "overloaded":
+            raise OverloadedError(message, retry_after=error.get("retry_after"))
+        raise ServiceError(message, error_type=error_type)
 
     async def request(
         self,
@@ -227,6 +256,12 @@ class ShardLink:
         deadline_ts = time.monotonic() + (
             deadline if deadline is not None else policy.op_deadline
         )
+        budget = CURRENT_DEADLINE.get()
+        if budget is not None:
+            # The propagated client budget caps the policy deadline:
+            # retrying a shard past the point where the original caller
+            # is gone is pure waste.
+            deadline_ts = min(deadline_ts, budget.expires_at)
         attempt = 0
         last_exc: Exception | None = None
         while True:
@@ -237,6 +272,14 @@ class ShardLink:
                 )
             remaining = deadline_ts - time.monotonic()
             if remaining <= 0:
+                if budget is not None and budget.expired:
+                    # Refused before any dial or frame: an expired
+                    # request spawns no shard-side work at all.
+                    self.deadline_preempts += 1
+                    raise ServiceTimeoutError(
+                        f"propagated deadline expired before contacting "
+                        f"{self.address}; the shard was never asked"
+                    ) from last_exc
                 raise ServiceTimeoutError(
                     f"operation {op!r} deadline exhausted after "
                     f"{attempt} attempt(s) against {self.address}"
@@ -254,6 +297,13 @@ class ShardLink:
                         self._roundtrip(op, args or {}),
                         timeout=min(attempt_ceiling, remaining),
                     )
+            except asyncio.CancelledError:
+                # Cancelled mid-roundtrip (fan-out shed, expired caller):
+                # a request frame may be on the wire with its response
+                # unread, which would desync the strictly-serialised
+                # connection — drop it so the next request redials clean.
+                self.close()
+                raise
             except asyncio.TimeoutError:
                 self._note_failure()
                 caught: Exception = ServiceTimeoutError(
@@ -263,6 +313,14 @@ class ShardLink:
             except ServiceTimeoutError as exc:
                 self._note_failure()
                 caught, retryable = exc, idempotent or not sent
+            except OverloadedError:
+                # A shed is a definitive, healthy answer ("not now"):
+                # nothing was dispatched shard-side, the connection is
+                # still in protocol sync, and the breaker must not trip
+                # — the fan-out layer decides whether to shed the whole
+                # request or let the client's retry_after backoff work.
+                self.breaker.record_success()
+                raise
             except ServiceError as exc:
                 if exc.error_type == "protocol":
                     self._note_failure()
@@ -301,6 +359,7 @@ class ShardLink:
             "breaker": self.breaker.as_dict(),
             "retries": self.retries,
             "reconnects": self.reconnects,
+            "deadline_preempts": self.deadline_preempts,
         }
 
 
@@ -377,11 +436,17 @@ def _is_unreachable(exc: Exception) -> bool:
 
     Transport-level failures, exhausted deadlines, an open breaker, and
     the transient wire errors — everything where the shard did *not*
-    give a definitive answer.
+    give a definitive answer.  A typed ``overloaded`` shed is
+    *excluded* even though clients retry it: the primary is alive and
+    answering, it just refused to queue more work — routing the load to
+    its follower would melt the replica a saturated primary is counting
+    on, so sheds propagate to the fan-out layer instead.
     """
     if isinstance(exc, (OSError, ServiceTimeoutError, CircuitOpenError)):
         return True
     if isinstance(exc, ServiceError):
+        if exc.error_type == "overloaded":
+            return False
         return (
             exc.error_type == "protocol"
             or exc.error_type in RETRYABLE_ERROR_TYPES
@@ -420,6 +485,13 @@ class ShardRouter:
         self.histograms: dict[str, LatencyHistogram] = {}
         self.fanout_latency: dict[str, LatencyHistogram] = {}
         self.request_counts: Counter = Counter()
+        #: Fan-outs abandoned because a required shard shed (typed
+        #: ``overloaded``): the router cancelled the other legs and
+        #: answered with the shard's ``retry_after``.
+        self.fanout_sheds = 0
+        #: Set by the server (PatternServer.__init__): the shared
+        #: AdmissionController guarding the router's own front door.
+        self.admission = None
         self.started_monotonic = time.monotonic()
         self._jobs: dict[str, RouterMineJob] = {}
         self._job_ids = itertools.count(1)
@@ -530,7 +602,11 @@ class ShardRouter:
 
     # -- dispatch ------------------------------------------------------------
 
-    async def handle(self, op: str, args: dict) -> dict:
+    async def handle(self, op: str, args: dict, deadline=None) -> dict:
+        # ``deadline`` is accepted for signature parity with
+        # PatternService; the live budget itself rides in the
+        # CURRENT_DEADLINE contextvar the server set, which every
+        # ShardLink in this task reads when stamping shard frames.
         handler = self._OPS.get(op)
         if handler is None:
             if op in UNROUTED_OPS:
@@ -643,12 +719,16 @@ class ShardRouter:
         """Run ``op`` on every shard concurrently; all-or-typed-error.
 
         Either every shard (or its follower) answered — the results come
-        back in shard order — or the request fails with ``partial``
-        naming the uncovered ranges.  Definitive shard errors propagate
-        as themselves (the first one encountered, in shard order).
+        back in shard order — or the request fails typed: ``partial``
+        naming the uncovered ranges, ``overloaded`` (carrying the
+        largest shard ``retry_after``) when any required shard shed, or
+        the definitive shard error itself.  The merge layers need every
+        shard's answer, so the first shed or definitive failure cancels
+        the still-pending legs promptly instead of letting them burn
+        work the caller can no longer use.
         """
-        outcomes = await asyncio.gather(
-            *(
+        tasks = [
+            asyncio.ensure_future(
                 self._shard_request(
                     state,
                     op,
@@ -656,19 +736,51 @@ class ShardRouter:
                     deadline=deadline,
                     request_timeout=request_timeout,
                 )
-                for state in self.shards
-            ),
-            return_exceptions=True,
-        )
-        failures: list[ShardUnavailableError] = []
-        for outcome in outcomes:
-            if isinstance(outcome, ShardUnavailableError):
-                failures.append(outcome)
-            elif isinstance(outcome, BaseException):
-                raise outcome
+            )
+            for state in self.shards
+        ]
+        index_of = {task: index for index, task in enumerate(tasks)}
+        results: list[dict | None] = [None] * len(tasks)
+        failures: list[tuple[int, ShardUnavailableError]] = []
+        overload: OverloadedError | None = None
+        definitive: tuple[int, BaseException] | None = None
+        pending = set(tasks)
+        try:
+            while pending and overload is None and definitive is None:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    index = index_of[task]
+                    exc = task.exception()
+                    if exc is None:
+                        results[index] = task.result()
+                    elif isinstance(exc, OverloadedError):
+                        if overload is None or (exc.retry_after or 0.0) > (
+                            overload.retry_after or 0.0
+                        ):
+                            overload = exc
+                    elif isinstance(exc, ShardUnavailableError):
+                        failures.append((index, exc))
+                    elif definitive is None or index < definitive[0]:
+                        definitive = (index, exc)
+        finally:
+            if pending:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+        if overload is not None:
+            self.fanout_sheds += 1
+            raise OverloadedError(
+                f"fan-out for {op!r} shed: a required shard is overloaded "
+                f"({overload}); the remaining legs were cancelled",
+                retry_after=overload.retry_after,
+            ) from overload
+        if definitive is not None:
+            raise definitive[1]
         if failures:
-            self._raise_partial(failures)
-        return outcomes
+            self._raise_partial([exc for _, exc in sorted(failures)])
+        return results
 
     def _router_epoch(self) -> int:
         self._epoch_high = max(
@@ -797,6 +909,11 @@ class ShardRouter:
         return {"job_id": job.id, "epoch": job.submitted_epoch}
 
     async def _run_mine_job(self, job: RouterMineJob) -> None:
+        # The submitting request's budget only covered the *submission*;
+        # this background task inherited a copy of its context, so shed
+        # the stale deadline or every shard poll would be stamped with a
+        # budget that expires seconds into a minutes-long mine.
+        CURRENT_DEADLINE.set(None)
         job.state = "running"
         started = time.perf_counter()
         try:
@@ -1061,7 +1178,7 @@ class ShardRouter:
     async def _op_status(self, args: dict) -> dict:
         rows, unreachable = await self._shard_overview()
         states = Counter(job.state for job in self._jobs.values())
-        return {
+        payload = {
             "router": True,
             "n_transactions": sum(row["n_transactions"] for row in rows),
             "epoch": self._router_epoch(),
@@ -1072,11 +1189,23 @@ class ShardRouter:
             "shards": rows,
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "jobs": dict(states),
+            "fanout_sheds": self.fanout_sheds,
         }
+        if self.admission is not None:
+            snapshot = self.admission.as_dict()
+            payload["load"] = {
+                "state": snapshot["brownout"]["state"],
+                "queued": {
+                    name: stats["queued"]
+                    for name, stats in snapshot["classes"].items()
+                },
+                "sheds_total": snapshot["sheds_total"],
+            }
+        return payload
 
     async def _op_metrics(self, args: dict) -> dict:
         rows, unreachable = await self._shard_overview()
-        return {
+        payload = {
             "router": True,
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "requests": dict(self.request_counts),
@@ -1092,7 +1221,12 @@ class ShardRouter:
             "unreachable_shards": unreachable,
             "mode": "ok" if unreachable == 0 else "partial",
             "shards": rows,
+            "fanout_sheds": self.fanout_sheds,
+            "links": [state.primary.as_dict() for state in self.shards],
         }
+        if self.admission is not None:
+            payload["overload"] = self.admission.as_dict()
+        return payload
 
     async def _op_health(self, args: dict) -> dict:
         rows, unreachable = await self._shard_overview()

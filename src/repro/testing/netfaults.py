@@ -16,6 +16,11 @@ scheduled fault class per accepted connection:
   response, then close: the client sees EOF mid-frame;
 * :class:`Blackhole` — accept and read, never answer: the client's
   read deadline is the only way out;
+* :class:`Stall` — the slow-loris: relay one frame at a trickle
+  (``bytes_per_second``), in either direction.  A stalled *response*
+  exercises the client's read deadline against a connection that is
+  alive but uselessly slow; a stalled *request* models a client that
+  dribbles its frame into the server byte by byte;
 * :class:`Passthrough` — forward faithfully (the default when the
   fault queue is empty, so retries against the same proxy succeed).
 
@@ -87,6 +92,23 @@ class TruncateResponse:
 @dataclass(frozen=True)
 class Blackhole:
     """Accept the connection and read requests, but never answer."""
+
+
+@dataclass(frozen=True)
+class Stall:
+    """Relay the first ``frames`` frames at a trickle (the slow-loris).
+
+    ``direction`` picks the victim: ``"response"`` stalls what the
+    client reads (a live-but-useless server), ``"request"`` stalls what
+    the server reads (a client dribbling its frame in).  Excluded from
+    :meth:`ChaosProxy.schedule_random` for the same reason as
+    :class:`Blackhole`: it only resolves through a peer's deadline.
+    """
+
+    bytes_per_second: float = 200.0
+    frames: int = 1
+    direction: str = "response"
+    chunk: int = 8
 
 
 class ChaosProxy:
@@ -266,7 +288,15 @@ class ChaosProxy:
                 request = self._read_raw_frame(client)
                 if request is None:
                     return
-                upstream.sendall(request)
+                if (
+                    isinstance(fault, Stall)
+                    and fault.direction == "request"
+                    and responses < fault.frames
+                ):
+                    self.faults_injected += 1
+                    self._trickle(upstream, request, fault)
+                else:
+                    upstream.sendall(request)
                 response = self._read_raw_frame(upstream)
                 if response is None:
                     return
@@ -288,13 +318,34 @@ class ChaosProxy:
                 if isinstance(fault, Delay) and responses <= fault.frames:
                     self.faults_injected += 1
                     time.sleep(fault.seconds)
-                client.sendall(response)
+                if (
+                    isinstance(fault, Stall)
+                    and fault.direction == "response"
+                    and responses <= fault.frames
+                ):
+                    self.faults_injected += 1
+                    self._trickle(client, response, fault)
+                else:
+                    client.sendall(response)
         except OSError:
             pass  # a torn relay is exactly the point
         finally:
             self._untrack(client)
             if upstream is not None:
                 self._untrack(upstream)
+
+    def _trickle(self, sock: socket.socket, data: bytes, fault: "Stall") -> None:
+        """Send ``data`` in ``fault.chunk``-byte dribbles at the stall rate.
+
+        Aborts early (silently) when the peer goes away or the proxy is
+        closing — a stalled peer giving up *is* the expected outcome.
+        """
+        pause = fault.chunk / max(fault.bytes_per_second, 1e-6)
+        for offset in range(0, len(data), fault.chunk):
+            if self._closing:
+                return
+            sock.sendall(data[offset : offset + fault.chunk])
+            time.sleep(pause)
 
     def _read_raw_frame(self, sock: socket.socket) -> bytes | None:
         """One whole frame (prefix + body) as raw bytes; None on EOF."""

@@ -90,7 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return configure_parser(
         argparse.ArgumentParser(
             prog="repro-mine lint",
-            description="AST-based invariant linter (rules RPR001-RPR007)",
+            description="AST-based invariant linter (rules RPR001-RPR011)",
         )
     )
 

@@ -768,6 +768,94 @@ class TestShardFanoutOutsideRouter:
 
 
 # ---------------------------------------------------------------------------
+# RPR011 — unbounded awaits in the serving layer
+
+
+class TestUnboundedAwaitInService:
+    PATH = "src/repro/service/fake.py"
+
+    def test_fires_on_bare_queue_get(self):
+        findings = check(
+            """
+            async def consume(queue):
+                return await queue.get()
+            """,
+            self.PATH,
+            "RPR011",
+        )
+        assert len(findings) == 1
+        assert "wait_for" in findings[0].message
+
+    def test_fires_on_bare_stream_read(self):
+        findings = check(
+            """
+            async def header(reader):
+                return await reader.readexactly(4)
+            """,
+            self.PATH,
+            "RPR011",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_bare_frame_write(self):
+        findings = check(
+            """
+            async def respond(writer, frame):
+                await write_frame(writer, frame)
+            """,
+            self.PATH,
+            "RPR011",
+        )
+        assert len(findings) == 1
+
+    def test_quiet_when_wrapped_in_wait_for(self):
+        assert not check(
+            """
+            import asyncio
+
+            async def consume(queue, budget):
+                return await asyncio.wait_for(queue.get(), timeout=budget)
+            """,
+            self.PATH,
+            "RPR011",
+        )
+
+    def test_quiet_on_asyncio_composition(self):
+        assert not check(
+            """
+            import asyncio
+
+            async def race(tasks):
+                return await asyncio.wait(
+                    tasks, return_when=asyncio.FIRST_COMPLETED
+                )
+            """,
+            self.PATH,
+            "RPR011",
+        )
+
+    def test_quiet_on_bounded_verbs(self):
+        assert not check(
+            """
+            async def fetch(client, op, args):
+                return await client.request(op, args)
+            """,
+            self.PATH,
+            "RPR011",
+        )
+
+    def test_scoped_to_the_service_layer(self):
+        assert not check(
+            """
+            async def consume(queue):
+                return await queue.get()
+            """,
+            "src/repro/core/fake.py",
+            "RPR011",
+        )
+
+
+# ---------------------------------------------------------------------------
 # Suppression
 
 

@@ -24,6 +24,7 @@ from repro.testing.netfaults import (
     Delay,
     DropResponse,
     ResetOnConnect,
+    Stall,
     TruncateResponse,
 )
 from tests.conftest import make_random_database
@@ -102,6 +103,43 @@ class TestFaultClasses:
         payload = client.count([1], exact=True)
         assert payload["exact"] == db.support([1])
         assert client.retries >= 1
+
+    def test_response_stall_times_out_then_recovers(self, chaos):
+        """The slow-loris server: a trickled response must resolve
+        through the client's own read timeout, then succeed on a fresh
+        (unfaulted) connection."""
+        db, service, proxy, client = chaos
+        client.policy = RetryPolicy(
+            max_attempts=3,
+            base_delay=0.02,
+            op_deadline=15.0,
+            request_timeout=0.4,
+            connect_timeout=1.0,
+        )
+        # 8-byte chunks at 8 B/s: a 1 s gap between dribbles, far past
+        # the 0.4 s read timeout — the pause must exceed the timeout
+        # because socket timeouts are per-recv, not per-frame.
+        proxy.schedule(Stall(bytes_per_second=8.0, chunk=8))
+        payload = client.count([4], exact=True)
+        assert payload["exact"] == db.support([4])
+        assert proxy.faults_injected == 1
+        assert client.retries >= 1
+        assert client.reconnects >= 1
+
+    def test_request_dribble_still_completes(self, chaos):
+        """A client trickling its frame in must not wedge the server:
+        the dribbled request completes and later requests are served
+        normally."""
+        db, service, proxy, client = chaos
+        proxy.schedule(
+            Stall(direction="request", bytes_per_second=200.0, chunk=8)
+        )
+        payload = client.count([6], exact=True)
+        assert payload["exact"] == db.support([6])
+        assert proxy.faults_injected == 1
+        assert client.retries == 0
+        # The next request on the same connection is back to full speed.
+        assert client.count([2], exact=True)["exact"] == db.support([2])
 
     def test_blackhole_exhausts_deadline_when_permanent(self, chaos):
         db, service, proxy, client = chaos
