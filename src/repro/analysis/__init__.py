@@ -13,7 +13,20 @@ RPR004      shared-index mutation outside event-loop serialisation
 RPR005      set iteration feeding worker partitioning (nondeterminism)
 RPR006      broad excepts that swallow without re-raise or record
 RPR007      arithmetic that could turn an over-estimate into an under-estimate
+RPR008      journal writes outside the replication log funnel
+RPR009      process pools spawned outside ``core/pool.py``
+RPR010      shard dial sites outside the router/client
+RPR011      unbounded awaits on serving paths
+RPR012      shared-state read/await/mutate interleavings (flow)
+RPR013      response frames reachable before the fsync barrier (flow)
+RPR014      pool/shared-memory lifecycle leaks (flow)
+RPR015      outbound dials not dominated by a deadline stamp (flow)
 ==========  =============================================================
+
+The RPR012-RPR015 rules are *flow-sensitive*: they run on per-function
+CFGs, a repo call graph, dominators and reaching definitions from
+``repro.analysis.flow`` (see docs/static_analysis.md, "The flow
+engine").
 
 Run it with ``python -m repro.tools.lint src tests`` or
 ``repro-mine lint``; see ``docs/static_analysis.md`` for the rule
@@ -22,8 +35,10 @@ catalog, suppression syntax, and the baseline workflow.
 
 from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
 from repro.analysis.engine import (
+    FlowRule,
     ModuleContext,
     Rule,
+    analyze_modules,
     analyze_paths,
     analyze_source,
 )
@@ -36,8 +51,10 @@ __all__ = [
     "BaselineEntry",
     "BaselineError",
     "Finding",
+    "FlowRule",
     "ModuleContext",
     "Rule",
+    "analyze_modules",
     "analyze_paths",
     "analyze_source",
     "render",

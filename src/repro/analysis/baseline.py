@@ -56,7 +56,7 @@ class BaselineResult:
 class Baseline:
     """A loaded set of accepted findings."""
 
-    def __init__(self, entries: list[BaselineEntry]):
+    def __init__(self, entries: list[BaselineEntry]) -> None:
         self.entries = entries
 
     @classmethod

@@ -15,6 +15,12 @@ Suppression syntax, matched per reported line::
 
     time.sleep(0.1)  # repro: noqa(RPR002) -- justification
     anything()       # repro: noqa         -- suppresses every rule
+
+A noqa anywhere on a *multi-line logical statement* — a parenthesised
+continuation, or the decorator/signature lines of a decorated ``def`` —
+covers the whole statement, so the comment can live on whichever
+physical line fits (a finding is always reported at the statement's
+first line, which is not necessarily where the comment reads best).
 """
 
 from __future__ import annotations
@@ -22,9 +28,12 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (lazy at runtime)
+    from repro.analysis.flow.program import ProgramContext
 
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?:\(\s*(?P<rules>[A-Z0-9,\s]+?)\s*\))?"
@@ -65,10 +74,33 @@ class Rule:
         )
 
 
+class FlowRule(Rule):
+    """A rule that needs the whole-scan flow view (CFGs, call graph).
+
+    Flow rules implement :meth:`check_flow` instead of :meth:`check`;
+    the engine builds one :class:`~repro.analysis.flow.program.ProgramContext`
+    per scan and hands it to every flow rule alongside each module, so
+    interprocedural facts (the call graph, transitive summaries) are
+    computed once.  ``check`` still works — it wraps the module in a
+    single-module program — so fixture tests drive flow rules through
+    :func:`analyze_source` exactly like syntactic ones.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        from repro.analysis.flow.program import ProgramContext
+
+        yield from self.check_flow(ProgramContext([ctx]), ctx)
+
+    def check_flow(
+        self, program: "ProgramContext", ctx: "ModuleContext"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 class ModuleContext:
     """Everything a rule needs about one parsed module."""
 
-    def __init__(self, rel_path: str, source: str):
+    def __init__(self, rel_path: str, source: str) -> None:
         self.rel_path = rel_path.replace("\\", "/")
         self.source = source
         self.lines = source.splitlines()
@@ -153,7 +185,57 @@ class ModuleContext:
                 table[lineno] = {
                     piece.strip() for piece in rules.split(",") if piece.strip()
                 }
-        return table
+        return self._spread_noqa_over_statements(table)
+
+    def _statement_spans(self) -> Iterator[tuple[int, int]]:
+        """Physical line ranges of each logical statement: the full span
+        for simple statements, the decorator+header lines for compound
+        ones (their bodies are separate statements)."""
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            for decorator in getattr(node, "decorator_list", ()):
+                start = min(start, decorator.lineno)
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                end = max(start, body[0].lineno - 1)
+            else:
+                end = getattr(node, "end_lineno", None) or node.lineno
+            if end > start:
+                yield start, end
+
+    def _spread_noqa_over_statements(
+        self, table: dict[int, set[str] | None]
+    ) -> dict[int, set[str] | None]:
+        """A noqa on *any* physical line of a multi-line statement
+        suppresses findings reported on every line of that statement —
+        a decorated def's finding lands on the ``def`` line but the
+        comment may only fit on the decorator or closing-paren line."""
+        if not table:
+            return table
+        spread: dict[int, set[str] | None] = dict(table)
+        for start, end in self._statement_spans():
+            hits = [
+                table[line] for line in range(start, end + 1) if line in table
+            ]
+            if not hits:
+                continue
+            merged: set[str] | None
+            if any(hit is None for hit in hits):
+                merged = None
+            else:
+                merged = set()
+                for hit in hits:
+                    merged |= hit  # type: ignore[arg-type]
+            for line in range(start, end + 1):
+                if merged is None:
+                    spread[line] = None
+                    continue
+                existing = spread.get(line, set())
+                if existing is not None:
+                    spread[line] = set(existing) | merged
+        return spread
 
     def suppressed(self, finding: Finding) -> bool:
         rules = self._noqa.get(finding.line, ())
@@ -189,19 +271,42 @@ def call_name(call: ast.Call) -> str:
     return ""
 
 
+def analyze_modules(
+    contexts: list[ModuleContext], rules: Iterable[Rule]
+) -> list[Finding]:
+    """Run ``rules`` over parsed modules; noqa applied, unsorted.
+
+    Syntactic rules see one module at a time; flow rules additionally
+    share a single :class:`~repro.analysis.flow.program.ProgramContext`
+    spanning every module of the scan, so call edges resolve across
+    files and interprocedural summaries are computed once.
+    """
+    rules = list(rules)
+    program: "ProgramContext" | None = None
+    if any(isinstance(rule, FlowRule) for rule in rules):
+        from repro.analysis.flow.program import ProgramContext
+
+        program = ProgramContext(contexts)
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            if isinstance(rule, FlowRule) and program is not None:
+                produced = rule.check_flow(program, ctx)
+            else:
+                produced = rule.check(ctx)
+            for finding in produced:
+                if not ctx.suppressed(finding):
+                    findings.append(finding)
+    return findings
+
+
 def analyze_source(
     source: str, rel_path: str, rules: Iterable[Rule]
 ) -> list[Finding]:
     """Run ``rules`` over one module's source; noqa already applied."""
-    ctx = ModuleContext(rel_path, source)
-    findings: list[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding):
-                findings.append(finding)
-    return findings
+    return analyze_modules([ModuleContext(rel_path, source)], rules)
 
 
 def iter_python_files(paths: Iterable[str | Path], root: Path) -> Iterator[Path]:
@@ -239,7 +344,7 @@ def analyze_paths(
     """
     root_path = Path(root) if root is not None else Path.cwd()
     rules = list(rules)
-    findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
     skipped: list[str] = []
     for path in iter_python_files(paths, root_path):
         try:
@@ -252,7 +357,8 @@ def analyze_paths(
         except ValueError:
             rel = path.as_posix()
         try:
-            findings.extend(analyze_source(source, rel, rules))
+            contexts.append(ModuleContext(rel, source))
         except SyntaxError as exc:
             skipped.append(f"{rel}: syntax error: {exc}")
+    findings = analyze_modules(contexts, rules)
     return sorted(findings, key=Finding.sort_key), skipped

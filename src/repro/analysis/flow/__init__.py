@@ -1,0 +1,36 @@
+"""Flow-sensitive analysis: CFGs, call graph, dataflow solver.
+
+The per-module AST rules (RPR001-011) are syntactic: they match shapes.
+The flow layer adds the machinery to reason about *orderings* — whether
+an ACK is reachable before its fsync barrier, whether a check-then-act
+is split by an await, whether a deadline guard dominates a dial — by
+building per-function control-flow graphs with explicit await-point and
+exception-edge nodes (:mod:`~repro.analysis.flow.cfg`), an
+import-resolving intra-repo call graph
+(:mod:`~repro.analysis.flow.callgraph`), and a worklist dataflow solver
+(:mod:`~repro.analysis.flow.dataflow`).  :class:`ProgramContext`
+(:mod:`~repro.analysis.flow.program`) ties them together and caches the
+artefacts for one whole-tree scan.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.dataflow import (
+    dominators,
+    reaching_definitions,
+    solve_forward,
+)
+from repro.analysis.flow.program import ProgramContext
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "ProgramContext",
+    "build_cfg",
+    "dominators",
+    "reaching_definitions",
+    "solve_forward",
+]

@@ -1,0 +1,266 @@
+"""An import-resolving call graph over the modules of one scan.
+
+Resolution is intentionally *intra-repo and static*: a call edge exists
+only when the callee can be pinned to a function defined in a scanned
+module — a bare name defined at module level or imported via
+``from m import f``, a ``self.``/``cls.`` method on the enclosing class,
+or a ``mod.f`` attribute on an imported module.  Dynamic dispatch
+(``self._OPS[op](...)``, callbacks, duck-typed receivers) resolves to
+nothing, which keeps the graph an *under*-approximation: rules that
+propagate a property along call edges ("this helper mutates the index")
+may miss exotic call paths but never invent one.
+
+Function ids are ``"<rel_path>::<dotted qualname>"``, matching the
+``symbol`` field of findings so a rule can turn a graph node back into
+a reportable location.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.analysis.engine import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.analysis.engine import ModuleContext
+
+
+class FunctionInfo:
+    """One function (or method) defined in a scanned module."""
+
+    def __init__(
+        self,
+        fid: str,
+        ctx: "ModuleContext",
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+    ):
+        self.fid = fid
+        self.ctx = ctx
+        self.node = node
+        self.qualname = qualname
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.fid}>"
+
+
+def module_name_of(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/service/handlers.py`` -> ``repro.service.handlers``;
+    package ``__init__.py`` files name the package itself.  Fixture
+    paths without a ``src/`` prefix resolve the same way, so tests can
+    exercise cross-module edges with short paths.
+    """
+    parts = rel_path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts)
+
+
+class CallGraph:
+    """Call edges between functions defined in the scanned modules."""
+
+    def __init__(self, modules: Iterable["ModuleContext"]) -> None:
+        self.modules: dict[str, "ModuleContext"] = {
+            ctx.rel_path: ctx for ctx in modules
+        }
+        #: dotted module name -> rel_path (first writer wins; duplicate
+        #: short fixture names are a test-only concern).
+        self._module_paths: dict[str, str] = {}
+        for rel_path in self.modules:
+            self._module_paths.setdefault(module_name_of(rel_path), rel_path)
+        self.functions: dict[str, FunctionInfo] = {}
+        #: per (rel_path, qualname) -> fid, for call resolution.
+        self._by_qualname: dict[tuple[str, str], str] = {}
+        #: per module: imported name -> (module name, attr or None).
+        self._imports: dict[str, dict[str, tuple[str, str | None]]] = {}
+        for ctx in self.modules.values():
+            self._index_module(ctx)
+        self._callees: dict[str, set[str]] = {}
+        self._callers: dict[str, set[str]] = {}
+        for info in self.functions.values():
+            self._link_calls(info)
+
+    # -- indexing ------------------------------------------------------------
+
+    def _index_module(self, ctx: "ModuleContext") -> None:
+        for func in ctx.functions():
+            qualname = ctx.symbol_of(func)
+            fid = f"{ctx.rel_path}::{qualname}"
+            self.functions[fid] = FunctionInfo(fid, ctx, func, qualname)
+            self._by_qualname.setdefault((ctx.rel_path, qualname), fid)
+        table: dict[str, tuple[str, str | None]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    table[bound] = (target, None)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = module_name_of(ctx.rel_path).split(".")
+                    # level=1 is the current package for a module file.
+                    keep = len(prefix_parts) - node.level
+                    prefix = ".".join(prefix_parts[:keep]) if keep > 0 else ""
+                    base = f"{prefix}.{base}".strip(".") if base else prefix
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    table[bound] = (base, alias.name)
+        self._imports[ctx.rel_path] = table
+
+    # -- resolution ----------------------------------------------------------
+
+    def _function_in_module(self, rel_path: str, qualname: str) -> str | None:
+        return self._by_qualname.get((rel_path, qualname))
+
+    def _resolve_imported(
+        self, rel_path: str, name: str
+    ) -> tuple[str, str] | None:
+        """An imported ``name`` in ``rel_path`` -> ``(module rel_path,
+        qualname)`` when it lands on a scanned module's function (or a
+        whole scanned module, qualname ``""``)."""
+        binding = self._imports.get(rel_path, {}).get(name)
+        if binding is None:
+            return None
+        module, attr = binding
+        if attr is None:
+            target = self._module_paths.get(module)
+            return (target, "") if target is not None else None
+        target = self._module_paths.get(module)
+        if target is not None:
+            return (target, attr)
+        # ``from a.b import c`` where c is itself a scanned module.
+        submodule = self._module_paths.get(f"{module}.{attr}")
+        if submodule is not None:
+            return (submodule, "")
+        return None
+
+    def _enclosing_class(
+        self, ctx: "ModuleContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> ast.ClassDef | None:
+        for ancestor in ctx.ancestors(func):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+        return None
+
+    def resolve_call(
+        self,
+        ctx: "ModuleContext",
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        call: ast.Call,
+    ) -> str | None:
+        """The fid ``call`` lands on, when statically pinnable."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            local = self._function_in_module(ctx.rel_path, target.id)
+            if local is not None:
+                return local
+            imported = self._resolve_imported(ctx.rel_path, target.id)
+            if imported is not None and imported[1]:
+                return self._function_in_module(imported[0], imported[1])
+            return None
+        if not isinstance(target, ast.Attribute):
+            return None
+        chain = dotted_name(target)
+        if not chain or chain.startswith("()"):
+            return None
+        parts = chain.split(".")
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            cls = self._enclosing_class(ctx, func)
+            if cls is not None:
+                return self._function_in_module(
+                    ctx.rel_path, f"{cls.name}.{parts[1]}"
+                )
+            return None
+        # ``mod.f(...)`` where ``mod`` is an imported module (possibly
+        # reached through more dotted components: ``import a`` followed
+        # by ``a.b.f()``).
+        imported = self._resolve_imported(ctx.rel_path, parts[0])
+        if imported is None:
+            return None
+        rel_path, attr = imported
+        if attr:
+            # ``from m import f`` then ``f.x(...)``: an attribute on an
+            # imported function — not statically pinnable.
+            return None
+        module = module_name_of(rel_path)
+        consumed = 1
+        while (
+            len(parts) > consumed + 1
+            and f"{module}.{parts[consumed]}" in self._module_paths
+        ):
+            module = f"{module}.{parts[consumed]}"
+            rel_path = self._module_paths[module]
+            consumed += 1
+        qualname = ".".join(parts[consumed:])
+        if not qualname:
+            return None
+        return self._function_in_module(rel_path, qualname)
+
+    # -- edges ---------------------------------------------------------------
+
+    def _link_calls(self, info: FunctionInfo) -> None:
+        callees = self._callees.setdefault(info.fid, set())
+        for node in info.ctx.body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self.resolve_call(info.ctx, info.node, node)
+            if target is None or target == info.fid:
+                continue
+            callees.add(target)
+            self._callers.setdefault(target, set()).add(info.fid)
+
+    def callees(self, fid: str) -> set[str]:
+        return set(self._callees.get(fid, ()))
+
+    def callers(self, fid: str) -> set[str]:
+        return set(self._callers.get(fid, ()))
+
+    def call_sites(
+        self, info: FunctionInfo
+    ) -> Iterator[tuple[ast.Call, str]]:
+        """``(call node, callee fid)`` for every resolved call in
+        ``info``'s own body."""
+        for node in info.ctx.body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call(info.ctx, info.node, node)
+                if target is not None:
+                    yield node, target
+
+    def function_of(
+        self, ctx: "ModuleContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> FunctionInfo | None:
+        return self.functions.get(f"{ctx.rel_path}::{ctx.symbol_of(func)}")
+
+    def transitive(
+        self, direct: Callable[[FunctionInfo], bool]
+    ) -> set[str]:
+        """Fids with a property, closed over call edges: a function has
+        it if ``direct`` says so, or if any (resolved) callee has it."""
+        have: set[str] = {
+            fid for fid, info in self.functions.items() if direct(info)
+        }
+        work = list(have)
+        while work:
+            fid = work.pop()
+            for caller in self._callers.get(fid, ()):
+                if caller not in have:
+                    have.add(caller)
+                    work.append(caller)
+        return have

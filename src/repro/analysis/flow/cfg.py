@@ -1,0 +1,491 @@
+"""Per-function control-flow graphs with await and exception edges.
+
+One :func:`build_cfg` call turns a ``def`` / ``async def`` AST node into
+a statement-level CFG.  Two node kinds beyond plain statements matter to
+the flow rules:
+
+* ``await`` nodes — inserted *before* any statement whose evaluation
+  suspends (an ``ast.Await`` in its own expressions, or the implicit
+  suspension of ``async for`` / ``async with`` headers).  A path that
+  crosses an await node crosses a point where other event-loop tasks
+  run — the interleaving hazard RPR012 looks for.
+* exception edges (kind ``"exc"``) — from every statement that may
+  raise (calls, awaits, ``raise``, ``assert``) to the enclosing
+  handler chain, or to the dedicated ``raise`` exit when nothing
+  catches.  "Reachable on any path *including exception edges*" is the
+  obligation RPR013/RPR014 check.
+
+The graph is deliberately conservative where precision is cheap to lose:
+context managers are assumed not to swallow exceptions, ``finally``
+blocks are entered from both normal and exceptional flow and re-raise
+outward, and a ``match`` with no wildcard keeps its fall-through edge.
+
+Reachability queries treat *blocked* nodes with edge semantics: a path
+may still leave a blocked node along an exception edge (the barrier /
+release call that raises did **not** take effect) but never along a
+normal flow edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+#: Edge kinds.
+FLOW = "flow"
+EXC = "exc"
+
+#: Statement parts that belong to the *header* of a compound statement
+#: (the part the statement's own CFG node models; bodies get their own
+#: nodes).
+_HEADER_FIELDS: dict[type, tuple[str, ...]] = {
+    ast.If: ("test",),
+    ast.While: ("test",),
+    ast.For: ("target", "iter"),
+    ast.AsyncFor: ("target", "iter"),
+    ast.With: ("items",),
+    ast.AsyncWith: ("items",),
+    ast.Try: (),
+    ast.Match: ("subject",),
+    # A nested def/class statement only evaluates its decorators (and
+    # defaults) when executed; the body belongs to another function.
+    ast.FunctionDef: ("decorator_list",),
+    ast.AsyncFunctionDef: ("decorator_list",),
+    ast.ClassDef: ("decorator_list", "bases", "keywords"),
+    # An except clause's own node models the match test; its body
+    # statements carry their own CFG nodes.
+    ast.ExceptHandler: ("type",),
+}
+
+
+@dataclass
+class CFGNode:
+    """One vertex: a statement, an await point, or a synthetic marker."""
+
+    idx: int
+    kind: str  # "entry" | "exit" | "raise" | "stmt" | "await" | "except" | "finally"
+    stmt: ast.AST | None = None
+    awaits: tuple[ast.expr, ...] = ()
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" line {self.lineno}" if self.stmt is not None else ""
+        return f"<CFGNode {self.idx} {self.kind}{where}>"
+
+
+class CFG:
+    """A statement-level control-flow graph for one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self._succ: list[list[tuple[int, str]]] = []
+        self._pred: list[list[tuple[int, str]]] = []
+        self.entry = self._add("entry")
+        self.exit = self._add("exit")
+        #: Exceptional exit: an uncaught exception leaves through here,
+        #: distinct from ``exit`` so rules can tell a return path from a
+        #: propagating-raise path.
+        self.raise_exit = self._add("raise")
+        self._by_stmt: dict[int, int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def _add(
+        self,
+        kind: str,
+        stmt: ast.AST | None = None,
+        awaits: tuple[ast.expr, ...] = (),
+    ) -> int:
+        node = CFGNode(len(self.nodes), kind, stmt, awaits)
+        self.nodes.append(node)
+        self._succ.append([])
+        self._pred.append([])
+        if stmt is not None and kind in ("stmt", "except"):
+            self._by_stmt.setdefault(id(stmt), node.idx)
+        return node.idx
+
+    def _edge(self, src: int, dst: int, kind: str = FLOW) -> None:
+        if (dst, kind) not in self._succ[src]:
+            self._succ[src].append((dst, kind))
+            self._pred[dst].append((src, kind))
+
+    # -- queries -------------------------------------------------------------
+
+    def successors(self, idx: int) -> list[tuple[int, str]]:
+        return list(self._succ[idx])
+
+    def predecessors(self, idx: int) -> list[tuple[int, str]]:
+        return list(self._pred[idx])
+
+    def node_of(self, stmt: ast.AST) -> int | None:
+        """The node index modelling ``stmt``'s execution, if any."""
+        return self._by_stmt.get(id(stmt))
+
+    def await_nodes(self) -> list[int]:
+        return [n.idx for n in self.nodes if n.kind == "await"]
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.kind in ("stmt", "except"):
+                yield node
+
+    def exit_nodes(self) -> tuple[int, int]:
+        return (self.exit, self.raise_exit)
+
+    def reachable_from(
+        self,
+        starts: Iterable[int],
+        *,
+        blocked: Callable[[int], bool] | None = None,
+        enter_starts: bool = True,
+        exc_escapes_blocked: bool = True,
+    ) -> set[int]:
+        """Nodes reachable from ``starts`` (exclusive of the starts
+        themselves unless re-entered through a cycle).
+
+        ``blocked`` marks nodes whose *successful completion* stops the
+        path.  With ``exc_escapes_blocked`` true (the default), their
+        exception successors are still expanded — a barrier that raises
+        did not act as a barrier.  With it false, merely *reaching* the
+        blocked node satisfies it — the semantics for a best-effort
+        release, which counts even if the close itself blows up.  When
+        ``enter_starts`` is false the start nodes' own blocked-ness is
+        ignored (useful when the start *is* e.g. the acquisition
+        statement itself).
+        """
+
+        def expand(idx: int, honour_block: bool) -> Iterator[tuple[int, str]]:
+            is_blocked = (
+                honour_block and blocked is not None and blocked(idx)
+            )
+            for dst, kind in self._succ[idx]:
+                if is_blocked and (kind != EXC or not exc_escapes_blocked):
+                    continue
+                yield dst, kind
+
+        seen: set[int] = set()
+        queue: deque[int] = deque()
+        for start in starts:
+            for dst, _kind in expand(start, enter_starts):
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        while queue:
+            current = queue.popleft()
+            for dst, _kind in expand(current, True):
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return seen
+
+    def reaches(
+        self,
+        src: int,
+        dst: int,
+        *,
+        blocked: Callable[[int], bool] | None = None,
+        exc_escapes_blocked: bool = True,
+    ) -> bool:
+        """Whether a path ``src -> dst`` exists that never *completes* a
+        blocked node (see :meth:`reachable_from` for edge semantics)."""
+        return dst in self.reachable_from(
+            [src],
+            blocked=blocked,
+            enter_starts=False,
+            exc_escapes_blocked=exc_escapes_blocked,
+        )
+
+
+def _catches_all(handler: ast.ExceptHandler) -> bool:
+    """Whether the clause matches every exception (``except:`` or
+    ``except BaseException:``, alone or inside a tuple)."""
+    if handler.type is None:
+        return True
+    clauses = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(c, ast.Name) and c.id == "BaseException" for c in clauses
+    )
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    breaks: list[int] = field(default_factory=list)
+
+
+class _Builder:
+    """Frontier-based CFG construction.
+
+    The frontier is the set of node indices whose outgoing flow edge is
+    still dangling; each statement consumes the frontier and produces
+    the next one.  ``exc_targets`` is a stack of handler-node lists —
+    the innermost enclosing ``except`` chain (plus ``finally`` entry),
+    falling back to the raise exit.
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+        self.exc_targets: list[list[int]] = [[self.cfg.raise_exit]]
+        self.loops: list[_LoopFrame] = []
+        #: Pending ``finally`` blocks enclosing the statement being
+        #: built, innermost last, as ``(entry, out_frontier)`` pairs —
+        #: a ``return`` must run them before leaving the function.
+        self.finallies: list[tuple[int, list[int]]] = []
+
+    def build(self) -> CFG:
+        frontier = self._body(self.cfg.func.body, [self.cfg.entry])
+        for idx in frontier:
+            self.cfg._edge(idx, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _link(self, frontier: Iterable[int], dst: int) -> None:
+        for idx in frontier:
+            self.cfg._edge(idx, dst)
+
+    def _add_exc_edges(self, idx: int) -> None:
+        for target in self.exc_targets[-1]:
+            self.cfg._edge(idx, target, EXC)
+
+    def _enter(
+        self, stmt: ast.stmt, frontier: list[int], *, force_await: bool = False
+    ) -> int:
+        """Create the await (if any) and statement nodes for ``stmt``'s
+        own evaluation; returns the statement node's index."""
+        awaits = _own_awaits(stmt)
+        if awaits or force_await:
+            await_idx = self.cfg._add("await", stmt, tuple(awaits))
+            self._link(frontier, await_idx)
+            self._add_exc_edges(await_idx)
+            frontier = [await_idx]
+        stmt_idx = self.cfg._add("stmt", stmt)
+        self._link(frontier, stmt_idx)
+        if _may_raise(stmt):
+            self._add_exc_edges(stmt_idx)
+        return stmt_idx
+
+    def _return_edges(self, idx: int) -> None:
+        """Wire a ``return`` to the exit, running pending ``finally``
+        blocks innermost-first.
+
+        The finally chain is an over-approximation: the edges added from
+        each finally's out-frontier (to the next-outer finally, then to
+        the exit) merge the return path with the normal continuation.
+        That only ever *adds* paths — the safe side for reachability
+        rules — and keeps ``try: ... return r finally: release()`` paths
+        crossing the release, which is what lifecycle analysis needs.
+        """
+        if not self.finallies:
+            self.cfg._edge(idx, self.cfg.exit)
+            return
+        entries = [entry for entry, _ in self.finallies]
+        outs = [out for _, out in self.finallies]
+        self.cfg._edge(idx, entries[-1])
+        for inner in range(len(self.finallies) - 1, 0, -1):
+            for out_idx in outs[inner]:
+                self.cfg._edge(out_idx, entries[inner - 1])
+        for out_idx in outs[0]:
+            self.cfg._edge(out_idx, self.cfg.exit)
+
+    def _body(self, stmts: list[ast.stmt], frontier: list[int]) -> list[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    # -- statement dispatch --------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.Return):
+            idx = self._enter(stmt, frontier)
+            self._return_edges(idx)
+            return []
+        if isinstance(stmt, ast.Raise):
+            idx = self._enter(stmt, frontier)
+            self._add_exc_edges(idx)
+            return []
+        if isinstance(stmt, ast.Break):
+            idx = self._enter(stmt, frontier)
+            if self.loops:
+                self.loops[-1].breaks.append(idx)
+            return []
+        if isinstance(stmt, ast.Continue):
+            idx = self._enter(stmt, frontier)
+            if self.loops:
+                self.cfg._edge(idx, self.loops[-1].header)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            idx = self._enter(
+                stmt, frontier, force_await=isinstance(stmt, ast.AsyncWith)
+            )
+            return self._body(stmt.body, [idx])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        # Simple statements — including nested def/class, whose bodies
+        # are separate functions with their own CFGs.
+        return [self._enter(stmt, frontier)]
+
+    def _if(self, stmt: ast.If, frontier: list[int]) -> list[int]:
+        idx = self._enter(stmt, frontier)
+        out = self._body(stmt.body, [idx])
+        if stmt.orelse:
+            out += self._body(stmt.orelse, [idx])
+        else:
+            out += [idx]
+        return out
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, frontier: list[int]
+    ) -> list[int]:
+        header = self._enter(
+            stmt, frontier, force_await=isinstance(stmt, ast.AsyncFor)
+        )
+        frame = _LoopFrame(header)
+        self.loops.append(frame)
+        body_out = self._body(stmt.body, [header])
+        self.loops.pop()
+        self._link(body_out, header)
+        out = list(frame.breaks)
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            if stmt.orelse:
+                out += self._body(stmt.orelse, [header])
+            else:
+                out += [header]
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: list[int]) -> list[int]:
+        handler_nodes: list[int] = []
+        for handler in stmt.handlers:
+            handler_nodes.append(self.cfg._add("except", handler))
+
+        finally_entry: int | None = None
+        finally_out: list[int] = []
+        if stmt.finalbody:
+            finally_entry = self.cfg._add("finally", stmt)
+            finally_out = self._body(stmt.finalbody, [finally_entry])
+            # A pending exception re-raises after the finally *body*
+            # ran — the edge leaves from its out-frontier, so paths
+            # carrying the exception still cross every finally
+            # statement.  (An empty out-frontier means the finally
+            # itself returned/raised, which swallows the pending one.)
+            for out_idx in finally_out:
+                for target in self.exc_targets[-1]:
+                    self.cfg._edge(out_idx, target, EXC)
+
+        outer = self.exc_targets[-1]
+        body_targets = list(handler_nodes)
+        # An exception no handler matches still runs the finally (or
+        # propagates straight out when there is none) — unless a
+        # catch-all handler (bare ``except:`` / ``except BaseException``)
+        # makes that escape impossible.
+        if not any(_catches_all(h) for h in stmt.handlers):
+            body_targets += (
+                [finally_entry] if finally_entry is not None else outer
+            )
+
+        if finally_entry is not None:
+            self.finallies.append((finally_entry, finally_out))
+        self.exc_targets.append(body_targets)
+        body_out = self._body(stmt.body, frontier)
+        if stmt.orelse:
+            body_out = self._body(stmt.orelse, body_out)
+        self.exc_targets.pop()
+
+        handler_targets = [finally_entry] if finally_entry is not None else outer
+        self.exc_targets.append(list(handler_targets))
+        normal_out = list(body_out)
+        for handler, node_idx in zip(stmt.handlers, handler_nodes):
+            normal_out += self._body(handler.body, [node_idx])
+        self.exc_targets.pop()
+        if finally_entry is not None:
+            self.finallies.pop()
+
+        if finally_entry is not None:
+            self._link(normal_out, finally_entry)
+            return list(finally_out)
+        return normal_out
+
+    def _match(self, stmt: ast.Match, frontier: list[int]) -> list[int]:
+        idx = self._enter(stmt, frontier)
+        out: list[int] = []
+        for case in stmt.cases:
+            out += self._body(case.body, [idx])
+        # No-case-matched fall-through (kept even with a wildcard: the
+        # imprecision only ever *adds* paths, which is the safe side for
+        # "is X reachable" rules).
+        out += [idx]
+        return out
+
+
+def iter_stmt_nodes(stmt: ast.AST) -> Iterator[ast.AST]:
+    """AST nodes a statement's *own* execution evaluates: the whole
+    subtree for simple statements, header expressions only for compound
+    ones (whose bodies get their own CFG nodes), and never the inside of
+    nested function/lambda bodies.  This is the walk flow rules use to
+    classify CFG nodes, matching how the builder collects awaits."""
+    fields = _HEADER_FIELDS.get(type(stmt))
+    if fields is None:
+        roots: list[ast.AST] = [stmt]
+    else:
+        roots = []
+        for name in fields:
+            value = getattr(stmt, name)
+            roots.extend(value if isinstance(value, list) else [value])
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node is not stmt and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _own_awaits(stmt: ast.stmt) -> list[ast.expr]:
+    """Await expressions evaluated by ``stmt``'s own header/expressions,
+    not those inside nested function bodies or a compound's body."""
+    return [
+        node for node in iter_stmt_nodes(stmt) if isinstance(node, ast.Await)
+    ]
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether the statement's own evaluation can raise — calls, awaits,
+    explicit raises and asserts.  Deliberately coarse: attribute and
+    subscript errors are real but flagging them would wash every rule's
+    path queries in noise."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    return any(
+        isinstance(node, (ast.Call, ast.Await))
+        for node in iter_stmt_nodes(stmt)
+    )
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG for one function body."""
+    return _Builder(func).build()

@@ -1,0 +1,178 @@
+"""Worklist dataflow over :class:`~repro.analysis.flow.cfg.CFG`.
+
+Two fact families the flow rules consume:
+
+* **Reaching definitions** — which binding of a name can be live at a
+  node.  RPR014 uses this to make sure a ``shm.close()`` it credits as
+  a release really operates on the acquisition's binding and not a
+  later rebind of the same name.
+* **Dominators** (path-condition facts) — the nodes every path from
+  entry must cross.  RPR012 credits a post-await re-check only when it
+  dominates the mutation; RPR015 requires a deadline guard dominating
+  the dial.
+
+Both are instances of :func:`solve_forward`, a standard iterate-to-
+fixpoint worklist: facts per node, transfer per node, meet over
+predecessors.  CFGs here are per-function and small (tens of nodes), so
+no ordering cleverness is needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, FrozenSet, Tuple
+
+from repro.analysis.flow.cfg import CFG
+
+#: One definition fact: ``(name, defining node index)``.
+Definition = Tuple[str, int]
+Facts = FrozenSet[Definition]
+
+
+def solve_forward(
+    cfg: CFG,
+    *,
+    init: Facts,
+    transfer: Callable[[int, Facts], Facts],
+    meet: Callable[[Facts, Facts], Facts],
+) -> tuple[dict[int, Facts], dict[int, Facts]]:
+    """Forward fixpoint: returns ``(facts_in, facts_out)`` per node.
+
+    ``init`` seeds the entry node; every other node starts from the meet
+    identity implied by the first predecessor fact that arrives (the
+    worklist only meets facts from *visited* predecessors, which is the
+    standard optimistic initialisation and converges for monotone
+    transfers over finite lattices).
+    """
+    facts_in: dict[int, Facts] = {cfg.entry: init}
+    facts_out: dict[int, Facts] = {}
+    work: deque[int] = deque([cfg.entry])
+    while work:
+        idx = work.popleft()
+        merged: Facts | None = init if idx == cfg.entry else None
+        for pred, _kind in cfg.predecessors(idx):
+            pred_out = facts_out.get(pred)
+            if pred_out is None:
+                continue
+            merged = pred_out if merged is None else meet(merged, pred_out)
+        if merged is None:
+            merged = init
+        facts_in[idx] = merged
+        out = transfer(idx, merged)
+        if facts_out.get(idx) == out and idx in facts_out:
+            continue
+        facts_out[idx] = out
+        for succ, _kind in cfg.successors(idx):
+            if succ not in work:
+                work.append(succ)
+    return facts_in, facts_out
+
+
+def assigned_names(stmt: ast.AST) -> set[str]:
+    """Simple names ``stmt`` binds: assignment targets, loop targets,
+    ``with ... as``, ``except ... as``, walrus expressions."""
+    names: set[str] = set()
+
+    def target_names(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                target_names(elt)
+        elif isinstance(target, ast.Starred):
+            target_names(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            target_names(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        target_names(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        target_names(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                target_names(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.add(stmt.name)
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, Facts]:
+    """``facts_in`` per node: the ``(name, def node)`` pairs that may be
+    the live binding of ``name`` when the node executes."""
+    gen: dict[int, Facts] = {}
+    killed_names: dict[int, set[str]] = {}
+    for node in cfg.nodes:
+        if node.kind in ("stmt", "except") and node.stmt is not None:
+            names = assigned_names(node.stmt)
+            if names:
+                gen[node.idx] = frozenset((name, node.idx) for name in names)
+                killed_names[node.idx] = names
+
+    def transfer(idx: int, facts: Facts) -> Facts:
+        kills = killed_names.get(idx)
+        if not kills:
+            return facts
+        survivors = frozenset(
+            fact for fact in facts if fact[0] not in kills
+        )
+        return survivors | gen[idx]
+
+    def union(a: Facts, b: Facts) -> Facts:
+        return a | b
+
+    facts_in, _ = solve_forward(
+        cfg, init=frozenset(), transfer=transfer, meet=union
+    )
+    return facts_in
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """``{node: set of dominators}`` over all edges (flow *and*
+    exception): a dominator lies on every path from entry, whichever way
+    exceptions go.  Unreachable nodes map to the empty set."""
+    all_nodes = set(range(len(cfg.nodes)))
+    dom: dict[int, set[int]] = {idx: set(all_nodes) for idx in all_nodes}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for idx in all_nodes:
+            if idx == cfg.entry:
+                continue
+            preds = [pred for pred, _kind in cfg.predecessors(idx)]
+            if not preds:
+                if dom[idx]:
+                    dom[idx] = set()
+                    changed = True
+                continue
+            merged: set[int] | None = None
+            for pred in preds:
+                pred_dom = dom[pred]
+                if pred_dom == all_nodes and pred != cfg.entry:
+                    continue  # not yet computed / unreachable-so-far
+                merged = (
+                    set(pred_dom)
+                    if merged is None
+                    else merged & pred_dom
+                )
+            if merged is None:
+                continue
+            merged.add(idx)
+            if merged != dom[idx]:
+                dom[idx] = merged
+                changed = True
+    # Nodes never tightened below "everything" are unreachable.
+    for idx in all_nodes:
+        if idx != cfg.entry and dom[idx] == all_nodes:
+            dom[idx] = set()
+    return dom

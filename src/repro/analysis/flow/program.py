@@ -1,0 +1,71 @@
+"""Whole-scan context for flow rules.
+
+One :class:`ProgramContext` is built per lint invocation from every
+module that parsed; flow rules receive it alongside the per-module
+context.  CFGs and the call graph are built lazily and cached, so a
+scan that selects only syntactic rules pays nothing for the flow layer,
+and a flow rule visiting ten modules builds each function's CFG once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.flow.dataflow import dominators as _dominators
+
+T = TypeVar("T")
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.analysis.engine import ModuleContext
+
+
+class ProgramContext:
+    """Every parsed module of one scan plus cached flow artefacts."""
+
+    def __init__(self, contexts: Iterable["ModuleContext"]) -> None:
+        self.modules: dict[str, "ModuleContext"] = {
+            ctx.rel_path: ctx for ctx in contexts
+        }
+        self._callgraph: CallGraph | None = None
+        self._cfgs: dict[int, CFG] = {}
+        self._doms: dict[int, dict[int, set[int]]] = {}
+        self._rule_cache: dict[str, object] = {}
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.modules.values())
+        return self._callgraph
+
+    def cfg(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        """The (cached) CFG for a function node from any scanned module."""
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            cached = build_cfg(func)
+            self._cfgs[id(func)] = cached
+        return cached
+
+    def dominators(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[int, set[int]]:
+        """Cached dominator sets for ``func``'s CFG."""
+        cached = self._doms.get(id(func))
+        if cached is None:
+            cached = _dominators(self.cfg(func))
+            self._doms[id(func)] = cached
+        return cached
+
+    def function_info(
+        self, ctx: "ModuleContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> FunctionInfo | None:
+        return self.callgraph.function_of(ctx, func)
+
+    def cache(self, key: str, build: Callable[[], T]) -> T:
+        """Scan-lifetime memo for rule-level artefacts (e.g. the set of
+        transitively-mutating functions), keyed by rule-chosen name."""
+        if key not in self._rule_cache:
+            self._rule_cache[key] = build()
+        return self._rule_cache[key]  # type: ignore[return-value]

@@ -7,18 +7,22 @@ baseline entries; never renumber an existing rule.
 from __future__ import annotations
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.ackbarrier import AckBeforeBarrier
 from repro.analysis.rules.asyncsafety import BlockingCallInAsync
 from repro.analysis.rules.concurrency import (
     NondeterministicPartitioning,
     UnsanctionedPoolSpawn,
     UnserialisedIndexMutation,
 )
+from repro.analysis.rules.deadlines import UndisciplinedDial
 from repro.analysis.rules.durability import UnfsyncedDurableWrite
 from repro.analysis.rules.errorhygiene import (
     StorageErrorContext,
     SwallowedException,
 )
 from repro.analysis.rules.estimates import EstimateSoundness
+from repro.analysis.rules.interleaving import AwaitInterleavingRace
+from repro.analysis.rules.lifecycle import UnreleasedPoolOrShm
 from repro.analysis.rules.loadsafety import UnboundedAwaitInService
 from repro.analysis.rules.replication import JournalWriteOutsideLog
 from repro.analysis.rules.sharding import ShardFanoutOutsideRouter
@@ -36,6 +40,10 @@ ALL_RULES: list[Rule] = [
     UnsanctionedPoolSpawn(),
     ShardFanoutOutsideRouter(),
     UnboundedAwaitInService(),
+    AwaitInterleavingRace(),
+    AckBeforeBarrier(),
+    UnreleasedPoolOrShm(),
+    UndisciplinedDial(),
 ]
 
 

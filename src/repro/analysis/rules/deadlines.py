@@ -1,0 +1,166 @@
+"""RPR015 — outbound dial without a dominating deadline stamp/check.
+
+PR 9's overload contract has one floor the whole proof stands on: **an
+expired leg never dials**.  Every outbound connection in the serving
+layer must sit below a deadline fact — the propagated
+``CURRENT_DEADLINE`` budget consulted, a ``Deadline`` re-stamp, a
+``remaining``/``expired`` check — that *dominates* the dial: on every
+path into the connect, the budget was looked at first.  A dial a
+request can reach without crossing such a node is shard-side work an
+already-gone caller can still spawn.
+
+The rule finds ``open_connection`` / ``create_connection`` calls in
+``service/`` modules and demands a deadline-vocabulary statement in the
+dial's dominator set.  Helpers get one level of call-graph grace: a
+bare connector like ``ShardLink._dial`` passes when **every** resolved
+call site of it is itself dominated by a deadline fact in its caller
+(the `request()` pattern: check ``remaining``, then dial).  Dial sites
+with no in-repo callers (entry points, background tailers) must carry
+the guard themselves or a baseline justification naming where the
+bound actually lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FlowRule, ModuleContext, call_name
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import FunctionInfo
+from repro.analysis.flow.cfg import CFG, iter_stmt_nodes
+from repro.analysis.flow.program import ProgramContext
+
+#: Call names that open an outbound connection.
+_DIAL_NAMES = {"open_connection", "create_connection"}
+
+#: Identifiers whose presence marks a statement as a deadline fact.
+_DEADLINE_WORDS = {
+    "deadline",
+    "deadline_ts",
+    "deadline_ms",
+    "budget",
+    "expired",
+    "expires_at",
+    "remaining",
+    "remaining_s",
+    "remaining_ms",
+    "CURRENT_DEADLINE",
+    "Deadline",
+    "from_budget_ms",
+}
+
+
+def _mentions_deadline(stmt: ast.AST) -> bool:
+    for node in iter_stmt_nodes(stmt):
+        if isinstance(node, ast.Name) and node.id in _DEADLINE_WORDS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _DEADLINE_WORDS:
+            return True
+    return False
+
+
+def _deadline_guard_nodes(cfg: CFG) -> set[int]:
+    return {
+        node.idx
+        for node in cfg.stmt_nodes()
+        if node.stmt is not None and _mentions_deadline(node.stmt)
+    }
+
+
+def _dial_nodes(cfg: CFG) -> list[tuple[int, ast.Call]]:
+    dials: list[tuple[int, ast.Call]] = []
+    for node in cfg.stmt_nodes():
+        if node.stmt is None:
+            continue
+        for sub in iter_stmt_nodes(node.stmt):
+            if isinstance(sub, ast.Call) and call_name(sub) in _DIAL_NAMES:
+                dials.append((node.idx, sub))
+    return dials
+
+
+class UndisciplinedDial(FlowRule):
+    id = "RPR015"
+    name = "dial-without-deadline-stamp"
+    severity = "error"
+    rationale = (
+        "an outbound dial not dominated by a deadline stamp/check lets "
+        "an already-expired request spawn connection work downstream"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "service/" in ctx.rel_path
+
+    def check_flow(
+        self, program: ProgramContext, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        for func in ctx.functions():
+            cfg = program.cfg(func)
+            dials = _dial_nodes(cfg)
+            if not dials:
+                continue
+            doms = program.dominators(func)
+            guards = _deadline_guard_nodes(cfg)
+            for dial_idx, call in dials:
+                dominated = any(
+                    g in doms.get(dial_idx, ()) and g != dial_idx
+                    for g in guards
+                )
+                if dominated:
+                    continue
+                if self._callers_guard(program, ctx, func):
+                    continue
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{call_name(call)}() is reachable with no deadline "
+                    f"stamp/check dominating it (and no guarded caller "
+                    f"covers every call site): an expired leg must never "
+                    f"dial — consult CURRENT_DEADLINE/Deadline before "
+                    f"connecting, or baseline with the bound's location",
+                )
+
+    def _callers_guard(
+        self,
+        program: ProgramContext,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        """One level of interprocedural grace: every resolved call site
+        of ``func`` is dominated by a deadline fact in its caller."""
+        info = program.function_info(ctx, func)
+        if info is None:
+            return False
+        graph = program.callgraph
+        callers = graph.callers(info.fid)
+        if not callers:
+            return False
+        for caller_fid in callers:
+            caller = graph.functions[caller_fid]
+            caller_cfg = program.cfg(caller.node)
+            caller_doms = program.dominators(caller.node)
+            caller_guards = _deadline_guard_nodes(caller_cfg)
+            sites = [
+                caller_cfg.node_of(self._enclosing_stmt(caller, site_call))
+                for site_call, callee in graph.call_sites(caller)
+                if callee == info.fid
+            ]
+            for site_idx in sites:
+                if site_idx is None:
+                    return False
+                if not any(
+                    g in caller_doms.get(site_idx, ()) and g != site_idx
+                    for g in caller_guards
+                ):
+                    return False
+        return True
+
+    @staticmethod
+    def _enclosing_stmt(caller: FunctionInfo, call: ast.Call) -> ast.AST:
+        """The statement whose CFG node models ``call``'s evaluation."""
+        node: ast.AST = call
+        parent = caller.ctx.parent(node)
+        while parent is not None and not isinstance(parent, ast.stmt):
+            node = parent
+            parent = caller.ctx.parent(node)
+        return parent if isinstance(parent, ast.stmt) else node

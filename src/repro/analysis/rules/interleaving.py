@@ -1,0 +1,216 @@
+"""RPR012 — await-interleaving race on shared index/epoch/ShardMap state.
+
+The serving layer's concurrency model is cooperative: shared state
+(``self.index``, the cache epoch, the ShardMap and its per-shard link
+state) is only touched from the event loop, so *synchronous* stretches
+of a coroutine are atomic.  Every ``await`` ends such a stretch — any
+other task may run, including one executing the same handler.  A
+coroutine that **reads** shared state, **awaits**, and then **mutates**
+shared state has therefore acted on a stale check: the classic
+check-then-act race, merely spelled with ``await`` instead of threads.
+
+The rule is flow- and call-graph-sensitive:
+
+* The read and the mutation must be connected by a CFG path that
+  crosses an await node — reads after the last await, or mutations
+  that the await cannot precede, do not fire.
+* A mutation hidden inside a helper counts at its call site when the
+  call graph can resolve the call (``self._promote_tail(...)`` three
+  frames above the actual ``map.promote_follower``).
+* A **post-await re-check dominating the mutation** exonerates it: an
+  ``if``/``while`` test that re-reads shared state after the await and
+  controls the mutation is exactly the sanctioned pattern
+  (``_op_count`` re-checks ``self.index.epoch`` before caching; the
+  promote path re-checks ``state.follower`` before touching the map).
+
+Precision limits: reads must be lexical in the coroutine (helper reads
+do not count — a helper that both reads and mutates in one synchronous
+call is atomic), and any dominating shared-state test counts as the
+re-check even if it tests a different attribute than was read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FlowRule, ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import FunctionInfo
+from repro.analysis.flow.cfg import CFG, iter_stmt_nodes
+from repro.analysis.flow.program import ProgramContext
+
+#: Attribute names whose loads count as reading loop-shared state.
+_SHARED_ATTRS = {
+    "index",
+    "miner",
+    "database",
+    "map",
+    "shards",
+    "epoch",
+    "_epoch",
+    "entry",
+    "follower",
+}
+
+#: Method names that mutate shared state regardless of receiver.
+_MUTATING_METHODS = {
+    "promote_follower",
+    "replace_entry",
+    "adopt_promotion",
+    "quarantine_index",
+}
+
+#: ``.insert()`` receivers that are shared (mirrors RPR004).
+_INSERT_RECEIVERS = {"index", "miner"}
+
+#: Attribute assignment targets that are shared state.
+_MUTATED_ATTRS = {"epoch", "_epoch", "entry", "follower"}
+
+
+def _receiver_parts(call: ast.Call) -> set[str]:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return set()
+    return set(dotted_name(func.value).split("."))
+
+
+def _is_direct_mutation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        attr = node.func.attr
+        if attr in _MUTATING_METHODS:
+            return True
+        if attr == "insert" and _receiver_parts(node) & _INSERT_RECEIVERS:
+            return True
+        if attr == "append" and "database" in _receiver_parts(node):
+            return True
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _MUTATED_ATTRS
+            ):
+                return True
+    return False
+
+
+def _stmt_has_direct_mutation(stmt: ast.AST) -> bool:
+    return any(_is_direct_mutation(node) for node in iter_stmt_nodes(stmt))
+
+
+def _stmt_shared_reads(stmt: ast.AST) -> list[ast.Attribute]:
+    """Shared-attribute loads in the statement's own expressions."""
+    return [
+        node
+        for node in iter_stmt_nodes(stmt)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.ctx, ast.Load)
+        and node.attr in _SHARED_ATTRS
+    ]
+
+
+def _function_mutates(info: FunctionInfo) -> bool:
+    return any(
+        _is_direct_mutation(node)
+        for node in info.ctx.body_nodes(info.node)
+    )
+
+
+class AwaitInterleavingRace(FlowRule):
+    id = "RPR012"
+    name = "await-interleaving-race"
+    severity = "error"
+    rationale = (
+        "a coroutine that reads shared index/map state, awaits, then "
+        "mutates it acts on a stale check; another loop task ran in "
+        "between"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "service/" in ctx.rel_path
+
+    def check_flow(
+        self, program: ProgramContext, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        mutating_fids = program.cache(
+            "rpr012.mutating",
+            lambda: program.callgraph.transitive(_function_mutates),
+        )
+        for func in ctx.functions():
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            yield from self._check_function(program, ctx, func, mutating_fids)
+
+    def _check_function(
+        self,
+        program: ProgramContext,
+        ctx: ModuleContext,
+        func: ast.AsyncFunctionDef,
+        mutating_fids: set[str],
+    ) -> Iterator[Finding]:
+        cfg = program.cfg(func)
+        awaits = cfg.await_nodes()
+        if not awaits:
+            return
+
+        info = program.function_info(ctx, func)
+        reads: list[int] = []
+        mutations: list[tuple[int, ast.AST, str]] = []
+        guards: list[int] = []
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            if _stmt_has_direct_mutation(stmt):
+                mutations.append((node.idx, stmt, "mutates shared state"))
+            elif info is not None:
+                for call in iter_stmt_nodes(stmt):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    callee = program.callgraph.resolve_call(ctx, func, call)
+                    if callee is not None and callee in mutating_fids:
+                        helper = callee.rsplit("::", 1)[-1]
+                        mutations.append(
+                            (node.idx, stmt, f"mutates shared state via {helper}()")
+                        )
+                        break
+            if _stmt_shared_reads(stmt):
+                reads.append(node.idx)
+                if isinstance(stmt, (ast.If, ast.While)) and _stmt_shared_reads(
+                    stmt
+                ):
+                    guards.append(node.idx)
+        if not reads or not mutations:
+            return
+
+        # Await nodes a shared read can flow into.
+        tainted_awaits = [
+            a for a in awaits if any(cfg.reaches(r, a) for r in reads)
+        ]
+        if not tainted_awaits:
+            return
+        after_awaits = cfg.reachable_from(awaits)
+        doms = None
+        for idx, stmt, how in mutations:
+            if not any(cfg.reaches(a, idx) for a in tainted_awaits):
+                continue
+            if doms is None:
+                doms = program.dominators(func)
+            exonerated = any(
+                g in doms.get(idx, ()) and g in after_awaits and g != idx
+                for g in guards
+            )
+            if exonerated:
+                continue
+            yield self.finding(
+                ctx,
+                stmt,
+                f"this statement {how} after an await that follows a "
+                f"shared-state read: the check-then-act is split by a "
+                f"suspension point where another task can run — re-check "
+                f"the shared state after the await (a dominating "
+                f"if/while re-check exonerates this site)",
+            )

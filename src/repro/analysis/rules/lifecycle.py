@@ -1,0 +1,308 @@
+"""RPR014 — pool/shared-memory acquired on a path that can exit unreleased.
+
+``WorkerPool`` owns OS processes; a shared-memory export owns a kernel
+segment that outlives the interpreter unless unlinked.  The lifecycle
+discipline in ``core/pool.py`` / ``core/parallel.py`` is: every
+acquisition either (a) reaches an explicit release (``close`` /
+``unlink`` / ``shutdown``), (b) registers a finalizer or close hook
+(``weakref.finalize``, ``atexit.register``, ``add_close_hook``), or
+(c) **escapes to an owner** — returned to the caller, stored on
+``self`` or in a registry — that carries the obligation.  This rule
+walks every CFG path from an acquisition to the function's exits
+(normal *and* exceptional: an export followed by a raising copy is
+exactly how segments leak) and fires when a path reaches an exit with
+the resource still anonymous and unreleased.
+
+Reaching definitions keep the credit honest: a ``shm.close()`` only
+counts as releasing *this* acquisition if the acquisition's binding of
+``shm`` can still be live there — releases of a later rebinding do not
+retroactively excuse the first segment.
+
+Release semantics are best-effort by design: merely *reaching* a
+release call satisfies the path even if the release itself could raise
+(attempted cleanup is the sanctioned pattern; a close that blows up is
+not a leak the author can do more about).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    FlowRule,
+    ModuleContext,
+    call_name,
+    dotted_name,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import FunctionInfo
+from repro.analysis.flow.cfg import CFG, FLOW, iter_stmt_nodes
+from repro.analysis.flow.dataflow import reaching_definitions
+from repro.analysis.flow.program import ProgramContext
+
+#: Method calls on the resource that release it (or hand off cleanup).
+_RELEASE_METHODS = {
+    "close",
+    "unlink",
+    "shutdown",
+    "terminate",
+    "release",
+    "add_close_hook",
+}
+
+#: Callables that register cleanup when the resource is an argument.
+_FINALIZER_CALLS = {"finalize", "register", "closing", "push"}
+
+
+def _acquisition_call(node: ast.AST, factories: set[str]) -> str | None:
+    """A call that creates an owned resource: ``WorkerPool(...)``,
+    ``SharedMemory(create=True)``, or a resource-factory helper."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = call_name(node)
+    if name == "WorkerPool":
+        return "WorkerPool"
+    if name == "SharedMemory":
+        for kw in node.keywords:
+            if (
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value
+            ):
+                return "SharedMemory(create=True)"
+        return None
+    if name in factories:
+        return f"{name}()"
+    return None
+
+
+def _names_in(expr: ast.AST) -> set[str]:
+    return {
+        node.id for node in ast.walk(expr) if isinstance(node, ast.Name)
+    }
+
+
+def _returned_resource_names(
+    info: FunctionInfo, factories: set[str]
+) -> set[str]:
+    """Names bound to a direct acquisition inside ``info``'s body."""
+    acquired: set[str] = set()
+    for node in info.ctx.body_nodes(info.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if _acquisition_call(node.value, factories) is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                acquired.add(target.id)
+    return acquired
+
+
+def _is_resource_factory(info: FunctionInfo) -> bool:
+    """Whether the function acquires a resource and returns it — its
+    call sites then own the acquisition.
+
+    A function that *also* stores the acquisition on an attribute or in
+    a registry (``_BUILD_POOLS[key] = created``) is a **lease**, not a
+    factory: the registry keeps ownership and callers merely borrow, so
+    its call sites carry no release obligation.
+    """
+    acquired = _returned_resource_names(info, set())
+    if not acquired:
+        return False
+    returns_it = False
+    for node in info.ctx.body_nodes(info.node):
+        if isinstance(node, ast.Assign):
+            if _names_in(node.value) & acquired and any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            ):
+                return False
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _names_in(node.value) & acquired:
+                returns_it = True
+    return returns_it
+
+
+class UnreleasedPoolOrShm(FlowRule):
+    id = "RPR014"
+    name = "unreleased-pool-or-shm"
+    severity = "error"
+    rationale = (
+        "a WorkerPool/shared-memory acquisition with an exit path that "
+        "never releases, registers a finalizer, or hands the resource "
+        "to an owner leaks processes or kernel segments"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "core/" in ctx.rel_path or "service/" in ctx.rel_path
+
+    def check_flow(
+        self, program: ProgramContext, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        factories = program.cache(
+            "rpr014.factories",
+            lambda: {
+                info.qualname.rsplit(".", 1)[-1]
+                for info in program.callgraph.functions.values()
+                if _is_resource_factory(info)
+            },
+        )
+        for func in ctx.functions():
+            yield from self._check_function(program, ctx, func, factories)
+
+    def _check_function(
+        self,
+        program: ProgramContext,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        factories: set[str],
+    ) -> Iterator[Finding]:
+        cfg = program.cfg(func)
+        acquisitions: list[tuple[int, ast.stmt, str, set[str]]] = []
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            for sub in iter_stmt_nodes(stmt):
+                what = _acquisition_call(sub, factories)
+                if what is None:
+                    continue
+                names = self._tracked_names(stmt, sub)
+                if names is None:
+                    continue  # escaped at birth (self.x = ..., registry)
+                acquisitions.append((node.idx, stmt, what, names))
+                break
+        if not acquisitions:
+            return
+        reaching = None
+        for acq_idx, stmt, what, names in acquisitions:
+            if reaching is None:
+                reaching = reaching_definitions(cfg)
+            released = self._release_nodes(
+                cfg, acq_idx, names, reaching
+            )
+            # Start from the acquisition's *flow* successors only: if
+            # the constructor itself raises, nothing was acquired, so
+            # its own exception edge is not a leak path.
+            starts = [
+                dst
+                for dst, kind in cfg.successors(acq_idx)
+                if kind == FLOW
+            ]
+            leaky = set(starts) | cfg.reachable_from(
+                starts,
+                blocked=lambda i: i in released,
+                enter_starts=True,
+                exc_escapes_blocked=False,
+            )
+            if cfg.exit in leaky or cfg.raise_exit in leaky:
+                exit_kind = (
+                    "an exception path"
+                    if cfg.exit not in leaky
+                    else "an exit path"
+                )
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"{what} acquired here can leave the function on "
+                    f"{exit_kind} without close/unlink, a registered "
+                    f"finalizer, or an owner taking the handle — wrap "
+                    f"the post-acquisition steps so every exit releases "
+                    f"or registers cleanup",
+                )
+
+    @staticmethod
+    def _tracked_names(stmt: ast.stmt, call: ast.AST) -> set[str] | None:
+        """Local names bound to the acquisition, or ``None`` when the
+        statement already hands it to an owner (attribute/subscript
+        target, with-statement context manager, direct argument to a
+        finalizer registration)."""
+        if isinstance(stmt, ast.Assign) and stmt.value is call:
+            names: set[str] = set()
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return None
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            names.add(elt.id)
+                        elif isinstance(elt, (ast.Attribute, ast.Subscript)):
+                            return None
+            if names:
+                return names
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if call in ast.walk(item.context_expr):
+                    return None  # the with block owns cleanup
+        for node in iter_stmt_nodes(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and node is not call
+                and call_name(node) in _FINALIZER_CALLS
+                and any(call in ast.walk(arg) for arg in node.args)
+            ):
+                return None
+        # Bare expression or non-name binding: nothing holds the handle.
+        return set()
+
+    @staticmethod
+    def _release_nodes(
+        cfg: CFG,
+        acq_idx: int,
+        names: set[str],
+        reaching: dict[int, "frozenset[tuple[str, int]]"],
+    ) -> set[int]:
+        """CFG nodes that release the acquisition or pass it to an
+        owner, credited only where the acquisition's binding reaches."""
+        released: set[int] = set()
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or node.idx == acq_idx:
+                continue
+            live = {
+                name
+                for name in names
+                if (name, acq_idx) in reaching.get(node.idx, frozenset())
+            }
+            if not live:
+                continue
+            if _stmt_releases(stmt, live):
+                released.add(node.idx)
+        return released
+
+
+def _stmt_releases(stmt: ast.AST, live: set[str]) -> bool:
+    """Whether the statement releases/escapes any live resource name."""
+    for node in iter_stmt_nodes(stmt):
+        if isinstance(node, ast.Call):
+            # pool.close(), shm.unlink(), pool.add_close_hook(...)
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RELEASE_METHODS
+            ):
+                root = dotted_name(func.value).split(".")[0]
+                if root in live:
+                    return True
+            # weakref.finalize(obj, cb, shm) / atexit.register / closing
+            if call_name(node) in _FINALIZER_CALLS and any(
+                _names_in(arg) & live for arg in node.args
+            ):
+                return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _names_in(node.value) & live:
+                return True  # ownership transfers to the caller
+        elif isinstance(node, ast.Assign):
+            if _names_in(node.value) & live:
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True  # stored on an owner / registry
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if _names_in(item.context_expr) & live:
+                return True
+    return False

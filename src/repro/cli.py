@@ -18,9 +18,10 @@ After a crash, ``repro-mine check <file>`` classifies the damage
 <file> [--db ...]`` salvages it — both work on DiskBBS segment logs,
 BBS slice files, and transaction-file pairs.
 
-``repro-mine lint`` runs the AST-based invariant linter
-(:mod:`repro.analysis`) over the tree — rules RPR001-RPR011, with
-``--format github`` for CI annotations.
+``repro-mine lint`` runs the AST/flow invariant linter
+(:mod:`repro.analysis`) over the tree — rules RPR001-RPR015, with
+``--format github`` for CI annotations and ``--since REV`` for
+changed-files-only pre-commit runs.
 
 ``repro-mine serve`` keeps an index resident and answers concurrent
 clients over TCP (see :mod:`repro.service`); ``repro-mine query``
@@ -345,7 +346,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _configure_lint(sub.add_parser(
         "lint",
-        help="run the repo invariant linter (rules RPR001-RPR011)",
+        help="run the repo invariant linter (rules RPR001-RPR015)",
     ))
 
     sub.add_parser("example", help="replay the paper's running example")

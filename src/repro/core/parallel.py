@@ -136,18 +136,28 @@ def _export_shared_index(bbs: BBS):
     n_words = bbs.n_words
     n_bytes = max(1, bbs.m * n_words * np.dtype(np.uint64).itemsize)
     shm = shared_memory.SharedMemory(create=True, size=n_bytes)
-    if n_words:
-        view = np.ndarray((bbs.m, n_words), dtype=np.uint64, buffer=shm.buf)
-        np.copyto(view, bbs._slices[:, :n_words])
-    meta = {
-        "name": shm.name,
-        "m": bbs.m,
-        "n_words": n_words,
-        "n_tx": bbs.n_transactions,
-        "family": _check_family_roundtrip(bbs.hash_family),
-        "item_counts": bbs.item_counts.as_dict(),
-        "signature_bits_total": bbs._signature_bits_total,
-    }
+    try:
+        if n_words:
+            view = np.ndarray(
+                (bbs.m, n_words), dtype=np.uint64, buffer=shm.buf
+            )
+            np.copyto(view, bbs._slices[:, :n_words])
+        meta = {
+            "name": shm.name,
+            "m": bbs.m,
+            "n_words": n_words,
+            "n_tx": bbs.n_transactions,
+            "family": _check_family_roundtrip(bbs.hash_family),
+            "item_counts": bbs.item_counts.as_dict(),
+            "signature_bits_total": bbs._signature_bits_total,
+        }
+    except BaseException:
+        # The segment exists in the kernel the moment create=True
+        # returns; a failed copy or an unpicklable hash family must not
+        # orphan it.
+        shm.close()
+        shm.unlink()
+        raise
     return shm, meta
 
 

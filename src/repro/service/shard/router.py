@@ -868,9 +868,15 @@ class ShardRouter:
             if _is_unreachable(exc):
                 self._raise_partial([ShardUnavailableError(state.entry, exc)])
             raise
-        updated = self.map.promote_follower(state.entry.shard_id)
-        state.adopt_promotion(updated)
-        self._persist_map()
+        # The promote RPC suspended this task; a concurrent append that
+        # hit the same dead primary may have raced through this failover
+        # already, in which case the map entry has no follower left and
+        # promote_follower would refuse.  Re-check after the await: if
+        # another task already adopted the promotion, just ride it.
+        if state.follower is not None:
+            updated = self.map.promote_follower(state.entry.shard_id)
+            state.adopt_promotion(updated)
+            self._persist_map()
         return await state.primary.request("append", append_args)
 
     # -- mining --------------------------------------------------------------

@@ -28,6 +28,47 @@ from repro.analysis.rules import ALL_RULES, rules_by_id
 DEFAULT_PATHS = ("src", "tests")
 
 
+class SinceError(Exception):
+    """``--since REV`` could not resolve the changed-file set."""
+
+
+def _changed_python_files(
+    rev: str, root: str, requested: list[str]
+) -> list[str]:
+    """Python files changed since ``rev`` (plus untracked), kept only
+    when they live under one of the ``requested`` scan paths."""
+    import subprocess
+
+    base = Path(root)
+    names: set[str] = set()
+    for cmd in (
+        ["git", "-C", str(base), "diff", "--name-only", "-z", rev, "--"],
+        ["git", "-C", str(base), "ls-files", "--others",
+         "--exclude-standard", "-z"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=False
+            )
+        except OSError as exc:
+            raise SinceError(f"cannot run git: {exc}") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+            raise SinceError(f"{' '.join(cmd[3:])} failed: {detail}")
+        names.update(n for n in proc.stdout.split("\0") if n)
+    prefixes = [p.rstrip("/") for p in (requested or list(DEFAULT_PATHS))]
+    prefixes = [p[2:] if p.startswith("./") else p for p in prefixes]
+    selected = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        if not (base / name).is_file():
+            continue  # deleted since REV
+        if any(name == p or name.startswith(p + "/") for p in prefixes):
+            selected.append(str(base / name))
+    return selected
+
+
 def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the linter's arguments to ``parser`` (shared with the CLI)."""
     parser.add_argument(
@@ -41,6 +82,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         choices=("text", "json", "github"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--since",
+        default=None,
+        metavar="REV",
+        help="scan only python files changed since REV (git diff + "
+             "untracked), intersected with the requested paths; stale "
+             "baseline reporting is skipped (a partial scan cannot "
+             "judge staleness)",
     )
     parser.add_argument(
         "--rule",
@@ -90,7 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return configure_parser(
         argparse.ArgumentParser(
             prog="repro-mine lint",
-            description="AST-based invariant linter (rules RPR001-RPR011)",
+            description="AST/flow invariant linter (rules RPR001-RPR015)",
         )
     )
 
@@ -135,7 +185,23 @@ def run(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    findings, skipped = analyze_paths(args.paths, rules, root=args.root)
+    scan_paths = list(args.paths)
+    since = getattr(args, "since", None)
+    if since is not None:
+        try:
+            scan_paths = _changed_python_files(since, args.root, scan_paths)
+        except SinceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not scan_paths:
+            if args.format == "text":
+                print(
+                    f"0 finding(s) (no python files changed since {since})",
+                    file=sys.stderr,
+                )
+            return 0
+
+    findings, skipped = analyze_paths(scan_paths, rules, root=args.root)
     for warning in skipped:
         print(f"warning: {warning}", file=sys.stderr)
 
@@ -162,23 +228,29 @@ def run(args) -> int:
     output = render(result.new, args.format)
     if output:
         print(output)
-    for entry in result.stale:
-        print(
-            f"warning: stale baseline entry {entry.rule} at {entry.path} "
-            f"[{entry.symbol}] no longer matches any finding — remove it",
-            file=sys.stderr,
-        )
+    report_stale = since is None
+    if report_stale:
+        for entry in result.stale:
+            print(
+                f"warning: stale baseline entry {entry.rule} at "
+                f"{entry.path} [{entry.symbol}] no longer matches any "
+                f"finding — remove it",
+                file=sys.stderr,
+            )
     if args.format == "text":
         summary = (
             f"{len(result.new)} finding(s), "
-            f"{len(result.accepted)} baselined, "
-            f"{len(result.stale)} stale baseline entr"
-            f"{'y' if len(result.stale) == 1 else 'ies'}"
+            f"{len(result.accepted)} baselined"
         )
+        if report_stale:
+            summary += (
+                f", {len(result.stale)} stale baseline entr"
+                f"{'y' if len(result.stale) == 1 else 'ies'}"
+            )
         print(summary, file=sys.stderr)
     if result.new:
         return 1
-    if args.strict and result.stale:
+    if args.strict and report_stale and result.stale:
         return 1
     return 0
 

@@ -1170,3 +1170,844 @@ class TestRepoSelfScan:
                 f"{entry.rule} at {entry.symbol}: a justification should "
                 f"state the argument, not wave at it"
             )
+
+
+# ---------------------------------------------------------------------------
+# The flow engine: CFG / dataflow / call graph
+
+
+class TestCFG:
+    def cfg_of(self, source):
+        import ast as _ast
+
+        from repro.analysis.flow import build_cfg
+
+        tree = _ast.parse(textwrap.dedent(source))
+        func = next(
+            n for n in _ast.walk(tree)
+            if isinstance(n, (_ast.FunctionDef, _ast.AsyncFunctionDef))
+        )
+        return build_cfg(func)
+
+    def stmt_idx(self, cfg, line):
+        for node in cfg.stmt_nodes():
+            if node.lineno == line:
+                return node.idx
+        raise AssertionError(f"no stmt node at line {line}")
+
+    def test_await_points_get_their_own_nodes(self):
+        cfg = self.cfg_of("""
+        async def f(q):
+            a = 1
+            b = await q.get()
+            return b
+        """)
+        assert len(cfg.await_nodes()) == 1
+
+    def test_exception_edge_reaches_handler_not_following_stmt_only(self):
+        cfg = self.cfg_of("""
+        def f(path):
+            try:
+                data = parse(path)
+            except ValueError:
+                data = None
+            return data
+        """)
+        parse_idx = self.stmt_idx(cfg, 4)
+        handler = next(n for n in cfg.nodes if n.kind == "except")
+        assert cfg.reaches(parse_idx, handler.idx)
+
+    def test_uncaught_raise_reaches_raise_exit_not_exit(self):
+        cfg = self.cfg_of("""
+        def f():
+            raise ValueError("no")
+        """)
+        raise_idx = self.stmt_idx(cfg, 3)
+        assert cfg.reaches(raise_idx, cfg.raise_exit)
+        assert not cfg.reaches(raise_idx, cfg.exit)
+
+    def test_while_true_has_no_false_exit(self):
+        cfg = self.cfg_of("""
+        def f(q):
+            while True:
+                step(q)
+        """)
+        header = self.stmt_idx(cfg, 3)
+        # The only way out of the loop header is the body (and the
+        # body's exception edges) — never a fall-through to exit.
+        assert not cfg.reaches(header, cfg.exit)
+
+    def test_catch_all_handler_absorbs_the_escape_edge(self):
+        cfg = self.cfg_of("""
+        def f(shm):
+            try:
+                risky(shm)
+            except BaseException:
+                shm.close()
+                raise
+            return shm
+        """)
+        risky_idx = self.stmt_idx(cfg, 4)
+        close_idx = self.stmt_idx(cfg, 6)
+        # With the release blocked, no path from risky() escapes to
+        # either exit: the catch-all means every raise runs the close.
+        reachable = cfg.reachable_from(
+            [risky_idx],
+            blocked=lambda i: i == close_idx,
+            exc_escapes_blocked=False,
+        )
+        assert cfg.raise_exit not in reachable
+
+    def test_blocked_barrier_still_escapes_through_its_exception_edge(self):
+        cfg = self.cfg_of("""
+        def f(journal, sock):
+            journal.append(b"x")
+            journal.sync()
+            ack(sock)
+        """)
+        write_idx = self.stmt_idx(cfg, 3)
+        sync_idx = self.stmt_idx(cfg, 4)
+        ack_idx = self.stmt_idx(cfg, 5)
+        # Completed-barrier semantics: the flow path past the barrier is
+        # cut...
+        assert not cfg.reaches(
+            write_idx, ack_idx, blocked=lambda i: i == sync_idx
+        )
+        # ...but the barrier's own raise still escapes its blockedness.
+        escaping = cfg.reachable_from(
+            [sync_idx], blocked=lambda i: i == sync_idx
+        )
+        assert cfg.raise_exit in escaping
+        assert ack_idx not in escaping
+        # Best-effort-release semantics stop the path outright.
+        stopped = cfg.reachable_from(
+            [sync_idx],
+            blocked=lambda i: i == sync_idx,
+            exc_escapes_blocked=False,
+        )
+        assert cfg.raise_exit not in stopped
+        assert ack_idx not in stopped
+
+    def test_return_runs_the_pending_finally(self):
+        cfg = self.cfg_of("""
+        def f(pool, tasks):
+            try:
+                result = work(pool, tasks)
+                return result
+            finally:
+                pool.close()
+        """)
+        return_idx = self.stmt_idx(cfg, 5)
+        close_idx = self.stmt_idx(cfg, 7)
+        assert cfg.reaches(return_idx, close_idx)
+        assert not cfg.reaches(
+            return_idx, cfg.exit, blocked=lambda i: i == close_idx
+        )
+
+
+class TestDataflow:
+    def analyzed(self, source):
+        import ast as _ast
+
+        from repro.analysis.flow import build_cfg
+
+        tree = _ast.parse(textwrap.dedent(source))
+        func = next(
+            n for n in _ast.walk(tree)
+            if isinstance(n, (_ast.FunctionDef, _ast.AsyncFunctionDef))
+        )
+        return build_cfg(func)
+
+    def test_rebinding_kills_the_earlier_definition(self):
+        from repro.analysis.flow import reaching_definitions
+
+        cfg = self.analyzed("""
+        def f():
+            shm = alloc()
+            shm = alloc()
+            use(shm)
+        """)
+        by_line = {n.lineno: n.idx for n in cfg.stmt_nodes()}
+        facts = reaching_definitions(cfg)
+        live_at_use = {
+            idx for name, idx in facts[by_line[5]] if name == "shm"
+        }
+        assert live_at_use == {by_line[4]}
+
+    def test_branches_merge_both_definitions(self):
+        from repro.analysis.flow import reaching_definitions
+
+        cfg = self.analyzed("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+        """)
+        by_line = {n.lineno: n.idx for n in cfg.stmt_nodes()}
+        facts = reaching_definitions(cfg)
+        live = {idx for name, idx in facts[by_line[7]] if name == "x"}
+        assert live == {by_line[4], by_line[6]}
+
+    def test_dominators_of_a_diamond(self):
+        from repro.analysis.flow import dominators
+
+        cfg = self.analyzed("""
+        def f(flag):
+            gate()
+            if flag:
+                left()
+            else:
+                right()
+            join()
+        """)
+        by_line = {n.lineno: n.idx for n in cfg.stmt_nodes()}
+        doms = dominators(cfg)
+        join_doms = doms[by_line[8]]
+        assert by_line[3] in join_doms  # gate dominates the join
+        assert by_line[5] not in join_doms  # one branch arm does not
+
+
+class TestCallGraph:
+    def program_of(self, modules):
+        from repro.analysis.engine import ModuleContext
+        from repro.analysis.flow import ProgramContext
+
+        return ProgramContext(
+            [
+                ModuleContext(path, textwrap.dedent(src))
+                for path, src in modules.items()
+            ]
+        )
+
+    def test_resolves_local_and_method_calls(self):
+        program = self.program_of({
+            "src/repro/service/mod.py": """
+            def helper():
+                pass
+
+            class Service:
+                def step(self):
+                    helper()
+                    self.other()
+
+                def other(self):
+                    pass
+            """,
+        })
+        graph = program.callgraph
+        step = "src/repro/service/mod.py::Service.step"
+        assert graph.callees(step) == {
+            "src/repro/service/mod.py::helper",
+            "src/repro/service/mod.py::Service.other",
+        }
+
+    def test_resolves_cross_module_imports(self):
+        program = self.program_of({
+            "src/repro/service/a.py": """
+            from repro.service.b import emit
+
+            def run():
+                emit()
+            """,
+            "src/repro/service/b.py": """
+            def emit():
+                pass
+            """,
+        })
+        graph = program.callgraph
+        assert graph.callees("src/repro/service/a.py::run") == {
+            "src/repro/service/b.py::emit"
+        }
+
+    def test_transitive_closes_over_caller_edges(self):
+        program = self.program_of({
+            "src/repro/service/chain.py": """
+            def leaf():
+                emit_frame()
+
+            def middle():
+                leaf()
+
+            def top():
+                middle()
+
+            def bystander():
+                pass
+            """,
+        })
+        graph = program.callgraph
+
+        def is_emitter(info):
+            import ast as _ast
+
+            return any(
+                isinstance(n, _ast.Call)
+                and isinstance(n.func, _ast.Name)
+                and n.func.id == "emit_frame"
+                for n in info.ctx.body_nodes(info.node)
+            )
+
+        closed = graph.transitive(is_emitter)
+        names = {fid.rsplit("::", 1)[-1] for fid in closed}
+        assert names == {"leaf", "middle", "top"}
+
+
+# ---------------------------------------------------------------------------
+# RPR012 — await-interleaving races
+
+
+class TestAwaitInterleavingRace:
+    PATH = "src/repro/service/fake_router.py"
+
+    def test_read_await_mutate_fires(self):
+        findings = check("""
+        class Router:
+            async def promote(self, state):
+                follower = state.follower
+                await follower.request("promote")
+                self.epoch = self.epoch + 1
+        """, self.PATH, "RPR012")
+        assert len(findings) == 1
+
+    def test_mutation_via_helper_is_traced_through_the_call_graph(self):
+        findings = check("""
+        class Router:
+            def _bump(self):
+                self.epoch = self.epoch + 1
+
+            async def promote(self, state):
+                follower = state.follower
+                await follower.request("promote")
+                self._bump()
+        """, self.PATH, "RPR012")
+        assert len(findings) == 1
+        assert "_bump" in findings[0].message
+
+    def test_post_await_recheck_exonerates(self):
+        findings = check("""
+        class Router:
+            async def promote(self, state):
+                follower = state.follower
+                await follower.request("promote")
+                if state.follower is not None:
+                    self.epoch = self.epoch + 1
+        """, self.PATH, "RPR012")
+        assert not findings
+
+    def test_mutation_before_the_await_is_fine(self):
+        findings = check("""
+        class Router:
+            async def promote(self, state):
+                follower = state.follower
+                self.epoch = self.epoch + 1
+                await follower.request("promote")
+        """, self.PATH, "RPR012")
+        assert not findings
+
+    def test_outside_service_is_out_of_scope(self):
+        findings = check("""
+        class Router:
+            async def promote(self, state):
+                follower = state.follower
+                await follower.request("promote")
+                self.epoch = self.epoch + 1
+        """, "src/repro/core/fake.py", "RPR012")
+        assert not findings
+
+
+# ---------------------------------------------------------------------------
+# RPR013 — ACK before the durability barrier
+
+
+class TestAckBeforeBarrier:
+    PATH = "src/repro/service/fake_handler.py"
+
+    def test_ack_after_unbarriered_write_fires(self):
+        findings = check("""
+        async def op_append(self, record, writer):
+            self.journal.append(record)
+            await write_frame(writer, {"ok": True})
+        """, self.PATH, "RPR013")
+        assert len(findings) == 1
+
+    def test_barrier_between_write_and_ack_is_clean(self):
+        findings = check("""
+        async def op_append(self, record, writer):
+            self.journal.append(record)
+            self.journal.sync()
+            await write_frame(writer, {"ok": True})
+        """, self.PATH, "RPR013")
+        assert not findings
+
+    def test_barrier_that_can_raise_into_an_acking_handler_fires(self):
+        findings = check("""
+        async def op_append(self, record, writer):
+            self.journal.append(record)
+            try:
+                self.journal.sync()
+            except OSError:
+                pass
+            await write_frame(writer, {"ok": True})
+        """, self.PATH, "RPR013")
+        assert len(findings) == 1
+
+    def test_ack_via_helper_is_traced_through_the_call_graph(self):
+        findings = check("""
+        async def respond(writer, payload):
+            await write_frame(writer, payload)
+
+        async def op_append(self, record, writer):
+            self.journal.append(record)
+            await respond(writer, {"ok": True})
+        """, self.PATH, "RPR013")
+        assert len(findings) == 1
+
+    def test_helper_that_barriers_internally_discharges_the_write(self):
+        findings = check("""
+        def apply_replicated(self, record):
+            self.journal.append(record)
+            self.journal.sync()
+
+        async def op_append(self, record, writer):
+            self.apply_replicated(record)
+            await write_frame(writer, {"ok": True})
+        """, self.PATH, "RPR013")
+        assert not findings
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — pool / shared-memory lifecycle
+
+
+class TestUnreleasedPoolOrShm:
+    PATH = "src/repro/core/fake_parallel.py"
+
+    def test_exception_between_create_and_return_fires(self):
+        findings = check("""
+        def export(n):
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            meta = build_meta(shm)
+            return shm, meta
+        """, self.PATH, "RPR014")
+        assert len(findings) == 1
+        assert "exception path" in findings[0].message
+
+    def test_catch_all_cleanup_then_reraise_is_clean(self):
+        findings = check("""
+        def export(n):
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                meta = build_meta(shm)
+            except BaseException:
+                shm.close()
+                shm.unlink()
+                raise
+            return shm, meta
+        """, self.PATH, "RPR014")
+        assert not findings
+
+    def test_pool_never_closed_on_the_normal_path_fires(self):
+        findings = check("""
+        def mine(tasks):
+            pool = WorkerPool(2)
+            results = pool.map(tasks)
+            collect(results)
+        """, self.PATH, "RPR014")
+        assert len(findings) == 1
+
+    def test_try_finally_close_is_clean(self):
+        findings = check("""
+        def mine(tasks):
+            pool = WorkerPool(2)
+            try:
+                results = pool.map(tasks)
+                return collect(results)
+            finally:
+                pool.close()
+        """, self.PATH, "RPR014")
+        assert not findings
+
+    def test_storing_on_self_escapes_to_an_owner(self):
+        findings = check("""
+        class Session:
+            def __init__(self, n):
+                self.pool = WorkerPool(n)
+        """, self.PATH, "RPR014")
+        assert not findings
+
+    def test_finalizer_registration_is_a_release(self):
+        findings = check("""
+        import weakref
+
+        def export(n, owner):
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            weakref.finalize(owner, cleanup, shm)
+            fill(shm)
+            return shm
+        """, self.PATH, "RPR014")
+        assert not findings
+
+    def test_attach_without_create_is_out_of_scope(self):
+        findings = check("""
+        def attach(name):
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(name=name)
+            risky(shm)
+            return shm
+        """, self.PATH, "RPR014")
+        assert not findings
+
+    def test_release_of_a_rebinding_does_not_excuse_the_first(self):
+        findings = check("""
+        def export(n):
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            shm.close()
+            shm.unlink()
+        """, self.PATH, "RPR014")
+        # The first segment is orphaned by the rebinding; the close
+        # only credits the second acquisition.
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+
+# ---------------------------------------------------------------------------
+# RPR015 — deadline discipline at dial sites
+
+
+class TestUndisciplinedDial:
+    PATH = "src/repro/service/fake_client.py"
+
+    def test_bare_dial_with_no_callers_fires(self):
+        findings = check("""
+        import asyncio
+
+        async def dial(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            return reader, writer
+        """, self.PATH, "RPR015")
+        assert len(findings) == 1
+
+    def test_dominating_deadline_check_is_clean(self):
+        findings = check("""
+        import asyncio
+
+        async def dial(host, port, deadline_ts):
+            remaining = deadline_ts - now()
+            if remaining <= 0:
+                raise TimeoutError()
+            reader, writer = await asyncio.open_connection(host, port)
+            return reader, writer
+        """, self.PATH, "RPR015")
+        assert not findings
+
+    def test_deadline_check_on_only_one_branch_fires(self):
+        findings = check("""
+        import asyncio
+
+        async def dial(host, port, deadline_ts, fast):
+            if fast:
+                check = deadline_ts - now()
+            reader, writer = await asyncio.open_connection(host, port)
+            return reader, writer
+        """, self.PATH, "RPR015")
+        assert len(findings) == 1
+
+    def test_guarded_caller_covers_a_bare_connector(self):
+        findings = check("""
+        import asyncio
+
+        class Link:
+            async def _dial(self):
+                self.reader, self.writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+
+            async def request(self, deadline_ts):
+                remaining = deadline_ts - now()
+                if remaining <= 0:
+                    raise TimeoutError()
+                await self._dial()
+        """, self.PATH, "RPR015")
+        assert not findings
+
+    def test_one_unguarded_call_site_spoils_the_grace(self):
+        findings = check("""
+        import asyncio
+
+        class Link:
+            async def _dial(self):
+                self.reader, self.writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+
+            async def request(self, deadline_ts):
+                remaining = deadline_ts - now()
+                if remaining <= 0:
+                    raise TimeoutError()
+                await self._dial()
+
+            async def warm(self):
+                await self._dial()
+        """, self.PATH, "RPR015")
+        assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-line statements and noqa
+
+
+class TestMultiLineNoqa:
+    PATH = "src/repro/service/fake.py"
+
+    def test_noqa_on_a_continuation_line_covers_the_statement(self):
+        source = """
+        import time
+
+        async def handler(self):
+            time.sleep(
+                0.1,
+            )  # repro: noqa(RPR002) -- bounded fixture sleep
+        """
+        assert not check(source, self.PATH, "RPR002")
+
+    def test_bare_noqa_on_a_continuation_line_covers_every_rule(self):
+        source = """
+        import time
+
+        async def handler(self):
+            time.sleep(
+                0.1,
+            )  # repro: noqa
+        """
+        assert not rules_fired(source, self.PATH)
+
+    def test_noqa_on_the_def_line_does_not_blanket_the_body(self):
+        source = """
+        import time
+
+        async def handler(self):  # repro: noqa(RPR002)
+            time.sleep(0.1)
+        """
+        assert len(check(source, self.PATH, "RPR002")) == 1
+
+    def test_noqa_inside_one_statement_does_not_leak_to_the_next(self):
+        source = """
+        import time
+
+        async def handler(self):
+            time.sleep(
+                0.1,
+            )  # repro: noqa(RPR002)
+            time.sleep(0.2)
+        """
+        assert len(check(source, self.PATH, "RPR002")) == 1
+
+    def test_noqa_on_a_decorator_covers_the_header(self):
+        # The decorator lines and the def header are one suppression
+        # span; a finding anchored to the header is covered by a noqa
+        # on the decorator.
+        source = """
+        import functools, time
+
+        @functools.wraps(  # repro: noqa(RPR002) -- fixture
+            time.sleep(0.1)
+        )
+        async def handler(self):
+            pass
+        """
+        assert not check(source, self.PATH, "RPR002")
+
+
+# ---------------------------------------------------------------------------
+# Baseline staleness
+
+
+class TestBaselineStaleness:
+    def entry(self, rule, path, symbol):
+        return BaselineEntry(
+            rule=rule, path=path, symbol=symbol,
+            justification="seeded for the staleness tests, long enough",
+        )
+
+    def findings_for(self, source, rel_path):
+        return analyze_source(textwrap.dedent(source), rel_path, ALL_RULES)
+
+    VIOLATION = """
+    import time
+
+    async def handler(self):
+        time.sleep(0.1)
+    """
+
+    def test_entry_for_a_removed_rule_id_goes_stale(self):
+        findings = self.findings_for(
+            self.VIOLATION, "src/repro/service/mod.py"
+        )
+        baseline = Baseline(
+            [self.entry("RPR999", "src/repro/service/mod.py", "handler")]
+        )
+        result = baseline.apply(findings)
+        # The unknown-rule entry matches nothing: the finding stays
+        # new and the entry is reported stale, not silently dropped.
+        assert [e.rule for e in result.stale] == ["RPR999"]
+        assert len(result.new) == 1
+
+    def test_entry_goes_stale_when_the_symbol_moves_files(self):
+        moved = self.findings_for(
+            self.VIOLATION, "src/repro/service/new_home.py"
+        )
+        baseline = Baseline(
+            [self.entry("RPR002", "src/repro/service/old_home.py", "handler")]
+        )
+        result = baseline.apply(moved)
+        assert [e.path for e in result.stale] == [
+            "src/repro/service/old_home.py"
+        ]
+        assert len(result.new) == 1  # the moved finding is not excused
+
+    def test_entry_goes_stale_when_the_symbol_is_renamed(self):
+        findings = self.findings_for(
+            self.VIOLATION, "src/repro/service/mod.py"
+        )
+        baseline = Baseline(
+            [self.entry("RPR002", "src/repro/service/mod.py", "old_handler")]
+        )
+        result = baseline.apply(findings)
+        assert [e.symbol for e in result.stale] == ["old_handler"]
+        assert len(result.new) == 1
+
+    def test_matching_entry_is_not_stale(self):
+        findings = self.findings_for(
+            self.VIOLATION, "src/repro/service/mod.py"
+        )
+        baseline = Baseline(
+            [self.entry("RPR002", "src/repro/service/mod.py", "handler")]
+        )
+        result = baseline.apply(findings)
+        assert not result.stale
+        assert not result.new
+        assert len(result.accepted) == 1
+
+
+# ---------------------------------------------------------------------------
+# lint --since
+
+
+class TestSinceFlag:
+    VIOLATION = (
+        "import time\n\n\nasync def handler():\n    time.sleep(0.1)\n"
+    )
+
+    def seed_repo(self, tmp_path):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-C", str(tmp_path), *argv],
+                check=True, capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                    "HOME": str(tmp_path),
+                    "PATH": __import__("os").environ["PATH"],
+                },
+            )
+
+        service = tmp_path / "src" / "repro" / "service"
+        service.mkdir(parents=True)
+        (service / "old.py").write_text(self.VIOLATION)
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        return service
+
+    def test_only_changed_files_are_scanned(self, tmp_path, capsys):
+        service = self.seed_repo(tmp_path)
+        (service / "new.py").write_text(self.VIOLATION)  # untracked
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "HEAD",
+            "--no-baseline", "--format", "json",
+        ])
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert code == 1
+        # old.py's violation predates HEAD and is not rescanned;
+        # the untracked new.py is.
+        assert {f["path"] for f in findings} == {
+            "src/repro/service/new.py"
+        }
+
+    def test_tracked_modification_is_scanned(self, tmp_path, capsys):
+        service = self.seed_repo(tmp_path)
+        (service / "old.py").write_text(
+            self.VIOLATION + "\n\nVALUE = 1\n"
+        )
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "HEAD",
+            "--no-baseline", "--format", "json",
+        ])
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert code == 1
+        assert {f["path"] for f in findings} == {
+            "src/repro/service/old.py"
+        }
+
+    def test_no_changes_exits_zero(self, tmp_path, capsys):
+        self.seed_repo(tmp_path)
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "HEAD",
+            "--no-baseline",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no python files changed" in captured.err
+
+    def test_paths_filter_still_applies(self, tmp_path, capsys):
+        self.seed_repo(tmp_path)
+        scripts = tmp_path / "scripts"
+        scripts.mkdir()
+        (scripts / "tool.py").write_text(self.VIOLATION)
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "HEAD",
+            "--no-baseline",
+        ])
+        capsys.readouterr()
+        # scripts/ is outside the requested scan paths.
+        assert code == 0
+
+    def test_bad_revision_exits_2(self, tmp_path, capsys):
+        self.seed_repo(tmp_path)
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "not-a-rev",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not-a-rev" in captured.err
+
+    def test_stale_reporting_is_skipped_under_since(self, tmp_path, capsys):
+        service = self.seed_repo(tmp_path)
+        (service / "new.py").write_text("VALUE = 1\n")
+        baseline = tmp_path / "analysis_baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "RPR002",
+                "path": "src/repro/service/gone.py",
+                "symbol": "handler",
+                "justification": "entry whose file is not in this scan",
+            }],
+        }))
+        code = lint.main([
+            "src", "--root", str(tmp_path), "--since", "HEAD", "--strict",
+        ])
+        captured = capsys.readouterr()
+        # A partial scan cannot judge staleness: no stale warning, no
+        # strict failure.
+        assert code == 0
+        assert "stale" not in captured.err

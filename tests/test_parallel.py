@@ -332,3 +332,57 @@ class TestPersistentPool:
         assert parallel.active_sessions() == []
         leaked = set(os.listdir("/dev/shm")) - before
         assert not leaked, f"shared memory leaked: {sorted(leaked)}"
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory export lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestExportLifecycle:
+    def test_export_failure_releases_segment(self, bbs, monkeypatch):
+        """A raise after ``create=True`` must not orphan the segment.
+
+        The kernel keeps a shared-memory block alive until it is
+        unlinked; ``_export_shared_index`` owns the segment between
+        creation and handing ``(shm, meta)`` to the caller, so a
+        failing copy or descriptor build inside that window has to
+        close+unlink before propagating.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.core import parallel
+
+        names: list[str] = []
+        real_cls = shared_memory.SharedMemory
+
+        def recording(*args, **kwargs):
+            shm = real_cls(*args, **kwargs)
+            names.append(shm.name)
+            return shm
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", recording)
+
+        def boom(family):
+            raise RuntimeError("descriptor build failed")
+
+        monkeypatch.setattr(parallel, "_check_family_roundtrip", boom)
+        with pytest.raises(RuntimeError, match="descriptor build failed"):
+            parallel._export_shared_index(bbs)
+        assert len(names) == 1
+        # The segment is gone: attaching by name must fail.
+        with pytest.raises(FileNotFoundError):
+            real_cls(name=names[0])
+
+    def test_successful_export_hands_ownership_to_the_caller(self, bbs):
+        from multiprocessing import shared_memory
+
+        from repro.core import parallel
+
+        shm, meta = parallel._export_shared_index(bbs)
+        try:
+            attached = shared_memory.SharedMemory(name=meta["name"])
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()

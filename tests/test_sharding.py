@@ -779,3 +779,77 @@ class TestShardKillDrill:
                 if proc.poll() is None:
                     proc.kill()
                 proc.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Failover promotion race
+# ---------------------------------------------------------------------------
+
+
+class TestPromoteRace:
+    """Two appends racing through the same tail failover.
+
+    Both hit the dead primary, both call ``_promote_tail``, and the
+    ``promote`` RPC suspends each at an await.  The promotion itself
+    must happen exactly once: the loser re-checks the shard state
+    after its await and rides the winner's promotion instead of
+    calling ``promote_follower`` on a map entry that no longer has a
+    follower (which raises ``ConfigurationError``).
+    """
+
+    class StubLink:
+        def __init__(self, gate: asyncio.Event | None = None):
+            self.gate = gate
+            self.promotes = 0
+            self.appends: list[dict] = []
+
+        async def request(self, op: str, args: dict | None = None) -> dict:
+            if op == "promote":
+                self.promotes += 1
+                if self.gate is not None:
+                    await self.gate.wait()
+                return {}
+            if op == "append":
+                self.appends.append(args or {})
+                n = len(self.appends)
+                return {"position": n, "n_transactions": n, "epoch": 1}
+            raise AssertionError(f"unexpected op {op!r}")
+
+        def close(self) -> None:
+            pass
+
+    def test_concurrent_tail_failovers_promote_exactly_once(self):
+        shardmap = build_map(
+            [("127.0.0.1", 1)], [4], followers=[("127.0.0.1", 2)]
+        )
+        router = ShardRouter(shardmap, policy=FAST_POLICY, seed=3)
+        state = router.shards[-1]
+
+        async def drive():
+            gate = asyncio.Event()
+            follower = self.StubLink(gate)
+            state.primary.close()
+            state.follower.close()
+            state.primary = self.StubLink()
+            state.follower = follower
+            first = asyncio.ensure_future(
+                router._promote_tail(state, {"transaction": [1]})
+            )
+            second = asyncio.ensure_future(
+                router._promote_tail(state, {"transaction": [2]})
+            )
+            # Let both tasks read state.follower and park inside the
+            # promote RPC — the interleaving window under test.
+            while follower.promotes < 2:
+                await asyncio.sleep(0)
+            gate.set()
+            return follower, await first, await second
+
+        follower, first, second = asyncio.run(drive())
+        # One promotion, both appends served by the promoted node.
+        assert follower.promotes == 2  # both RPCs ran (idempotent)
+        assert state.follower is None
+        assert state.entry.epoch == 1
+        assert router.map.tail.follower_address is None
+        assert [a["transaction"] for a in follower.appends] == [[1], [2]]
+        assert {first["position"], second["position"]} == {1, 2}
